@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (the
+paper's figures F1–F3 and the textual-claim experiments E1–E12), asserts
+the *shape* the paper predicts, and prints a table/series via
+``repro.metrics.report``. Wall-clock timing is taken by pytest-benchmark
+(``benchmark.pedantic`` with one round — the interesting numbers are the
+simulated metrics, printed to stdout).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# make the tests package (cluster helpers) importable from benchmarks
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core import VCEConfig, VirtualComputingEnvironment  # noqa: E402
+from repro.machines import ConstantLoad, Machine, MachineClass  # noqa: E402
+from repro.scheduler.execution_program import RunState  # noqa: E402
+from repro.util.rng import RngStreams  # noqa: E402
+
+
+def fresh_vce(machines, seed=0, config=None, **config_kw):
+    cfg = config or VCEConfig(seed=seed, **config_kw)
+    return VirtualComputingEnvironment(machines, cfg).boot()
+
+
+def workstations(n, seed=0, loads=None, speeds=None):
+    out = []
+    for i in range(n):
+        out.append(
+            Machine(
+                f"ws{i}",
+                MachineClass.WORKSTATION,
+                speed=(speeds[i] if speeds else 1.0),
+                memory_mb=256,
+                background_load=(loads[i] if loads else ConstantLoad(0.0)),
+            )
+        )
+    return out
+
+
+def finish(vce, run, timeout=5_000.0):
+    vce.run_to_completion(run, timeout=timeout)
+    assert run.state is RunState.DONE, f"run failed: {run.error}"
+    return run
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

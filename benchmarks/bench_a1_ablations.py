@@ -1,0 +1,198 @@
+"""A1 — ablations over the design knobs DESIGN.md calls out.
+
+1. **Checkpoint interval** (§4.4): frequent checkpoints cost steady-state
+   overhead but bound the work lost at migration; sparse ones are cheap
+   until you migrate. The sweep exposes the trade-off curve.
+2. **Redundancy degree** (§4.4 redundant execution): more copies mean
+   faster effective completion under machine churn but proportionally more
+   burned capacity.
+3. **Bidding busy-threshold** (§5 "not already excessively loaded"): too
+   low and loaded-but-usable machines never bid (allocation failures); too
+   high and work lands on busy machines (slow makespans).
+"""
+
+from benchmarks._common import finish, fresh_vce, once, workstations
+from repro.machines import ConstantLoad
+from repro.metrics import format_table
+from repro.migration import CheckpointMigration, MigrationContext, RedundantExecutionManager
+from repro.runtime import AppStatus
+from repro.scheduler import DaemonConfig
+from repro.scheduler.execution_program import RunState
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.vmpi import Checkpoint, Compute
+
+from tests.conftest import make_cluster, place_all_on
+
+
+# ------------------------------------------------------- checkpoint interval
+
+WORK = 60.0
+MIGRATE_AT = 23.0
+CKPT_COST_PER_UNIT = 0.05  # seconds of overhead per checkpoint (big state)
+
+
+def _checkpointed_run(interval: float, migrate: bool):
+    def program(ctx):
+        done = ctx.restored_state or 0.0
+        while done < WORK:
+            chunk = min(interval, WORK - done)
+            yield Compute(chunk)
+            done += chunk
+            yield Checkpoint(done, size=int(CKPT_COST_PER_UNIT / 2e-8))
+        return done
+
+    cluster = make_cluster(2)
+    graph = ProblemSpecification(f"ck{interval}-{migrate}").task("job", work=WORK).build()
+    node = graph.task("job")
+    node.problem_class = ProblemClass.ASYNCHRONOUS
+    node.language = "py"
+    node.program = program
+    app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+    if migrate:
+        cluster.run(until=MIGRATE_AT)
+        CheckpointMigration(
+            MigrationContext(cluster.manager, cluster.net)
+        ).migrate(app, app.record("job", 0), "ws1")
+    cluster.run()
+    assert app.status is AppStatus.DONE
+    return app.makespan
+
+
+def bench_a1_checkpoint_interval(benchmark):
+    intervals = [1.0, 5.0, 10.0, 30.0]
+
+    def experiment():
+        return {
+            i: (_checkpointed_run(i, migrate=False), _checkpointed_run(i, migrate=True))
+            for i in intervals
+        }
+
+    results = once(benchmark, experiment)
+    rows = [
+        [i, quiet, migrated, migrated - quiet]
+        for i, (quiet, migrated) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["ckpt interval (s)", "makespan quiet (s)", "makespan w/ migration (s)",
+             "migration penalty (s)"],
+            rows,
+            title="A1: checkpoint-interval trade-off (60s job, migrate at t=23)",
+        )
+    )
+    quiet = {i: q for i, (q, _) in results.items()}
+    penalty = {i: m - q for i, (q, m) in results.items()}
+    # steady-state overhead decreases with sparser checkpoints...
+    assert quiet[1.0] > quiet[30.0]
+    # ...but the work lost at migration grows
+    assert penalty[30.0] > penalty[1.0]
+
+
+# ---------------------------------------------------------- redundancy degree
+
+
+def bench_a1_redundancy_degree(benchmark):
+    """k redundant copies on machines that may crash: completion
+    probability/latency vs burned capacity."""
+
+    def _run(copies: int, crash_primary: bool = True, seed=21):
+        cluster = make_cluster(4, seed=seed)
+        graph = ProblemSpecification(f"red{copies}").task("job", work=30.0).build()
+        node = graph.task("job")
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+
+        def program(ctx):
+            yield Compute(30.0)
+            return "ok"
+
+        node.program = program
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(
+            MigrationContext(cluster.manager, cluster.net)
+        ).install()  # copies absorb primary failures
+        cluster.run(until=1.0)
+        record = app.record("job", 0)
+        if copies > 1:
+            mgr.dispatch_redundant(app, record, [f"ws{i}" for i in range(1, copies)])
+        if crash_primary:
+            cluster.run(until=10.0)
+            cluster.hosts["ws0"].crash()
+        cluster.run(until=200.0)
+        survived = app.status is AppStatus.DONE
+        return survived, (app.makespan if survived else None), copies
+
+    def experiment():
+        return {k: _run(k) for k in (1, 2, 3)}
+
+    results = once(benchmark, experiment)
+    rows = [
+        [k, "yes" if ok else "NO", ms if ms is not None else "-", k]
+        for k, (ok, ms, _) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["copies", "survived primary crash", "makespan (s)", "capacity used (machines)"],
+            rows,
+            title="A1b: redundant-execution degree under a primary crash at t=10",
+        )
+    )
+    # one copy: the crash kills the job; with redundancy it completes
+    assert results[1][0] is False
+    assert results[2][0] is True and results[3][0] is True
+
+
+# -------------------------------------------------------------- busy threshold
+
+
+def bench_a1_busy_threshold(benchmark):
+    """Sweep the daemon's 'excessively loaded' cutoff on a cluster whose
+    machines carry 0.0 / 0.4 / 0.6 background load."""
+
+    LOADS = [0.0, 0.55, 0.6, 0.6]
+
+    def _run(threshold: float, seed=22):
+        from repro.core import VCEConfig
+        from repro.workloads import build_sweep_graph
+
+        config = VCEConfig(seed=seed, daemon=DaemonConfig(busy_threshold=threshold))
+        machines = workstations(4, loads=[ConstantLoad(l) for l in LOADS])
+        vce = fresh_vce(machines, config=config)
+        graph = build_sweep_graph(points=2, work_per_point=12.0, name=f"th{threshold}")
+        run = vce.submit(graph)
+        vce.run_to_completion(run, timeout=500.0)
+        bids = vce.metrics().bid_counts()
+        if bids:
+            bid_count = bids[0]
+        else:  # allocation failed: the error record carries how many bid
+            err = vce.sim.log.first("sched.alloc_error")
+            bid_count = err.get("available", 0) if err else 0
+        makespan = run.app.makespan if run.state is RunState.DONE else None
+        return makespan, bid_count
+
+    def experiment():
+        return {t: _run(t) for t in (0.2, 0.58, 0.9)}
+
+    results = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["busy threshold", "machines bidding", "makespan (s)"],
+            [
+                [t, bids, ms if ms is not None else "ALLOC FAILED"]
+                for t, (ms, bids) in results.items()
+            ],
+            title="A1c: bid threshold on a [0.0, 0.55, 0.6, 0.6]-loaded cluster",
+        )
+    )
+    # too strict: only the idle machine qualifies and a 2-instance request
+    # cannot be satisfied at all
+    assert results[0.2][0] is None and results[0.2][1] <= 1
+    # permissive thresholds admit progressively more bidders; allocation
+    # succeeds and load-sorting still lands work on the lightest machines
+    assert results[0.58][0] is not None and results[0.58][1] == 2
+    assert results[0.9][0] is not None and results[0.9][1] == 4
+    assert results[0.9][0] <= results[0.58][0] + 1.0

@@ -1,0 +1,152 @@
+"""E10 — channel mechanics (§4.2).
+
+Three measurements on the channel substrate:
+
+1. interposition overhead: per-message latency through 0, 1, and 2
+   interposer stages (each stage = an extra network hop + processing);
+2. redirection: a receiver is rebound mid-stream (the migration hook);
+   messages keep flowing to the new endpoint and none are misdelivered
+   after the rebind;
+3. group vs individual addressing: the *same send call* reaches 1..16
+   receivers — "clients may be unaware of whether messages are being
+   received by groups or individuals".
+"""
+
+from benchmarks._common import once
+from repro.channels import (
+    ChannelDelivery,
+    ChannelManager,
+    DataConversionInterposer,
+    Port,
+    PortDirection,
+)
+from repro.metrics import format_series, format_table
+from repro.netsim import Address, Network, SimProcess, Simulator
+
+
+class Sink(SimProcess):
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = []
+
+    def on_message(self, src, payload):
+        if isinstance(payload, ChannelDelivery):
+            self.got.append((self.now, payload.data))
+
+
+def _one_hop_rig(n_stages: int, messages: int = 50):
+    sim = Simulator(15)
+    net = Network(sim)
+    mgr = ChannelManager(net)
+    chan = mgr.create("c")
+    src_host = net.add_host("src")
+    sink_host = net.add_host("dst")
+    sink = Sink("sink")
+    sink_host.spawn(sink)
+    chan.attach(Port("rx", sink.address, PortDirection.RECEIVE))
+    for i in range(n_stages):
+        ihost = net.add_host(f"i{i}")
+        stage = DataConversionInterposer(f"conv{i}", seconds_per_byte=1e-7)
+        ihost.spawn(stage)
+        sim.run(until=sim.now + 0.01)
+        chan.split(stage)
+    tx = Port("tx", Address("src", "nobody"), PortDirection.SEND)
+    start = sim.now
+    for i in range(messages):
+        chan.send(tx, i, size=1000)
+    sim.run()
+    assert len(sink.got) == messages
+    # all messages were injected at the same instant, so each arrival time
+    # minus start is that message's end-to-end delivery latency
+    return sum(t - start for t, _ in sink.got) / messages
+
+
+def bench_e10_interposition_overhead(benchmark):
+    def experiment():
+        return {n: _one_hop_rig(n) for n in (0, 1, 2)}
+
+    results = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["interposer stages", "mean delivery latency (s)"],
+            [[n, v] for n, v in results.items()],
+            title="E10: channel splitting cost",
+        )
+    )
+    # each stage adds roughly one hop of latency
+    assert results[0] < results[1] < results[2]
+    hop = results[1] - results[0]
+    assert abs((results[2] - results[1]) - hop) < hop  # ~linear in stages
+
+
+def bench_e10_redirection_midstream(benchmark):
+    def experiment():
+        sim = Simulator(16)
+        net = Network(sim)
+        chan = ChannelManager(net).create("c")
+        src = net.add_host("src")
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        old, new = Sink("old"), Sink("new")
+        h1.spawn(old)
+        h2.spawn(new)
+        chan.attach(Port("rx", old.address, PortDirection.RECEIVE))
+        tx = Port("tx", Address("src", "nobody"), PortDirection.SEND)
+        for i in range(20):
+            chan.send(tx, ("pre", i))
+        sim.run()
+        chan.rebind("rx", new.address)  # the migration hook
+        for i in range(20):
+            chan.send(tx, ("post", i))
+        sim.run()
+        return [d for _, d in old.got], [d for _, d in new.got]
+
+    old_got, new_got = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["endpoint", "pre-rebind msgs", "post-rebind msgs"],
+            [
+                ["old receiver", sum(1 for k, _ in old_got if k == "pre"),
+                 sum(1 for k, _ in old_got if k == "post")],
+                ["new receiver", sum(1 for k, _ in new_got if k == "pre"),
+                 sum(1 for k, _ in new_got if k == "post")],
+            ],
+            title="E10b: mid-stream port redirection",
+        )
+    )
+    assert [k for k, _ in old_got] == ["pre"] * 20
+    assert [k for k, _ in new_got] == ["post"] * 20
+
+
+def bench_e10_group_addressing(benchmark):
+    """Identical send call; 1..16 attached receivers."""
+
+    def _fanout(n):
+        sim = Simulator(17)
+        net = Network(sim)
+        chan = ChannelManager(net).create("c")
+        net.add_host("src")
+        sinks = []
+        for i in range(n):
+            host = net.add_host(f"r{i}")
+            sink = Sink(f"s{i}")
+            host.spawn(sink)
+            chan.attach(Port(f"rx{i}", sink.address, PortDirection.RECEIVE))
+            sinks.append(sink)
+        tx = Port("tx", Address("src", "nobody"), PortDirection.SEND)
+        chan.send(tx, "hello", size=500)  # the SAME call regardless of n
+        sim.run()
+        assert all(len(s.got) == 1 for s in sinks)
+        return max(t for s in sinks for t, _ in s.got)
+
+    def experiment():
+        return {n: _fanout(n) for n in (1, 2, 4, 8, 16)}
+
+    results = once(benchmark, experiment)
+    print()
+    print(format_series("group-delivery completion (s)",
+                        list(results), list(results.values())))
+    # one send reaches any group size; completion time stays ~flat because
+    # copies travel in parallel
+    assert results[16] < 3 * results[1] + 0.01

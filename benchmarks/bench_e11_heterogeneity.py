@@ -1,0 +1,118 @@
+"""E11 — heterogeneity: mapping problem classes to machine classes (§4.1).
+
+Two measurements:
+
+1. **Class mapping pays off**: the weather application on (a) an
+   all-workstation cluster and (b) the paper's heterogeneous site, where
+   the SYNC-classified predictor lands on a 40x SIMD machine. The
+   design-stage classification plus the class map is what routes it there.
+2. **Prepare-everything enables cross-class moves**: with binaries
+   prepared for *all* feasible classes, the runtime moves a task from a
+   workstation to a MIMD machine mid-run "without the need to compile a
+   task while the application is running".
+"""
+
+from benchmarks._common import finish, fresh_vce, once, workstations
+from repro.core import heterogeneous_cluster
+from repro.machines import MachineClass
+from repro.metrics import format_table
+from repro.migration import RecompileMigration
+from repro.runtime import AppStatus
+from repro.workloads import build_weather_graph
+
+
+def _weather_makespan(machines, seed=18):
+    vce = fresh_vce(machines, seed=seed)
+    graph = build_weather_graph(predict_work=400.0)
+    run = vce.submit(graph)
+    finish(vce, run)
+    return run.app.makespan, run.placement.host_for("predictor", 0)
+
+
+def bench_e11_class_mapping(benchmark):
+    def experiment():
+        homo = _weather_makespan(workstations(9))
+        hetero = _weather_makespan(heterogeneous_cluster(n_workstations=6, n_mimd=2, n_simd=1))
+        return homo, hetero
+
+    (homo_ms, homo_host), (hetero_ms, hetero_host) = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["cluster", "predictor ran on", "makespan (s)"],
+            [
+                ["9 workstations (homogeneous)", homo_host, homo_ms],
+                ["6 ws + 2 MIMD + 1 SIMD (heterogeneous)", hetero_host, hetero_ms],
+            ],
+            title="E11: SYNC-class predictor routed by the class map",
+        )
+    )
+    assert homo_host.startswith("ws")
+    assert hetero_host.startswith("simd")
+    # the 400-unit predictor dominates; a 40x machine collapses it
+    assert hetero_ms < homo_ms / 4
+
+
+def bench_e11_prepared_binaries_enable_moves(benchmark):
+    """Anticipatorily prepared multi-class binaries: a mid-run move to a
+    different architecture costs no runtime compilation."""
+    from repro.sdm import ProblemSpecification
+    from repro.taskgraph import ProblemClass
+    from repro.vmpi import Checkpoint, Compute
+
+    def _graph():
+        def program(ctx):
+            done = ctx.restored_state or 0.0
+            while done < 120.0:
+                yield Compute(5.0)
+                done += 5.0
+                yield Checkpoint(done, size=10_000)
+            return done
+
+        graph = ProblemSpecification("movable").task("job", work=120.0).build()
+        node = graph.task("job")
+        node.problem_class = ProblemClass.LOOSELY_SYNCHRONOUS  # MIMD-preferred
+        node.language = "hpf"
+        node.program = program
+        return graph
+
+    def _run(prepare: bool, seed=19):
+        machines = heterogeneous_cluster(n_workstations=3, n_mimd=1, n_simd=0)
+        vce = fresh_vce(machines, seed=seed)
+        graph = _graph()
+        if prepare:
+            vce.compilation.compile_all(vce.compilation.plan(graph))
+        # force a workstation start, then move to the MIMD machine mid-run
+        run = vce.submit(graph, class_map={"job": MachineClass.WORKSTATION})
+        vce.run(until=vce.sim.now + 20.0)
+        app = run.app
+        record = app.record("job", 0)
+        latencies = []
+        scheme = RecompileMigration(
+            vce.migration.context, use_checkpoint=True
+        )
+        scheme.migrate(app, record, "mimd0", on_done=latencies.append)
+        vce.run_to_completion(run)
+        assert app.status is AppStatus.DONE
+        assert record.host_name == "mimd0"
+        return latencies[0], run.app.makespan
+
+    def experiment():
+        return {
+            "binaries prepared for all classes": _run(True),
+            "compile at migration time": _run(False),
+        }
+
+    results = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["mode", "cross-class migration latency (s)", "makespan (s)"],
+            [[k, lat, ms] for k, (lat, ms) in results.items()],
+            title="E11b: workstation -> MIMD move with/without prepared binaries",
+        )
+    )
+    prepared_lat, _ = results["binaries prepared for all classes"]
+    cold_lat, _ = results["compile at migration time"]
+    assert prepared_lat < 1.0
+    assert cold_lat > 15.0  # the HPF compile lands on the critical path

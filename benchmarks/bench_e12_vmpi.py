@@ -1,0 +1,167 @@
+"""E12 — vMPI collectives over channels (§4.2).
+
+Latency of barrier / broadcast / allreduce as the communicator widens.
+The library uses binomial trees for bcast/reduce, so per-collective
+latency should grow ~logarithmically in the rank count (each doubling adds
+about one round-trip), not linearly.
+"""
+
+import math
+
+from benchmarks._common import finish, fresh_vce, once, workstations
+from repro.metrics import format_series, format_table
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.vmpi import allreduce, alltoall, barrier, bcast
+
+SIZES = [2, 4, 8, 16, 32]
+REPS = 20
+
+
+def _collective_time(kind: str, n: int, seed=20):
+    def program(ctx):
+        # warm-up barrier aligns all ranks before timing
+        yield from barrier(ctx)
+        from repro.vmpi import Emit
+
+        yield Emit("coll.begin", {"rank": ctx.rank})
+        for _ in range(REPS):
+            if kind == "barrier":
+                yield from barrier(ctx)
+            elif kind == "bcast":
+                yield from bcast(ctx, "payload" if ctx.rank == 0 else None, size=1000)
+            elif kind == "allreduce":
+                yield from allreduce(ctx, ctx.rank, op=sum, size=1000)
+            elif kind == "alltoall":
+                yield from alltoall(ctx, list(range(ctx.size)), size=1000)
+        yield Emit("coll.end", {"rank": ctx.rank})
+        return None
+
+    vce = fresh_vce(workstations(n), seed=seed)
+    graph = ProblemSpecification(f"{kind}{n}").task("t", instances=n).build()
+    node = graph.task("t")
+    node.problem_class = ProblemClass.LOOSELY_SYNCHRONOUS
+    node.language = "py"
+    node.program = program
+    run = vce.submit(graph)
+    finish(vce, run, timeout=3_000.0)
+    log = vce.sim.log
+    begin = max(r.time for r in log.records(category="coll.begin"))
+    end = max(r.time for r in log.records(category="coll.end"))
+    return (end - begin) / REPS
+
+
+def bench_e12_collective_scaling(benchmark):
+    def experiment():
+        out = {}
+        for kind in ("barrier", "bcast", "allreduce", "alltoall"):
+            out[kind] = {n: _collective_time(kind, n) for n in SIZES}
+        return out
+
+    results = once(benchmark, experiment)
+    print()
+    rows = [[n] + [results[k][n] for k in ("barrier", "bcast", "allreduce", "alltoall")] for n in SIZES]
+    print(
+        format_table(
+            ["ranks", "barrier (s)", "bcast (s)", "allreduce (s)", "alltoall (s)"],
+            rows,
+            title="E12: vMPI collective latency vs communicator size",
+        )
+    )
+    for kind in ("barrier", "bcast", "allreduce", "alltoall"):
+        print(format_series(kind, SIZES, [results[kind][n] for n in SIZES]))
+
+    for kind in ("barrier", "bcast", "allreduce"):
+        times = [results[kind][n] for n in SIZES]
+        # latency grows with group size...
+        assert times[-1] > times[0]
+        # ...but logarithmically, not linearly: growing ranks 16x (2->32)
+        # costs well under 8x the latency (binomial trees: ~5 rounds vs 1)
+        assert times[-1] < 8 * times[0], f"{kind} scaled worse than log"
+        # each doubling adds at most ~2 extra rounds' worth
+        per_double = [b / a for a, b in zip(times, times[1:])]
+        assert max(per_double) < 2.5, f"{kind} doubling blew up: {per_double}"
+    # allreduce = reduce + bcast, so it costs more than bcast alone
+    assert results["allreduce"][16] > results["bcast"][16]
+    # alltoall sends its p-1 personalized messages concurrently; under the
+    # LAN model (independent per-message delivery, no per-NIC egress
+    # serialization — a documented simplification) its completion time is
+    # one wire latency regardless of p, unlike the multi-round trees
+    a2a = [results["alltoall"][n] for n in SIZES]
+    assert max(a2a) < 2 * min(a2a)  # ~flat
+    assert a2a[-1] < results["allreduce"][32]  # single round beats log rounds
+
+
+def bench_e12b_nic_serialization_ablation(benchmark):
+    """Network-model ablation: with one NIC per host (egress
+    serialization), alltoall's p-1 personalized transmissions queue for
+    the wire and its latency grows ~linearly in p — the behaviour the
+    plain infinite-NIC model hides. Tree collectives, whose per-round
+    fan-out is 1 message per sender, barely change."""
+    from repro.core import VCEConfig
+
+    def timed(kind, n, serialize):
+        config = VCEConfig(seed=20, egress_serialization=serialize)
+        # reuse the measurement machinery with a custom-config VCE
+        def program(ctx):
+            from repro.vmpi import Emit
+
+            yield from barrier(ctx)
+            yield Emit("coll.begin", {"rank": ctx.rank})
+            for _ in range(REPS):
+                if kind == "alltoall":
+                    yield from alltoall(ctx, list(range(ctx.size)), size=1000)
+                else:
+                    yield from allreduce(ctx, ctx.rank, op=sum, size=1000)
+            yield Emit("coll.end", {"rank": ctx.rank})
+
+        from repro.core import VirtualComputingEnvironment
+
+        vce = VirtualComputingEnvironment(
+            __import__("benchmarks._common", fromlist=["workstations"]).workstations(n),
+            config,
+        ).boot()
+        graph = ProblemSpecification(f"x{kind}{n}{serialize}").task(
+            "t", instances=n
+        ).build()
+        node = graph.task("t")
+        node.problem_class = ProblemClass.LOOSELY_SYNCHRONOUS
+        node.language = "py"
+        node.program = program
+        run = vce.submit(graph)
+        finish(vce, run, timeout=5_000.0)
+        log = vce.sim.log
+        begin = max(r.time for r in log.records(category="coll.begin"))
+        end = max(r.time for r in log.records(category="coll.end"))
+        return (end - begin) / REPS
+
+    def experiment():
+        out = {}
+        for n in (4, 16):
+            out[n] = {
+                "alltoall (infinite NIC)": timed("alltoall", n, False),
+                "alltoall (one NIC)": timed("alltoall", n, True),
+                "allreduce (one NIC)": timed("allreduce", n, True),
+            }
+        return out
+
+    results = once(benchmark, experiment)
+    print()
+    rows = []
+    for n, values in results.items():
+        for name, v in values.items():
+            rows.append([n, name, v])
+    print(
+        format_table(
+            ["ranks", "collective / NIC model", "latency (s)"],
+            rows,
+            title="E12b: per-NIC egress serialization ablation",
+        )
+    )
+    # with one NIC, widening 4 -> 16 ranks inflates alltoall sharply
+    # (4x the personalized messages through one wire)...
+    flat = results[16]["alltoall (infinite NIC)"] / results[4]["alltoall (infinite NIC)"]
+    serialized = results[16]["alltoall (one NIC)"] / results[4]["alltoall (one NIC)"]
+    assert serialized > 2 * flat
+    # ...while the tree collective's growth stays modest
+    assert results[16]["allreduce (one NIC)"] < results[16]["alltoall (one NIC)"] * 2

@@ -1,0 +1,89 @@
+"""E13 (extension) — metacomputing across sites.
+
+The paper opens with "a network of supercomputers and high-performance
+workstations" as the only way to field Grand Challenge resources — i.e.
+machines spanning campuses, not one LAN. This extension experiment places
+a communication-heavy synchronous job (halo-exchange stencil) on a
+two-campus VCE joined by a 50 ms WAN link and compares:
+
+- site-packed placement (all ranks on one campus);
+- deliberately scattered placement (ranks split across the WAN).
+
+Shape: every stencil iteration pays a WAN round-trip when scattered, so
+makespan degrades by orders of magnitude for latency-bound iteration
+counts — quantifying why placement must be topology-aware once the VCE
+leaves the LAN.
+"""
+
+from benchmarks._common import finish, once
+from repro.core import VCEConfig, VirtualComputingEnvironment, multi_site_cluster
+from repro.machines import MachineClass
+from repro.metrics import format_table
+from repro.netsim import LatencyModel
+from repro.runtime import Placement
+from repro.scheduler import site_packed_assignment
+from repro.workloads import build_stencil_graph
+
+WAN = LatencyModel(base_latency=0.05, bandwidth=125_000, jitter=0.0)
+ITERATIONS = 25
+
+
+def _vce(seed=31):
+    machines = multi_site_cluster({"syr": 4, "cornell": 4})
+    return VirtualComputingEnvironment(
+        machines, VCEConfig(seed=seed, wan_latency=WAN)
+    ).boot()
+
+
+def _run_packed():
+    vce = _vce()
+    graph = build_stencil_graph(ranks=4, cells=32, iterations=ITERATIONS)
+    vce.compilation.compile_all(vce.compilation.plan(graph))  # binaries ready
+    run = vce.submit(
+        graph,
+        class_map={"grid": MachineClass.WORKSTATION},
+        policy=site_packed_assignment,
+    )
+    finish(vce, run, timeout=10_000.0)
+    sites = {run.placement.host_for("grid", r).split("-")[0] for r in range(4)}
+    return run.app.makespan, sites
+
+
+def _run_scattered():
+    vce = _vce(seed=32)
+    graph = build_stencil_graph(ranks=4, cells=32, iterations=ITERATIONS)
+    vce.compilation.compile_all(vce.compilation.plan(graph))  # binaries ready
+    placement = Placement()
+    # alternate ranks across campuses: every halo exchange crosses the WAN
+    hosts = ["syr-ws0", "cornell-ws0", "syr-ws1", "cornell-ws1"]
+    for rank, host in enumerate(hosts):
+        placement.assign("grid", rank, host)
+    app = vce.runtime.submit(graph, placement)
+    vce.run(until=vce.sim.now + 20_000.0, stop_when=lambda: app.status.terminal)
+    assert app.all_done
+    return app.makespan
+
+
+def bench_e13_wan_placement(benchmark):
+    def experiment():
+        packed_ms, packed_sites = _run_packed()
+        scattered_ms = _run_scattered()
+        return packed_ms, packed_sites, scattered_ms
+
+    packed_ms, packed_sites, scattered_ms = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["placement", "makespan (s)", "WAN crossings per iteration"],
+            [
+                [f"site-packed (all on {next(iter(packed_sites))})", packed_ms, 0],
+                ["scattered across campuses", scattered_ms, "3 halo pairs"],
+            ],
+            title=f"E13: {ITERATIONS}-iteration stencil on a 2-campus VCE (50ms WAN)",
+        )
+    )
+    assert len(packed_sites) == 1
+    # latency-bound: each iteration pays ~one WAN round (halo exchanges in
+    # both directions overlap) when scattered; packed stays at LAN latency
+    assert scattered_ms > 3 * packed_ms
+    assert scattered_ms > ITERATIONS * WAN.base_latency * 0.8

@@ -1,0 +1,73 @@
+"""E1 — the §5 weather application, script to termination.
+
+Runs the paper's exact script through the full stack: parse → interpret →
+bid per group → place → dispatch → execute → terminate. Reports the
+timeline of the phases and verifies the §5 narrative: two collectors on
+the (asynchronous-class) workstation group, the predictor on the SIMD
+group, the display LOCAL on the user's workstation after the remote
+executions have begun.
+"""
+
+from benchmarks._common import finish, fresh_vce, once
+from repro.core import heterogeneous_cluster
+from repro.metrics import format_table
+from repro.workloads import WEATHER_SCRIPT, weather_programs
+
+
+def bench_e1_weather_script(benchmark):
+    def experiment():
+        vce = fresh_vce(heterogeneous_cluster(n_workstations=6), seed=5)
+        run = vce.run_script(
+            WEATHER_SCRIPT,
+            weather_programs(predict_work=200.0),
+            works={"collector": 20, "usercollect": 10, "predictor": 200, "display": 2},
+            name="snow",
+        )
+        finish(vce, run)
+        vce.run(until=vce.sim.now + 5.0)  # drain terminate notices
+        app = run.app
+        log = vce.sim.log
+        first_remote_start = min(
+            r.time for r in log.records(category="task.start")
+            if r.get("task") != "display"
+        )
+        display_start = next(
+            r.time for r in log.records(category="task.start")
+            if r.get("task") == "display"
+        )
+        return {
+            "vce": vce,
+            "run": run,
+            "alloc": run.allocation_latency,
+            "makespan": app.makespan,
+            "placement": dict(run.placement.assignments),
+            "display_after_remotes": display_start >= first_remote_start,
+            "requests": log.count("sched.request"),
+            "terminates": log.count("app.terminate") + log.count("sched.released"),
+        }
+
+    result = once(benchmark, experiment)
+    placement = result["placement"]
+    rows = [[f"{t}[{r}]", m] for (t, r), m in sorted(placement.items())]
+    print()
+    print(format_table(["module", "machine"], rows, title="E1: weather placement"))
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["allocation latency (s)", result["alloc"]],
+                ["makespan (s)", result["makespan"]],
+                ["group requests", result["requests"]],
+            ],
+        )
+    )
+
+    # §5 narrative shape
+    assert placement[("collector", 0)].startswith("ws")
+    assert placement[("collector", 1)].startswith("ws")
+    assert placement[("collector", 0)] != placement[("collector", 1)]
+    assert placement[("predictor", 0)].startswith("simd")
+    assert placement[("display", 0)] == "user"
+    assert result["display_after_remotes"]
+    assert result["requests"] >= 2  # workstation group + SIMD group
+    assert result["terminates"] >= 1

@@ -1,0 +1,110 @@
+"""E3 — the §4.3 machine-A example: utilization-first placement.
+
+"The first task can only run on a particular Unix workstation (call it
+machine A) because of that machine's architecture. The second task can run
+on any Unix workstation, but will run fastest on machine A. In this
+situation the execution layer should run the first task on machine A.
+Even if there are no other idle Unix workstations available the second job
+should be made to wait."
+
+Setup: machine A is the only one with the special attribute the
+constrained task requires, and it is also the fastest machine (so a greedy
+flexible task covets it). Utilization-first must serve the constrained
+task from A and push the flexible task elsewhere — both run concurrently
+and total throughput wins. Greedy gives A to the flexible task, stranding
+the constrained one.
+"""
+
+from benchmarks._common import finish, fresh_vce, once
+from repro.machines import Machine, MachineClass
+from repro.metrics import format_table
+from repro.scheduler import greedy_assignment, utilization_first_assignment
+from repro.scheduler.execution_program import RunState
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.vmpi import Compute
+
+
+def _machines():
+    # machine A: fast and uniquely capable
+    machines = [
+        Machine("A", MachineClass.WORKSTATION, speed=4.0, memory_mb=512,
+                attributes={"special_fpu": True}),
+        Machine("B", MachineClass.WORKSTATION, speed=1.0, memory_mb=512),
+    ]
+    return machines
+
+
+def _graph(name):
+    # the flexible task is declared (and therefore considered) first —
+    # greedy placement is order-sensitive, which is exactly its §4.3 flaw
+    spec = (
+        ProblemSpecification(name)
+        .task("flexible", work=40.0)
+        .task("constrained", work=40.0, requirements={"special_fpu": True})
+    )
+    graph = spec.build()
+    for node in graph:
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+        work = node.work
+
+        def program(ctx, w=work):
+            yield Compute(w)
+
+        node.program = program
+    return graph
+
+
+def _run(policy, seed=7):
+    vce = fresh_vce(_machines(), seed=seed)
+    run = vce.submit(_graph(policy.__name__), policy=policy)
+    vce.run_to_completion(run, timeout=500.0)
+    return vce, run
+
+
+def bench_e3_machine_a_example(benchmark):
+    def experiment():
+        vce_u, run_u = _run(utilization_first_assignment)
+        vce_g, run_g = _run(greedy_assignment)
+        return {
+            "utilization-first": (vce_u, run_u),
+            "greedy": (vce_g, run_g),
+        }
+
+    results = once(benchmark, experiment)
+    rows = []
+    for name, (vce, run) in results.items():
+        placement = (
+            {k: v for k, v in run.placement.assignments.items()}
+            if run.placement
+            else {}
+        )
+        rows.append(
+            [
+                name,
+                run.state.value,
+                placement.get(("constrained", 0), "-"),
+                placement.get(("flexible", 0), "-"),
+                run.app.makespan if run.app and run.app.makespan else "-",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "outcome", "constrained on", "flexible on", "makespan (s)"],
+            rows,
+            title="E3: the machine-A scenario (§4.3)",
+        )
+    )
+
+    vce_u, run_u = results["utilization-first"]
+    vce_g, run_g = results["greedy"]
+    # utilization-first: both run, constrained on A, flexible pushed to B
+    assert run_u.state is RunState.DONE
+    assert run_u.placement.host_for("constrained", 0) == "A"
+    assert run_u.placement.host_for("flexible", 0) == "B"
+    # greedy: the flexible task grabbed fast machine A; the constrained task
+    # has nowhere to run and the allocation fails
+    assert run_g.state is RunState.FAILED
+    assert "unplaced" in (run_g.error or "")

@@ -1,0 +1,100 @@
+"""E4 — starvation prevention by priority aging (§4.3).
+
+"As a task waits to be dispatched its priority will be increased to insure
+it will eventually be dispatched even if that results in a globally
+suboptimal schedule."
+
+Setup: a one-machine group is kept saturated by a stream of high-priority
+jobs; one low-priority job is queued first. With aging, the old
+low-priority request overtakes fresh high-priority arrivals and completes;
+without aging (rate 0) it is served dead last.
+"""
+
+from benchmarks._common import fresh_vce, once, workstations
+from repro.core import VCEConfig
+from repro.metrics import format_table
+from repro.scheduler import DaemonConfig
+from repro.scheduler.execution_program import RunState
+from repro.workloads import build_sweep_graph
+
+
+def _run(aging_rate: float, seed=8):
+    config = VCEConfig(
+        seed=seed,
+        daemon=DaemonConfig(
+            per_instance_load=0.9,  # one job saturates the machine
+            retry_interval=1.0,
+            aging_rate=aging_rate,
+        ),
+    )
+    vce = fresh_vce(workstations(1), config=config)
+
+    runs = {}
+    # a blocker saturates the single machine first...
+    blocker = vce.submit(
+        build_sweep_graph(points=1, work_per_point=8.0, name="blocker"),
+        priority=10.0,
+    )
+    vce.run(until=vce.sim.now + 0.5)
+    # ...so the low-priority victim queues, followed by high-priority work
+    runs["victim"] = vce.submit(
+        build_sweep_graph(points=1, work_per_point=4.0, name="victim"),
+        priority=0.0,
+        queue_if_insufficient=True,
+    )
+    # high-priority jobs keep *arriving* (each fresh, age zero) at roughly
+    # the service rate — the arrival stream that starves un-aged requests
+    for i in range(5):
+        vce.run(until=vce.sim.now + 6.0)
+        runs[f"vip{i}"] = vce.submit(
+            build_sweep_graph(points=1, work_per_point=6.0, name=f"vip{i}"),
+            priority=10.0,
+            queue_if_insufficient=True,
+        )
+    vce.run(until=vce.sim.now + 400.0)
+    completion = {
+        name: (run.completed_at if run.state is RunState.DONE else None)
+        for name, run in runs.items()
+    }
+    victim_done = completion.pop("victim")
+    vip_times = [t for t in completion.values() if t is not None]
+    return {
+        "victim_done": victim_done,
+        "vips_done_before_victim": sum(1 for t in vip_times if victim_done and t < victim_done),
+        "all_done": victim_done is not None and len(vip_times) == 5,
+    }
+
+
+def bench_e4_priority_aging(benchmark):
+    def experiment():
+        return {
+            "aging 2.0/s": _run(aging_rate=2.0),
+            "aging 0.2/s": _run(aging_rate=0.2),
+            "no aging": _run(aging_rate=0.0),
+        }
+
+    results = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["queue policy", "victim completion (s)", "VIPs served before victim (of 5)"],
+            [
+                [name, r["victim_done"] or "never", r["vips_done_before_victim"]]
+                for name, r in results.items()
+            ],
+            title="E4: low-priority job vs a stream of high-priority jobs",
+        )
+    )
+    strong, weak, none = (
+        results["aging 2.0/s"],
+        results["aging 0.2/s"],
+        results["no aging"],
+    )
+    assert strong["all_done"] and weak["all_done"] and none["all_done"]
+    # stronger aging serves the victim earlier in the queue order
+    assert strong["vips_done_before_victim"] <= weak["vips_done_before_victim"]
+    # without aging the victim loses to (nearly) every fresh arrival
+    assert none["vips_done_before_victim"] >= 4
+    # with strong aging the old request overtakes the fresh VIP stream
+    assert strong["vips_done_before_victim"] <= 1
+    assert strong["victim_done"] < none["victim_done"]

@@ -1,0 +1,172 @@
+"""E5 — the four process-migration schemes compared (§4.4).
+
+One checkpointing task is migrated mid-run between two machines under each
+scheme. Reported: the migration latency (time until the task runs at the
+destination) and the completion overhead (extra makespan vs an unmigrated
+run). Expected shape, straight from the paper:
+
+- redundant: ~zero latency ("low overhead ... avoids the communication
+  overhead of moving a process and its state");
+- dump: transfer-bound, exact (no recomputation), homogeneous only;
+- checkpoint: restore cost plus recomputation since the last record
+  ("expensive and may require the cooperation of the task");
+- recompile: compile-time-bound ("very expensive but may be very robust")
+  — unless a binary was prepared anticipatorily.
+"""
+
+from benchmarks._common import once, workstations
+from repro.compilation import CompilationManager
+from repro.machines import MachineClass
+from repro.metrics import format_table
+from repro.migration import (
+    CheckpointMigration,
+    DumpMigration,
+    MigrationContext,
+    RecompileMigration,
+    RedundantExecutionManager,
+)
+from repro.runtime import AppStatus
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.vmpi import Checkpoint, Compute
+
+from tests.conftest import make_cluster, place_all_on
+
+WORK = 60.0
+MIGRATE_AT = 25.0  # between checkpoints: the checkpoint scheme loses work
+CHECKPOINT_EVERY = 10.0  # sparse, as real long-running jobs checkpoint
+
+
+def _graph(name, language="hpf", memory_mb=16):
+    def program(ctx):
+        done = ctx.restored_state or 0.0
+        while done < WORK:
+            yield Compute(CHECKPOINT_EVERY)
+            done += CHECKPOINT_EVERY
+            yield Checkpoint(done, size=500_000)
+        return done
+
+    graph = ProblemSpecification(name).task("job", work=WORK, memory_mb=memory_mb).build()
+    node = graph.task("job")
+    node.problem_class = ProblemClass.ASYNCHRONOUS
+    node.language = language
+    node.program = program
+    return graph
+
+
+def _baseline():
+    cluster = make_cluster(2)
+    graph = _graph("base")
+    app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+    cluster.run()
+    assert app.status is AppStatus.DONE
+    return app.makespan
+
+
+def _migrated(scheme_factory, prepare=None):
+    cluster = make_cluster(2)
+    comp = CompilationManager(cluster.db)
+    context = MigrationContext(cluster.manager, cluster.net, comp)
+    graph = _graph("mig")
+    if prepare:
+        prepare(comp, graph)
+    app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+    scheme = scheme_factory(context)
+    latencies = []
+    if isinstance(scheme, RedundantExecutionManager):
+        cluster.run(until=1.0)
+        scheme.dispatch_redundant(app, app.record("job", 0), ["ws1"])
+    cluster.run(until=MIGRATE_AT)
+    scheme.migrate(app, app.record("job", 0), "ws1", on_done=latencies.append)
+    cluster.run()
+    assert app.status is AppStatus.DONE, "migrated app failed"
+    assert app.record("job", 0).host_name == "ws1"
+    return latencies[0], app.makespan
+
+
+def bench_e5_scheme_comparison(benchmark):
+    def experiment():
+        baseline = _baseline()
+        rows = {}
+        rows["redundant"] = _migrated(RedundantExecutionManager)
+        rows["dump"] = _migrated(DumpMigration)
+        rows["checkpoint"] = _migrated(CheckpointMigration)
+        rows["recompile (cold)"] = _migrated(
+            lambda ctx: RecompileMigration(ctx, use_checkpoint=True)
+        )
+        rows["recompile (anticipatory)"] = _migrated(
+            lambda ctx: RecompileMigration(ctx, use_checkpoint=True),
+            prepare=lambda comp, graph: comp.compile_all(comp.plan(graph)),
+        )
+        return baseline, rows
+
+    baseline, rows = once(benchmark, experiment)
+    table = [
+        [name, latency, makespan - baseline]
+        for name, (latency, makespan) in rows.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["scheme", "migration latency (s)", "makespan overhead vs no-migration (s)"],
+            table,
+            title=f"E5: migrating a {WORK:.0f}s task at t={MIGRATE_AT:.0f}s "
+                  f"(baseline makespan {baseline:.1f}s)",
+        )
+    )
+
+    lat = {name: latency for name, (latency, _) in rows.items()}
+    over = {name: makespan - baseline for name, (_, makespan) in rows.items()}
+    # paper-predicted cost structure:
+    # redundant — free: an already-running copy is adopted instantly
+    assert lat["redundant"] == 0.0
+    assert over["redundant"] <= 1.5
+    # checkpoint — restore is quick but the work since the last record is
+    # recomputed ("expensive and may require the cooperation of the task")
+    assert lat["checkpoint"] < 1.0
+    assert over["checkpoint"] > CHECKPOINT_EVERY / 4  # real lost work
+    # dump — pays the full image transfer (frozen) but loses nothing
+    assert 5.0 < lat["dump"] < lat["recompile (cold)"]
+    assert abs(over["dump"] - lat["dump"]) < 2.0
+    # recompile — dominated by compile time... unless a binary was prepared
+    # anticipatorily (§4.5), which collapses it to near-checkpoint cost
+    assert lat["recompile (cold)"] > 15.0
+    assert over["recompile (cold)"] >= max(
+        over["dump"], over["checkpoint"], over["redundant"]
+    )
+    assert lat["recompile (anticipatory)"] < lat["recompile (cold)"] / 5
+
+
+def bench_e5_dump_requires_homogeneity(benchmark):
+    """Dump refuses a heterogeneous pair while recompile succeeds — the
+    robustness/cost trade the paper describes."""
+
+    def experiment():
+        cluster = make_cluster(1, extra_machines=[("mimd0", MachineClass.MIMD, 10.0)])
+        comp = CompilationManager(cluster.db)
+        context = MigrationContext(cluster.manager, cluster.net, comp)
+        graph = _graph("cross", language="hpf")
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=MIGRATE_AT)
+        record = app.record("job", 0)
+        dump_ok, dump_reason = DumpMigration(context).can_migrate(app, record, "mimd0")
+        rec = RecompileMigration(context, use_checkpoint=True)
+        rec_ok, _ = rec.can_migrate(app, record, "mimd0")
+        rec.migrate(app, record, "mimd0")
+        cluster.run()
+        return dump_ok, dump_reason, rec_ok, app.status, record.host_name
+
+    dump_ok, dump_reason, rec_ok, status, host = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["scheme", "workstation -> MIMD migration"],
+            [
+                ["dump", f"refused ({dump_reason[:40]}...)"],
+                ["recompile", f"succeeded, finished on {host}"],
+            ],
+            title="E5b: heterogeneous migration robustness",
+        )
+    )
+    assert not dump_ok and "homogeneity" in dump_reason
+    assert rec_ok and status is AppStatus.DONE and host == "mimd0"

@@ -1,0 +1,96 @@
+"""E6 — the ripple effect: suspension vs migration on dependency graphs.
+
+"If a virtual machine task is suspended to allow execution of local tasks,
+initiation of other tasks dependent on the output of the suspended task
+could be delayed. This ripple effect could adversely affect system
+throughput." (§4.3)
+
+A diamond DAG runs while one branch's machine gets a long local-work
+burst. Three policies: do nothing, suspend the remote work
+(Clark/Ju/Krueger), or migrate it (§4.4 schemes). The downstream sink's
+start time shows the ripple; migration contains it.
+"""
+
+from benchmarks._common import fresh_vce, once, workstations
+from repro.core import VCEConfig
+from repro.loadbalance import MigrateOnLoadPolicy, NoActionPolicy, SuspendResumePolicy
+from repro.machines import ConstantLoad, TraceLoad
+from repro.metrics import format_table
+from repro.scheduler.execution_program import RunState
+from repro.workloads import build_diamond_graph
+
+BURST_START = 20.0
+BURST_END = 220.0
+
+
+def _run(policy_name: str, seed=9):
+    # ws0..ws3 host the diamond; ws1 gets a long owner burst; ws4 stays idle
+    loads = [ConstantLoad(0.0)] * 5
+    vce = fresh_vce(workstations(5), seed=seed)
+    graph = build_diamond_graph(width=3, branch_work=30.0, name=f"dag-{policy_name}")
+    if policy_name == "suspend":
+        vce.enable_load_balancing(SuspendResumePolicy(), busy_threshold=0.5, interval=0.5)
+    elif policy_name == "migrate":
+        vce.enable_load_balancing(
+            MigrateOnLoadPolicy(vce.migration), busy_threshold=0.5, interval=0.5
+        )
+    else:
+        vce.enable_load_balancing(NoActionPolicy(), busy_threshold=0.5, interval=0.5)
+    run = vce.submit(graph)
+    # find which machine hosts a branch, then hit it with an owner burst
+    vce.run(until=vce.sim.now + 5.0)
+    assert run.placement is not None
+    victim = run.placement.host_for("b0", 0)
+    base = vce.sim.now
+    vce.database.get(victim).background_load = TraceLoad(
+        [(base + BURST_START - 5.0, 0.95), (base + BURST_END, 0.0)]
+    )
+    vce.run_to_completion(run, timeout=3_000.0)
+    assert run.state is RunState.DONE
+    log = vce.sim.log
+    sink_start = next(
+        r.time - base for r in log.records(category="task.start") if r.get("task") == "sink"
+    )
+    return {
+        "makespan": run.app.makespan,
+        "sink_start": sink_start,
+        "migrations": len(vce.metrics().migrations()),
+        "suspended_for": sum(vce.metrics().suspension_spans()),
+    }
+
+
+def bench_e6_ripple_effect(benchmark):
+    def experiment():
+        return {
+            "no action": _run("none"),
+            "suspend (Stealth-style)": _run("suspend"),
+            "migrate": _run("migrate"),
+        }
+
+    results = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["policy", "makespan (s)", "sink start (s)", "migrations", "suspended (s)"],
+            [
+                [k, v["makespan"], v["sink_start"], v["migrations"], v["suspended_for"]]
+                for k, v in results.items()
+            ],
+            title="E6: diamond DAG under a ~200s owner burst on one branch host",
+        )
+    )
+    none, susp, mig = (
+        results["no action"],
+        results["suspend (Stealth-style)"],
+        results["migrate"],
+    )
+    # suspension parks the branch until the owner leaves: the sink (and the
+    # whole application) ride out the burst — the ripple effect
+    assert susp["sink_start"] > BURST_END * 0.8
+    assert susp["makespan"] > mig["makespan"] * 2
+    # migration moves the branch to an idle machine: modest overhead only
+    assert mig["migrations"] >= 1
+    assert mig["makespan"] < 100.0
+    # doing nothing is better than suspending here (5% CPU trickles on) but
+    # still far worse than migrating
+    assert mig["makespan"] < none["makespan"]

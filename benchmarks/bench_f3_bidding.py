@@ -1,0 +1,88 @@
+"""F3 — the runtime bidding mechanism (Figure 3).
+
+Regenerates the figure's protocol as data: allocation latency and protocol
+message count as the workstation group grows. The protocol is
+constant-round (request → state-disclosure broadcast → bids → reply), so
+latency should stay near-flat while messages grow linearly with group
+size.
+"""
+
+from benchmarks._common import finish, fresh_vce, once, workstations
+from repro.metrics import format_series, format_table
+from repro.workloads import build_sweep_graph
+
+GROUP_SIZES = [2, 4, 8, 16, 32, 64]
+
+
+def _allocate_on_group(n: int):
+    vce = fresh_vce(workstations(n), seed=1)
+    messages_before = vce.network.messages_sent
+    graph = build_sweep_graph(points=1, work_per_point=0.5, name=f"probe{n}")
+    run = vce.submit(graph)
+    vce.run(
+        until=vce.sim.now + 60.0,
+        stop_when=lambda: run.allocated_at is not None,
+    )
+    assert run.allocated_at is not None, "allocation never completed"
+    finish(vce, run)
+    return {
+        "group": n,
+        "alloc_latency": run.allocation_latency,
+        "messages": vce.network.messages_sent - messages_before,
+        "bids": vce.metrics().bid_counts()[0],
+    }
+
+
+def bench_f3_bidding_scaling(benchmark):
+    def experiment():
+        return [_allocate_on_group(n) for n in GROUP_SIZES]
+
+    rows = once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["group size", "alloc latency (s)", "protocol msgs", "bids received"],
+            [[r["group"], r["alloc_latency"], r["messages"], r["bids"]] for r in rows],
+            title="F3: bidding allocation vs workstation-group size",
+        )
+    )
+    print(format_series("alloc_latency", [r["group"] for r in rows],
+                        [r["alloc_latency"] for r in rows]))
+
+    # shape: every idle daemon bids; latency stays bounded (constant-round
+    # protocol) while message count grows with the group
+    for row in rows:
+        assert row["bids"] == row["group"]
+    latencies = [r["alloc_latency"] for r in rows]
+    assert max(latencies) < 10 * latencies[0] + 1.0
+    messages = [r["messages"] for r in rows]
+    assert messages[-1] > messages[0] * 4  # roughly linear fan-out
+
+
+def bench_f3_multigroup_request(benchmark):
+    """One application touching all three groups of the paper's typical
+    heterogeneous environment: three leaders field requests in parallel."""
+    from repro.core import heterogeneous_cluster
+    from repro.workloads import build_weather_graph
+
+    def experiment():
+        vce = fresh_vce(heterogeneous_cluster(n_workstations=6), seed=2)
+        run = vce.submit(build_weather_graph(predict_work=50.0))
+        finish(vce, run)
+        return {
+            "alloc_latency": run.allocation_latency,
+            "groups": len({r.get("cls") for r in vce.sim.log.records(category="exec.request")}),
+        }
+
+    result = once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["groups contacted", "alloc latency (s)"],
+            [[result["groups"], result["alloc_latency"]]],
+            title="F3: multi-group allocation (workstation + SIMD)",
+        )
+    )
+    assert result["groups"] == 2  # collector/usercollect -> WS, predictor -> SIMD
+    assert result["alloc_latency"] < 5.0

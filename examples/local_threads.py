@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Real execution: the LocalBackend runs actual Python on worker threads.
+
+Everything else in this repository executes *modelled* work on the
+simulator; the LocalBackend executes *real* callables — here a blocked
+matrix multiply fanned across four "machines" (threads), with the same
+task-graph/placement machinery deciding what runs where and when.
+
+Run:  python examples/local_threads.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.runtime import LocalBackend, round_robin_local_placement
+from repro.sdm import ProblemSpecification
+
+N = 600          # matrix size
+BLOCKS = 4       # row-block parallelism
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    a = rng.random((N, N))
+    b = rng.random((N, N))
+
+    spec = (
+        ProblemSpecification("matmul")
+        .task("multiply", "one row block of A @ B", instances=BLOCKS)
+        .task("assemble", "stack the blocks and verify")
+    )
+    spec.flow("multiply", "assemble")
+    graph = spec.build()
+
+    rows = N // BLOCKS
+
+    def multiply(ctx):
+        lo, hi = ctx.rank * rows, (ctx.rank + 1) * rows
+        started = time.perf_counter()
+        block = a[lo:hi] @ b
+        return {"rank": ctx.rank, "block": block,
+                "machine": ctx.machine,
+                "seconds": time.perf_counter() - started}
+
+    def assemble(ctx):
+        parts = sorted(ctx.inputs["multiply"], key=lambda p: p["rank"])
+        product = np.vstack([p["block"] for p in parts])
+        max_err = float(np.abs(product - a @ b).max())
+        return {"shape": product.shape, "max_err": max_err,
+                "workers": [(p["rank"], p["machine"], round(p["seconds"], 3))
+                            for p in parts]}
+
+    machines = [f"cpu{i}" for i in range(BLOCKS)]
+    with LocalBackend(machines) as backend:
+        t0 = time.perf_counter()
+        results = backend.run(
+            graph,
+            round_robin_local_placement(graph, machines),
+            {"multiply": multiply, "assemble": assemble},
+            timeout=120.0,
+        )
+        elapsed = time.perf_counter() - t0
+
+    summary = results["assemble"][0]
+    print(f"computed {summary['shape']} product in {elapsed:.2f}s wall")
+    print(f"max error vs direct A@B: {summary['max_err']:.2e}")
+    print("per-block execution:")
+    for rank, machine, seconds in summary["workers"]:
+        print(f"  block {rank} on {machine}: {seconds:.3f}s")
+    print("\n(the same TaskGraph/Placement APIs drive both the simulator "
+          "and this real-thread backend)")
+
+
+if __name__ == "__main__":
+    main()

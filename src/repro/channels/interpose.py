@@ -1,0 +1,126 @@
+"""Interposer tasks for channel splitting.
+
+"The runtime system may split channels, interposing other tasks between
+senders and receivers to deal with issues such as authentication or data
+conversion." (§4.2)
+
+An :class:`Interposer` is a real simulated process: messages detour through
+its host (paying wire latency twice) and are charged a processing delay
+before being forwarded. Two concrete interposers are provided:
+
+- :class:`AuthenticationInterposer` — drops messages from senders not on
+  its allow-list;
+- :class:`DataConversionInterposer` — models marshalling between
+  architectures (e.g. byte-order/word-size conversion between a workstation
+  and a SIMD machine): charges time proportional to message size and may
+  change the message size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.channels.channel import Channel, _StageDelivery
+from repro.netsim.host import Address
+from repro.netsim.process import SimProcess
+from repro.util.errors import CommunicationError
+
+
+class Interposer(SimProcess):
+    """Base interposer: applies :meth:`transform` then forwards.
+
+    Subclass and override ``transform`` (and optionally
+    ``processing_delay``). Returning ``None`` from ``transform`` drops the
+    message.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._channel: Channel | None = None
+        self.processed = 0
+        self.dropped = 0
+
+    def bind_channel(self, channel: Channel) -> None:
+        if self._channel is not None and self._channel is not channel:
+            raise CommunicationError(
+                f"interposer {self.name!r} already bound to channel {self._channel.name!r}"
+            )
+        self._channel = channel
+
+    # -- policy hooks -----------------------------------------------------------
+
+    def transform(self, sender_port: str, data: Any, size: int) -> tuple[Any, int] | None:
+        """Return (new_data, new_size), or None to drop. Default: identity."""
+        return data, size
+
+    def processing_delay(self, size: int) -> float:
+        """Seconds of local work charged per message. Default: none."""
+        return 0.0
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def on_message(self, src: Address, payload: Any) -> None:
+        if not isinstance(payload, _StageDelivery) or self._channel is None:
+            return
+        delivery = payload
+        result = self.transform(delivery.sender_port, delivery.data, delivery.size)
+        if result is None:
+            self.dropped += 1
+            self.emit("channel.interposer_drop", channel=delivery.channel)
+            return
+        new_data, new_size = result
+        self.processed += 1
+        delay = self.processing_delay(delivery.size)
+        channel = self._channel
+
+        def forward() -> None:
+            channel._route(
+                self.address,
+                delivery.sender_port,
+                new_data,
+                new_size,
+                delivery.to,
+                delivery.stage + 1,
+            )
+
+        if delay > 0:
+            self.sim.schedule(delay, forward)
+        else:
+            forward()
+
+
+class AuthenticationInterposer(Interposer):
+    """Drops messages whose sender port is not on the allow-list."""
+
+    def __init__(self, name: str, allowed_senders: set[str]) -> None:
+        super().__init__(name)
+        self.allowed_senders = set(allowed_senders)
+
+    def transform(self, sender_port: str, data: Any, size: int) -> tuple[Any, int] | None:
+        if sender_port not in self.allowed_senders:
+            return None
+        return data, size
+
+
+class DataConversionInterposer(Interposer):
+    """Architecture data conversion: charges time per byte and may inflate
+    or shrink the representation (``size_factor``)."""
+
+    def __init__(
+        self,
+        name: str,
+        seconds_per_byte: float = 1e-8,
+        size_factor: float = 1.0,
+        convert: Callable[[Any], Any] | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.seconds_per_byte = seconds_per_byte
+        self.size_factor = size_factor
+        self.convert = convert
+
+    def transform(self, sender_port: str, data: Any, size: int) -> tuple[Any, int] | None:
+        new_data = self.convert(data) if self.convert is not None else data
+        return new_data, max(1, int(size * self.size_factor))
+
+    def processing_delay(self, size: int) -> float:
+        return size * self.seconds_per_byte

@@ -1,0 +1,94 @@
+"""Channel monitoring (§4.2).
+
+"these libraries will provide the runtime manager with the ability to
+**monitor**, redirect, and move connections between tasks" — redirection
+lives on :class:`~repro.channels.channel.Channel`; this module adds the
+monitoring side: a :class:`ChannelMonitor` samples every channel's
+counters on a fixed period and logs per-interval message/byte rates, which
+the metrics layer (and load-balancing policies that want to co-locate
+chatty endpoints) can read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.channels.channel import ChannelManager
+    from repro.netsim.kernel import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelSample:
+    """One channel's traffic during one sampling interval."""
+
+    channel: str
+    time: float
+    messages_per_s: float
+    bytes_per_s: float
+    drops: int
+
+
+class ChannelMonitor:
+    """Periodic sampler over a :class:`ChannelManager`'s channels."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        channels: "ChannelManager",
+        interval: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.channels = channels
+        self.interval = interval
+        self._running = False
+        self._last: dict[str, tuple[int, int, int]] = {}  # msgs, bytes, drops
+        self.samples: list[ChannelSample] = []
+
+    def start(self) -> "ChannelMonitor":
+        if not self._running:
+            self._running = True
+            self.sim.schedule(self.interval, self._tick, daemon=True)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        for name in list(self.channels._channels):
+            channel = self.channels._channels[name]
+            prev_m, prev_b, prev_d = self._last.get(name, (0, 0, 0))
+            dm = channel.messages - prev_m
+            db = channel.bytes - prev_b
+            dd = channel.dropped_no_receiver - prev_d
+            self._last[name] = (channel.messages, channel.bytes, channel.dropped_no_receiver)
+            if dm or db or dd:
+                sample = ChannelSample(
+                    name, now, dm / self.interval, db / self.interval, dd
+                )
+                self.samples.append(sample)
+                self.sim.emit(
+                    "channel.sample",
+                    name,
+                    messages_per_s=sample.messages_per_s,
+                    bytes_per_s=sample.bytes_per_s,
+                    drops=dd,
+                )
+        self.sim.schedule(self.interval, self._tick, daemon=True)
+
+    # ------------------------------------------------------------- queries
+
+    def busiest(self, n: int = 5) -> list[tuple[str, float]]:
+        """Channels ranked by peak observed bytes/s."""
+        peaks: dict[str, float] = {}
+        for sample in self.samples:
+            peaks[sample.channel] = max(peaks.get(sample.channel, 0.0), sample.bytes_per_s)
+        return sorted(peaks.items(), key=lambda kv: -kv[1])[:n]
+
+    def rate_series(self, channel: str) -> list[tuple[float, float]]:
+        """(time, bytes/s) samples for one channel."""
+        return [(s.time, s.bytes_per_s) for s in self.samples if s.channel == channel]

@@ -1,0 +1,32 @@
+"""Ports: a task's named attachment points to channels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netsim.host import Address
+
+
+class PortDirection(enum.Enum):
+    SEND = "send"
+    RECEIVE = "receive"
+
+
+@dataclass(frozen=True, slots=True)
+class Port:
+    """A named, directed endpoint owned by a process.
+
+    The *name* identifies the port within its channel (directed sends name
+    it); the *owner* is the current process address — rebinding a port
+    during migration changes the owner recorded in the channel, not the
+    port value held by senders.
+    """
+
+    name: str
+    owner: Address
+    direction: PortDirection
+
+    def __str__(self) -> str:  # pragma: no cover
+        arrow = "->" if self.direction is PortDirection.SEND else "<-"
+        return f"Port({self.name}{arrow}{self.owner})"

@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    repro describe SCRIPT.vce
+        Parse and interpret an application description script; print the
+        resolved modules, instance ranges, and channels.
+
+    repro run SCRIPT.vce [--cluster SPEC] [--seed N] [--default-work W]
+                         [--anticipatory] [--policy NAME] [--verbose]
+        Boot a simulated VCE, run the script, print placement and metrics.
+        Unknown modules get a generic compute program of --default-work
+        units; module names matching the built-in weather programs
+        (collector/usercollect/predictor/display) use those.
+
+    repro demo {weather,montecarlo,stencil,pipeline}
+        Run a built-in workload end to end and print the results.
+
+Cluster SPEC: ``ws:N`` for N workstations, or ``hetero:W,M,S`` for W
+workstations + M MIMD + S SIMD machines (default ``hetero:6,2,1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+from repro.core import VCEConfig, VirtualComputingEnvironment, heterogeneous_cluster, workstation_cluster
+from repro.metrics import format_table
+from repro.scheduler import (
+    load_sorted_assignment,
+    random_assignment,
+    round_robin_assignment,
+    utilization_first_assignment,
+)
+from repro.scheduler.execution_program import AppRun, RunState
+from repro.script import interpret, parse_script
+from repro.script.interp import Environment
+from repro.util.errors import VCEError
+from repro.vmpi import Compute
+
+POLICIES = {
+    "load": load_sorted_assignment,
+    "random": random_assignment,
+    "round-robin": round_robin_assignment,
+    "utilization-first": utilization_first_assignment,
+}
+
+
+def _parse_cluster(spec: str):
+    kind, _, rest = spec.partition(":")
+    if kind == "ws":
+        return workstation_cluster(int(rest or "6"))
+    if kind == "hetero":
+        parts = [int(x) for x in (rest or "6,2,1").split(",")]
+        while len(parts) < 3:
+            parts.append(0)
+        return heterogeneous_cluster(parts[0], parts[1], parts[2])
+    raise ValueError(f"unknown cluster spec {spec!r} (use ws:N or hetero:W,M,S)")
+
+
+def _generic_program(work: float) -> Callable:
+    def program(ctx):
+        yield Compute(work)
+        return f"{ctx.task}[{ctx.rank}] ok"
+
+    return program
+
+
+def _program_registry(tasks: list[str], default_work: float) -> dict[str, Callable]:
+    from repro.workloads import weather_programs
+
+    builtin = weather_programs()
+    out: dict[str, Callable] = {}
+    for task in tasks:
+        out[task] = builtin.get(task, _generic_program(default_work))
+    return out
+
+
+def _print_run(run: AppRun, vce: VirtualComputingEnvironment, out) -> None:
+    print(f"state: {run.state.value}", file=out)
+    if run.error:
+        print(f"error: {run.error}", file=out)
+    if run.placement is not None:
+        rows = [
+            [f"{task}[{rank}]", machine]
+            for (task, rank), machine in sorted(run.placement.assignments.items())
+        ]
+        print(format_table(["instance", "machine"], rows, title="placement"), file=out)
+    if run.allocation_latency is not None:
+        print(f"allocation latency: {run.allocation_latency:.4f}s", file=out)
+    if run.app is not None and run.app.makespan is not None:
+        print(f"makespan: {run.app.makespan:.2f}s", file=out)
+    totals = vce.metrics().message_totals()
+    print(
+        f"network: {totals.get('sent', 0)} messages, "
+        f"{totals.get('bytes', 0):,} bytes", file=out
+    )
+
+
+def cmd_describe(args: argparse.Namespace, out) -> int:
+    text = open(args.script).read()
+    description = interpret(
+        parse_script(text),
+        Environment(variables=dict(args.var or {})),
+        name=args.script,
+    )
+    rows = [
+        [
+            m.task,
+            m.path,
+            "LOCAL" if m.machine_class is None else m.machine_class.value,
+            f"{m.min_instances}..{m.max_instances}",
+        ]
+        for m in description.modules
+    ]
+    print(format_table(["module", "path", "target", "instances"], rows), file=out)
+    if description.channels:
+        crows = [[c.name, c.src_task, c.dst_task, c.volume] for c in description.channels]
+        print(format_table(["channel", "from", "to", "volume"], crows), file=out)
+    if description.priority:
+        print(f"priority: {description.priority}", file=out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    text = open(args.script).read()
+    wan = None
+    if args.cluster_file:
+        from repro.core import load_cluster_file
+
+        machines, wan = load_cluster_file(args.cluster_file, seed=args.seed)
+    else:
+        machines = _parse_cluster(args.cluster)
+    vce = VirtualComputingEnvironment(
+        machines,
+        VCEConfig(seed=args.seed, anticipatory=args.anticipatory, wan_latency=wan),
+    ).boot()
+    description = vce.describe_script(text, variables=dict(args.var or {}))
+    programs = _program_registry([m.task for m in description.modules], args.default_work)
+    run = vce.run_script(
+        text,
+        programs,
+        works={m.task: args.default_work for m in description.modules},
+        policy=POLICIES[args.policy],
+        name=args.script,
+    )
+    vce.run_to_completion(run, timeout=args.timeout)
+    _print_run(run, vce, out)
+    if args.gantt:
+        from repro.metrics import build_timeline, render_gantt
+
+        spans = build_timeline(vce.sim.log, horizon=vce.sim.now)
+        print("\ntimeline ('#' running, 's' suspended, 'x' down):", file=out)
+        print(render_gantt(spans, vce.sim.now), file=out)
+    return 0 if run.state is RunState.DONE else 1
+
+
+def cmd_demo(args: argparse.Namespace, out) -> int:
+    vce = VirtualComputingEnvironment(
+        heterogeneous_cluster(), VCEConfig(seed=args.seed)
+    ).boot()
+    if args.workload == "weather":
+        from repro.workloads import WEATHER_SCRIPT, weather_programs
+
+        run = vce.run_script(WEATHER_SCRIPT, weather_programs(), name="weather")
+    elif args.workload == "montecarlo":
+        from repro.workloads import build_monte_carlo_graph
+        from repro.machines import MachineClass
+
+        graph = build_monte_carlo_graph(workers=4)
+        run = vce.submit(graph, class_map={"worker": MachineClass.WORKSTATION})
+    elif args.workload == "stencil":
+        from repro.workloads import build_stencil_graph
+        from repro.machines import MachineClass
+
+        graph = build_stencil_graph(ranks=4, cells=64, iterations=10)
+        run = vce.submit(graph, class_map={"grid": MachineClass.WORKSTATION})
+    else:  # pipeline
+        from repro.workloads import build_pipeline_graph
+
+        run = vce.submit(build_pipeline_graph(stages=4))
+    vce.run_to_completion(run, timeout=args.timeout)
+    _print_run(run, vce, out)
+    if run.app is not None and run.state is RunState.DONE:
+        for node in run.app.graph:
+            results = run.app.results(node.name)
+            preview = str(results[0])
+            if len(preview) > 60:
+                preview = preview[:57] + "..."
+            print(f"result {node.name}: {preview}", file=out)
+    return 0 if run.state is RunState.DONE else 1
+
+
+def _kv(pair: str) -> tuple[str, int]:
+    key, _, value = pair.partition("=")
+    return key, int(value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="The Virtual Computing Environment (HPDC 1994 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="parse and resolve a VCE script")
+    describe.add_argument("script")
+    describe.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
+    describe.set_defaults(fn=cmd_describe)
+
+    run = sub.add_parser("run", help="run a VCE script on a simulated cluster")
+    run.add_argument("script")
+    run.add_argument("--cluster", default="hetero:6,2,1")
+    run.add_argument(
+        "--cluster-file",
+        help="JSON cluster specification (see repro.core.spec); overrides --cluster",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--default-work", type=float, default=10.0)
+    run.add_argument("--anticipatory", action="store_true")
+    run.add_argument("--policy", choices=sorted(POLICIES), default="load")
+    run.add_argument("--timeout", type=float, default=10_000.0)
+    run.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
+    run.add_argument(
+        "--gantt", action="store_true", help="print a per-host ASCII timeline"
+    )
+    run.set_defaults(fn=cmd_run)
+
+    demo = sub.add_parser("demo", help="run a built-in workload")
+    demo.add_argument(
+        "workload", choices=["weather", "montecarlo", "stencil", "pipeline"]
+    )
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--timeout", type=float, default=10_000.0)
+    demo.set_defaults(fn=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args, out)
+    except (VCEError, OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

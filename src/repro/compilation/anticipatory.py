@@ -1,0 +1,196 @@
+"""Anticipatory processing (§4.5).
+
+"Anticipatory processing is a method for using idle processors to increase
+system throughput even when there are no dispatchable VCE tasks available
+to exploit them. ... If the second module is a C program we could compile
+it on one machine of each different architecture in the network so that, at
+run time, we will have our choice of where to dispatch it (anticipatory
+compilation). If the second module requires input files other than the ones
+produced by its predecessor module, we could use idle resources to
+replicate those files at many sites that may be candidates to host the
+second module when it becomes dispatchable."
+
+The engine runs inside the simulation: compile jobs occupy idle machines
+for their compile time; file replication charges transfer time before the
+file appears in the target machine's file set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.compilation.manager import CompilationManager, CompilationPlan, CompileJob
+from repro.machines.database import MachineDatabase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.kernel import Simulator
+    from repro.netsim.network import Network
+    from repro.taskgraph import TaskGraph
+
+
+class AnticipatoryEngine:
+    """Schedules compile jobs and file replication onto idle machines."""
+
+    #: a machine is considered usable for anticipatory work below this load
+    IDLE_THRESHOLD = 0.25
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        database: MachineDatabase,
+        compilation: CompilationManager,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.database = database
+        self.compilation = compilation
+        self._busy: set[str] = set()  # machines currently doing anticipatory work
+        self.compiles_completed = 0
+        self.files_replicated = 0
+
+    # -------------------------------------------------------------- compiling
+
+    def compile_ahead(
+        self,
+        plan: CompilationPlan,
+        on_all_done: Callable[[], None] | None = None,
+    ) -> int:
+        """Start every planned compile job on idle machines, in parallel
+        where idle capacity allows. Returns the number of jobs started.
+
+        Jobs for which no idle machine exists right now are retried when a
+        running anticipatory job frees its machine.
+        """
+        queue = list(plan.jobs)
+        outstanding = len(queue)
+        if outstanding == 0:
+            if on_all_done:
+                on_all_done()
+            return 0
+
+        def pump() -> None:
+            nonlocal outstanding
+            while queue:
+                machine = self._pick_idle_machine()
+                if machine is None:
+                    # no idle capacity: poll again shortly
+                    self.sim.schedule(1.0, pump)
+                    return
+                job = queue.pop(0)
+                self._start_job(job, machine, finished)
+
+        def finished() -> None:
+            nonlocal outstanding
+            outstanding -= 1
+            self.compiles_completed += 1
+            if outstanding == 0 and on_all_done:
+                on_all_done()
+            else:
+                pump()
+
+        pump()
+        return len(plan.jobs)
+
+    def _pick_idle_machine(self) -> str | None:
+        best_name, best_load = None, self.IDLE_THRESHOLD
+        for machine in self.database:
+            if machine.name in self._busy:
+                continue
+            host = self.network.hosts.get(machine.name)
+            if host is not None and not host.up:
+                continue
+            load = machine.load_at(self.sim.now)
+            if load < best_load:
+                best_name, best_load = machine.name, load
+        return best_name
+
+    def _start_job(self, job: CompileJob, machine_name: str, done: Callable[[], None]) -> None:
+        self._busy.add(machine_name)
+        speed = max(self.database.get(machine_name).speed, 1e-9)
+        duration = job.compile_time / speed
+        self.sim.emit(
+            "anticipatory.compile_start",
+            machine_name,
+            task=job.task,
+            target=job.target.value,
+            duration=duration,
+        )
+
+        def complete() -> None:
+            self._busy.discard(machine_name)
+            self.compilation.compile_job(job, self.sim.now)
+            self.sim.emit(
+                "anticipatory.compile_done", machine_name, task=job.task, target=job.target.value
+            )
+            done()
+
+        self.sim.schedule(duration, complete)
+
+    # ------------------------------------------------------------ replication
+
+    def replicate_files(
+        self,
+        files: dict[str, int],
+        candidate_machines: list[str],
+        on_done: Callable[[], None] | None = None,
+    ) -> int:
+        """Copy each (file → size) to every candidate machine that lacks it.
+        Transfers run in parallel per target; each charges wire time."""
+        transfers = 0
+        pending = 0
+        for machine_name in candidate_machines:
+            machine = self.database.get(machine_name)
+            for fname, size in files.items():
+                if fname in machine.files:
+                    continue
+                pending += 1
+                transfers += 1
+                delay = size / self.network.latency.bandwidth + self.network.latency.base_latency
+
+                def land(machine=machine, fname=fname) -> None:
+                    nonlocal pending
+                    machine.files.add(fname)
+                    self.files_replicated += 1
+                    self.sim.emit("anticipatory.replicated", machine.name, file=fname)
+                    pending -= 1
+                    if pending == 0 and on_done:
+                        on_done()
+
+                self.sim.schedule(delay, land)
+        if transfers == 0 and on_done:
+            on_done()
+        return transfers
+
+    # ------------------------------------------------------------ convenience
+
+    def prepare_application(
+        self,
+        graph: "TaskGraph",
+        replicate_to: list[str] | None = None,
+        on_ready: Callable[[], None] | None = None,
+    ) -> None:
+        """Full anticipatory pass for an application: compile every task for
+        every feasible class, and replicate declared input files to the
+        candidate hosts."""
+        plan = self.compilation.plan(graph)
+        files = {
+            f: 1_000_000 for node in graph for f in node.input_files
+        }
+        done_flags = {"compiles": False, "files": not files or not replicate_to}
+
+        def check() -> None:
+            if all(done_flags.values()) and on_ready:
+                on_ready()
+
+        def compiles_done() -> None:
+            done_flags["compiles"] = True
+            check()
+
+        self.compile_ahead(plan, on_all_done=compiles_done)
+        if files and replicate_to:
+            def files_done() -> None:
+                done_flags["files"] = True
+                check()
+
+            self.replicate_files(files, replicate_to, on_done=files_done)

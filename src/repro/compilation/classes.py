@@ -1,0 +1,45 @@
+"""Problem-class → machine-class mapping.
+
+"At this level all the machines participating in the VCE are divided into
+classes. These classes are the low-level counterparts of the problem
+architecture classes used by the design stage. For example, the synchronous
+class of problems maps easily to most SIMD style machine." (§4.1)
+
+The map is *preference ordered*: earlier classes suit the problem better.
+A task's actual candidate set intersects this order with (a) classes with
+registered machines satisfying the task's hardware requirements and (b)
+classes for which a compiler for the task's language exists.
+"""
+
+from __future__ import annotations
+
+from repro.machines.archclass import MachineClass
+from repro.taskgraph.node import ProblemClass
+
+#: Preference-ordered machine classes per problem architecture.
+DEFAULT_CLASS_MAP: dict[ProblemClass, tuple[MachineClass, ...]] = {
+    ProblemClass.SYNCHRONOUS: (
+        MachineClass.SIMD,
+        MachineClass.VECTOR,
+        MachineClass.MIMD,
+        MachineClass.WORKSTATION,
+    ),
+    ProblemClass.LOOSELY_SYNCHRONOUS: (
+        MachineClass.MIMD,
+        MachineClass.WORKSTATION,
+        MachineClass.SIMD,
+    ),
+    ProblemClass.ASYNCHRONOUS: (
+        MachineClass.WORKSTATION,
+        MachineClass.MIMD,
+    ),
+}
+
+
+def candidate_classes(
+    problem_class: ProblemClass,
+    class_map: dict[ProblemClass, tuple[MachineClass, ...]] | None = None,
+) -> tuple[MachineClass, ...]:
+    """Preference-ordered machine classes for a problem class."""
+    table = class_map or DEFAULT_CLASS_MAP
+    return table[problem_class]

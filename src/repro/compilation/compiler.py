@@ -1,0 +1,96 @@
+"""Compilers and binaries.
+
+"The compilation manager will use standard compilers to generate machine
+code" (§3.1.2) — here, a :class:`Compiler` is a cost model producing
+:class:`Binary` artifacts. The default registry provides compilers for the
+paper's language stand-ins (HPF, HPC++, C) on the classes where they
+plausibly existed in 1994.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machines.archclass import MachineClass
+from repro.util.errors import CompilationError
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    """A prepared executable for (task, machine class).
+
+    Machines within a class are object-code compatible (§5: "In the current
+    implementation of the VCE these groups are object-code compatible"), so
+    one binary per class suffices.
+    """
+
+    task: str
+    language: str
+    machine_class: MachineClass
+    size: int = 500_000
+    compiled_at: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Compiler:
+    """A (language, target-class) compiler with a linear time model:
+
+    ``compile_time = base_seconds + source_size * seconds_per_source_unit``
+    """
+
+    language: str
+    target: MachineClass
+    base_seconds: float = 5.0
+    seconds_per_source_unit: float = 0.01
+    binary_size: int = 500_000
+
+    def compile_time(self, source_size: int) -> float:
+        return self.base_seconds + source_size * self.seconds_per_source_unit
+
+    def compile(self, task: str, source_size: int, now: float) -> Binary:
+        return Binary(task, self.language, self.target, self.binary_size, now)
+
+
+class CompilerRegistry:
+    """Lookup of compilers by (language, machine class)."""
+
+    def __init__(self) -> None:
+        self._compilers: dict[tuple[str, MachineClass], Compiler] = {}
+
+    def register(self, compiler: Compiler) -> Compiler:
+        key = (compiler.language, compiler.target)
+        if key in self._compilers:
+            raise CompilationError(
+                f"compiler for {compiler.language!r} on {compiler.target} already registered"
+            )
+        self._compilers[key] = compiler
+        return compiler
+
+    def lookup(self, language: str, target: MachineClass) -> Compiler | None:
+        return self._compilers.get((language, target))
+
+    def targets_for(self, language: str) -> set[MachineClass]:
+        return {t for (lang, t) in self._compilers if lang == language}
+
+    def __len__(self) -> int:
+        return len(self._compilers)
+
+
+def default_registry() -> CompilerRegistry:
+    """Compilers for the paper's language examples.
+
+    - HPF compiles everywhere (its portability is the point of §3.1.1);
+    - HPC++ targets MIMD machines and workstations;
+    - C targets workstations and MIMD;
+    - "py" (the tests' convenience language) compiles everywhere, fast.
+    """
+    registry = CompilerRegistry()
+    everywhere = list(MachineClass)
+    for target in everywhere:
+        registry.register(Compiler("hpf", target, base_seconds=20.0))
+        registry.register(Compiler("py", target, base_seconds=0.5, seconds_per_source_unit=0.0))
+    for target in (MachineClass.MIMD, MachineClass.WORKSTATION):
+        registry.register(Compiler("hpc++", target, base_seconds=30.0))
+        registry.register(Compiler("c", target, base_seconds=10.0))
+    return registry

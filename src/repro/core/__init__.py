@@ -1,0 +1,33 @@
+"""The VCE facade — the paper's primary contribution assembled.
+
+:class:`VirtualComputingEnvironment` wires every subsystem together the way
+Figure 1 stacks them: the SDM produces an annotated task graph; the EXM's
+compilation manager prepares binaries (anticipatorily if asked); scheduler
+daemons form Isis groups per machine class; an execution program bids for
+resources, places instances, and the runtime manager executes them with
+migration, load balancing, and fault tolerance available as policies.
+
+Typical use::
+
+    from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
+
+    vce = VirtualComputingEnvironment(workstation_cluster(8)).boot()
+    run = vce.submit(my_graph)
+    vce.run_to_completion(run)
+    print(run.app.results("mytask"))
+"""
+
+from repro.core.config import VCEConfig
+from repro.core.cluster import heterogeneous_cluster, multi_site_cluster, workstation_cluster
+from repro.core.environment import VirtualComputingEnvironment
+from repro.core.spec import load_cluster_file, machines_from_spec
+
+__all__ = [
+    "VirtualComputingEnvironment",
+    "VCEConfig",
+    "workstation_cluster",
+    "heterogeneous_cluster",
+    "multi_site_cluster",
+    "machines_from_spec",
+    "load_cluster_file",
+]

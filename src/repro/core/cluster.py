@@ -1,0 +1,98 @@
+"""Cluster composition helpers."""
+
+from __future__ import annotations
+
+from repro.machines import ConstantLoad, Machine, MachineClass, StochasticLoad
+from repro.util.rng import RngStreams
+
+
+def workstation_cluster(
+    n: int = 8,
+    speed: float = 1.0,
+    memory_mb: int = 256,
+    stochastic_load: tuple[float, float, float] | None = None,
+    seed: int = 0,
+) -> list[Machine]:
+    """*n* workstations, optionally with owner-activity load.
+
+    Args:
+        stochastic_load: (mean_idle, mean_busy, busy_level) to give each
+            workstation an independent busy/idle owner process; None for
+            always-idle machines.
+    """
+    streams = RngStreams(seed)
+    out = []
+    for i in range(n):
+        if stochastic_load is not None:
+            mean_idle, mean_busy, busy_level = stochastic_load
+            load = StochasticLoad(streams, f"ws{i}", mean_idle, mean_busy, busy_level)
+        else:
+            load = ConstantLoad(0.0)
+        out.append(
+            Machine(f"ws{i}", MachineClass.WORKSTATION, speed=speed,
+                    memory_mb=memory_mb, background_load=load)
+        )
+    return out
+
+
+def multi_site_cluster(
+    sites: dict[str, int],
+    speed: float = 1.0,
+    memory_mb: int = 256,
+) -> list[Machine]:
+    """Workstations spread across named sites (campuses).
+
+    The VCE's motivating setting is "a network of supercomputers and
+    high-performance workstations" spanning institutions; machines carry a
+    ``site`` attribute and the environment installs WAN latency between
+    sites when :attr:`repro.core.VCEConfig.wan_latency` is set.
+
+    Args:
+        sites: site name → number of workstations at that site.
+    """
+    out = []
+    for site, count in sites.items():
+        for i in range(count):
+            out.append(
+                Machine(
+                    f"{site}-ws{i}",
+                    MachineClass.WORKSTATION,
+                    speed=speed,
+                    memory_mb=memory_mb,
+                    attributes={"site": site},
+                )
+            )
+    return out
+
+
+def heterogeneous_cluster(
+    n_workstations: int = 6,
+    n_mimd: int = 2,
+    n_simd: int = 1,
+    n_vector: int = 0,
+    seed: int = 0,
+    stochastic_ws_load: tuple[float, float, float] | None = None,
+) -> list[Machine]:
+    """The paper's "typical heterogeneous environment": a workstation
+    group, a MIMD group, and a SIMD group (plus optional vector machines).
+
+    Speeds reflect 1994 relativities: a workstation is 1.0, an iPSC-class
+    MIMD machine ~10, a CM-5/MasPar-class SIMD machine ~40, a vector
+    supercomputer ~25.
+    """
+    machines = workstation_cluster(
+        n_workstations, stochastic_load=stochastic_ws_load, seed=seed
+    )
+    for i in range(n_mimd):
+        machines.append(
+            Machine(f"mimd{i}", MachineClass.MIMD, speed=10.0, memory_mb=2048)
+        )
+    for i in range(n_simd):
+        machines.append(
+            Machine(f"simd{i}", MachineClass.SIMD, speed=40.0, memory_mb=4096)
+        )
+    for i in range(n_vector):
+        machines.append(
+            Machine(f"vec{i}", MachineClass.VECTOR, speed=25.0, memory_mb=1024)
+        )
+    return machines

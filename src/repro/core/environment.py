@@ -1,0 +1,321 @@
+"""The :class:`VirtualComputingEnvironment` facade."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.compilation.anticipatory import AnticipatoryEngine
+from repro.compilation.manager import CompilationManager
+from repro.core.config import VCEConfig
+from repro.faults.injector import FaultInjector
+from repro.loadbalance.balancer import LoadBalancer
+from repro.loadbalance.policies import BalancingPolicy
+from repro.machines.archclass import MachineClass
+from repro.machines.database import MachineDatabase
+from repro.machines.machine import Machine
+from repro.metrics.collector import MetricsCollector
+from repro.migration.base import MigrationContext
+from repro.migration.selector import MigrationSelector
+from repro.netsim.host import Host
+from repro.netsim.kernel import Simulator
+from repro.netsim.network import Network
+from repro.runtime.manager import RuntimeManager
+from repro.scheduler.daemon import SchedulerDaemon
+from repro.scheduler.directory import GroupDirectory
+from repro.scheduler.execution_program import AppRun, ExecutionProgram, RunState
+from repro.scheduler.policies import PlacementPolicy, load_sorted_assignment
+from repro.script.ast import ApplicationDescription
+from repro.script.interp import Environment, interpret
+from repro.script.parser import parse_script
+from repro.sdm.problemspec import ProblemSpecification
+from repro.taskgraph import ArcKind, TaskGraph
+from repro.util.errors import ConfigurationError, ScriptError
+
+from repro.compilation.classes import candidate_classes
+
+
+class VirtualComputingEnvironment:
+    """One simulated VCE deployment (see package docstring).
+
+    Args:
+        machines: machine descriptions to boot; one scheduler daemon runs
+            on each. A separate user workstation (the execution program's
+            home) is always added and never bids.
+        config: see :class:`VCEConfig`.
+    """
+
+    def __init__(self, machines: list[Machine], config: VCEConfig | None = None):
+        if not machines:
+            raise ConfigurationError("a VCE needs at least one machine")
+        self.config = config or VCEConfig()
+        self.sim = Simulator(self.config.seed)
+        self.network = Network(
+            self.sim,
+            self.config.latency,
+            egress_serialization=self.config.egress_serialization,
+        )
+        self.database = MachineDatabase()
+        self.directory = GroupDirectory()
+        self.compilation = CompilationManager(self.database)
+        self.runtime = RuntimeManager(
+            self.sim, self.network, binary_service=self.compilation
+        )
+        self.anticipatory = AnticipatoryEngine(
+            self.sim, self.network, self.database, self.compilation
+        )
+        self.migration = MigrationSelector(
+            MigrationContext(self.runtime, self.network, self.compilation)
+        )
+        self.faults = FaultInjector(self.sim, self.network)
+        self.daemons: dict[str, SchedulerDaemon] = {}
+        self.balancer: LoadBalancer | None = None
+        self._booted = False
+        self._exec_count = 0
+
+        first_of_class: dict[MachineClass, Any] = {}
+        for machine in machines:
+            host = self.network.add_host(machine.name, speed=machine.speed)
+            host.machine = machine
+            self.database.register(machine)
+            contacts = (
+                [first_of_class[machine.arch_class]]
+                if machine.arch_class in first_of_class
+                else None
+            )
+            daemon = SchedulerDaemon(
+                "vced", machine, self.directory, contacts,
+                self.config.daemon, self.config.isis,
+            )
+            host.spawn(daemon)
+            first_of_class.setdefault(machine.arch_class, daemon.address)
+            self.daemons[machine.name] = daemon
+
+        user_site = self.config.user_site or (
+            str(machines[0].attributes.get("site", "")) if machines else ""
+        )
+        self.user_host: Host = self.network.add_host(self.config.user_machine_name)
+        self.user_host.machine = Machine(
+            self.config.user_machine_name,
+            MachineClass.WORKSTATION,
+            attributes={"site": user_site} if user_site else {},
+        )
+        self._wire_wan_routes()
+
+    def _wire_wan_routes(self) -> None:
+        """Install the WAN latency model between hosts at different sites."""
+        wan = self.config.wan_latency
+        if wan is None:
+            return
+        site_of = {
+            host.name: str(host.machine.attributes.get("site", ""))
+            for host in self.network.hosts.values()
+            if host.machine is not None
+        }
+        names = list(site_of)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if site_of[a] != site_of[b]:
+                    self.network.set_route(a, b, wan)
+
+    # ------------------------------------------------------------------ boot
+
+    def boot(self) -> "VirtualComputingEnvironment":
+        """Let the daemon groups form; returns self for chaining."""
+        self.sim.run(until=self.sim.now + self.config.settle_time)
+        self._booted = True
+        return self
+
+    # --------------------------------------------------------------- running
+
+    def run(self, until: float | None = None, **kw) -> float:
+        return self.sim.run(until=until, **kw)
+
+    def run_to_completion(self, run: AppRun, timeout: float = 10_000.0) -> AppRun:
+        """Advance the simulation until *run* finishes (or timeout)."""
+        deadline = self.sim.now + timeout
+        self.sim.run(
+            until=deadline,
+            stop_when=lambda: run.state in (RunState.DONE, RunState.FAILED),
+        )
+        return run
+
+    # ---------------------------------------------------------------- submit
+
+    def default_class_map(self, graph: TaskGraph) -> dict[str, MachineClass | None]:
+        """task → machine class: LOCAL for ``local`` tasks, otherwise the
+        most-preferred feasible class from the compilation manager."""
+        out: dict[str, MachineClass | None] = {}
+        for node in graph:
+            if node.local:
+                out[node.name] = None
+                continue
+            feasible = self.compilation.feasible_classes(node)
+            if not feasible:
+                raise ConfigurationError(
+                    f"task {node.name!r} has no feasible machine class in this VCE"
+                )
+            out[node.name] = feasible[0]
+        return out
+
+    def submit(
+        self,
+        graph: TaskGraph,
+        class_map: dict[str, MachineClass | None] | None = None,
+        policy: PlacementPolicy = load_sorted_assignment,
+        ranges: dict[str, tuple[int, int]] | None = None,
+        params: dict[str, Any] | None = None,
+        priority: float = 0.0,
+        queue_if_insufficient: bool = False,
+        on_finished: Callable[[AppRun], None] | None = None,
+    ) -> AppRun:
+        """Launch an execution program for *graph*; returns its AppRun."""
+        if not self._booted:
+            raise ConfigurationError("call boot() before submitting applications")
+        if class_map is None:
+            class_map = self.default_class_map(graph)
+        if self.config.anticipatory:
+            self.prepare(graph)
+        self._exec_count += 1
+        program = ExecutionProgram(
+            f"exec{self._exec_count}",
+            graph,
+            class_map,
+            self.runtime,
+            self.directory,
+            self.database,
+            policy=policy,
+            ranges=ranges,
+            params=params,
+            priority=priority,
+            queue_if_insufficient=queue_if_insufficient,
+            on_finished=on_finished,
+        )
+        self.user_host.spawn(program)
+        return program.run_handle
+
+    def prepare(self, graph: TaskGraph, replicate_to: list[str] | None = None) -> None:
+        """Anticipatory pass: compile every task for every feasible class
+        and replicate input files (§4.5)."""
+        if replicate_to is None:
+            replicate_to = [m.name for m in self.database]
+        self.anticipatory.prepare_application(graph, replicate_to=replicate_to)
+
+    # ---------------------------------------------------------------- scripts
+
+    def run_script(
+        self,
+        text: str,
+        programs: dict[str, Callable],
+        works: dict[str, float] | None = None,
+        variables: dict[str, int] | None = None,
+        name: str = "app",
+        **submit_kw: Any,
+    ) -> AppRun:
+        """Parse, interpret, and submit a VCE application script.
+
+        Args:
+            text: the script (see :mod:`repro.script`).
+            programs: task name → program generator factory.
+            works: optional task name → work units (for placement hints).
+            variables: pre-set script variables.
+        """
+        description = self.describe_script(text, variables, name)
+        graph, class_map, ranges = self.graph_from_description(description, programs, works)
+        return self.submit(
+            graph,
+            class_map=class_map,
+            ranges=ranges,
+            priority=description.priority,
+            **submit_kw,
+        )
+
+    def describe_script(
+        self,
+        text: str,
+        variables: dict[str, int] | None = None,
+        name: str = "app",
+    ) -> ApplicationDescription:
+        """Script text → ApplicationDescription, with AVAILABLE() answered
+        from the live group directory."""
+        available = {
+            cls: self.directory.group_size(cls) for cls in self.directory.classes()
+        }
+        env = Environment(available, variables)
+        return interpret(parse_script(text), env, name=name)
+
+    def graph_from_description(
+        self,
+        description: ApplicationDescription,
+        programs: dict[str, Callable],
+        works: dict[str, float] | None = None,
+    ) -> tuple[TaskGraph, dict[str, MachineClass | None], dict[str, tuple[int, int]]]:
+        """Materialize the task graph an application description implies."""
+        works = works or {}
+        missing = [m.task for m in description.modules if m.task not in programs]
+        if missing:
+            raise ScriptError(f"no programs supplied for modules: {missing}")
+        spec = ProblemSpecification(description.name)
+        for module in description.modules:
+            spec.task(
+                module.task,
+                f"module {module.path}",
+                work=works.get(module.task, 1.0),
+                instances=module.min_instances,
+                local=module.machine_class is None,
+            )
+        graph = spec.graph
+        for channel in description.channels:
+            graph.connect(
+                channel.src_task,
+                channel.dst_task,
+                ArcKind.STREAM,
+                channel.volume,
+                channel.name,
+            )
+        class_map: dict[str, MachineClass | None] = {}
+        ranges: dict[str, tuple[int, int]] = {}
+        for module in description.modules:
+            node = graph.task(module.task)
+            node.problem_class = module.problem_class or _infer_problem_class(module)
+            node.language = "py"
+            node.program = programs[module.task]
+            class_map[module.task] = module.machine_class
+            ranges[module.task] = (module.min_instances, module.max_instances)
+        graph.validate()
+        return graph, class_map, ranges
+
+    # --------------------------------------------------------------- services
+
+    def enable_redundancy(self):
+        """Honour per-task ``ExecutionHints.redundancy`` (§4.4 redundant
+        execution): extra copies launch automatically at dispatch and
+        absorb primary failures. Returns the redundancy manager."""
+        return self.migration.redundant.install_auto()
+
+    def enable_load_balancing(
+        self, policy: BalancingPolicy, busy_threshold: float = 0.5, interval: float = 1.0
+    ) -> LoadBalancer:
+        """Attach and start a load balancer with *policy*."""
+        self.balancer = LoadBalancer(
+            self.runtime, self.database, policy, busy_threshold, interval
+        )
+        self.balancer.start()
+        return self.balancer
+
+    def metrics(self) -> MetricsCollector:
+        return MetricsCollector(self.sim.log, self.network)
+
+    def leader_of(self, arch_class: MachineClass) -> SchedulerDaemon:
+        return self.daemons[self.directory.leader(arch_class).host]
+
+
+def _infer_problem_class(module):
+    """Machine-class-worded directives imply a problem class for the
+    compilation map's benefit."""
+    from repro.taskgraph.node import ProblemClass
+
+    if module.machine_class is MachineClass.SIMD:
+        return ProblemClass.SYNCHRONOUS
+    if module.machine_class is MachineClass.MIMD:
+        return ProblemClass.LOOSELY_SYNCHRONOUS
+    return ProblemClass.ASYNCHRONOUS

@@ -1,0 +1,110 @@
+"""Declarative cluster specifications (JSON).
+
+A production deployment describes its machine park in a config file rather
+than code. Format::
+
+    {
+      "machines": [
+        {"name": "ws0", "class": "WORKSTATION", "speed": 1.0,
+         "memory_mb": 256, "site": "syr",
+         "load": {"type": "stochastic", "mean_idle": 60.0,
+                  "mean_busy": 30.0, "busy_level": 0.9}},
+        {"name": "cm5", "class": "SIMD", "speed": 40.0, "memory_mb": 4096},
+        {"name": "trace", "class": "WORKSTATION",
+         "load": {"type": "trace", "points": [[10.0, 0.8], [20.0, 0.0]]}},
+        {"name": "busy", "class": "WORKSTATION",
+         "load": {"type": "constant", "level": 0.3}}
+      ],
+      "wan": {"base_latency": 0.05, "bandwidth": 125000.0, "jitter": 0.0}
+    }
+
+``load`` defaults to idle; ``wan`` (optional) becomes
+:attr:`repro.core.VCEConfig.wan_latency` and applies between machines whose
+``site`` attributes differ.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.machines import (
+    ConstantLoad,
+    Machine,
+    MachineClass,
+    StochasticLoad,
+    TraceLoad,
+)
+from repro.netsim.network import LatencyModel
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStreams
+
+
+def _load_model(spec: dict[str, Any] | None, name: str, streams: RngStreams):
+    if not spec:
+        return ConstantLoad(0.0)
+    kind = spec.get("type", "constant")
+    if kind == "constant":
+        return ConstantLoad(float(spec.get("level", 0.0)))
+    if kind == "trace":
+        points = [(float(t), float(l)) for t, l in spec.get("points", [])]
+        return TraceLoad(points, initial=float(spec.get("initial", 0.0)))
+    if kind == "stochastic":
+        return StochasticLoad(
+            streams,
+            name,
+            mean_idle=float(spec.get("mean_idle", 60.0)),
+            mean_busy=float(spec.get("mean_busy", 30.0)),
+            busy_level=float(spec.get("busy_level", 0.9)),
+        )
+    raise ConfigurationError(f"unknown load model type {kind!r}")
+
+
+def machines_from_spec(
+    spec: dict[str, Any], seed: int = 0
+) -> tuple[list[Machine], LatencyModel | None]:
+    """Build (machines, wan_latency_or_None) from a parsed spec dict."""
+    entries = spec.get("machines")
+    if not entries:
+        raise ConfigurationError("cluster spec declares no machines")
+    streams = RngStreams(seed)
+    machines = []
+    for entry in entries:
+        if "name" not in entry:
+            raise ConfigurationError(f"machine entry missing 'name': {entry}")
+        name = str(entry["name"])
+        attributes = dict(entry.get("attributes", {}))
+        if "site" in entry:
+            attributes["site"] = str(entry["site"])
+        machines.append(
+            Machine(
+                name=name,
+                arch_class=MachineClass.parse(str(entry.get("class", "WORKSTATION"))),
+                speed=float(entry.get("speed", 1.0)),
+                memory_mb=int(entry.get("memory_mb", 256)),
+                os=str(entry.get("os", "unix")),
+                object_code_format=str(entry.get("object_code_format", "")),
+                background_load=_load_model(entry.get("load"), name, streams),
+                files=set(entry.get("files", [])),
+                attributes=attributes,
+            )
+        )
+    wan = None
+    if "wan" in spec:
+        w = spec["wan"]
+        wan = LatencyModel(
+            base_latency=float(w.get("base_latency", 0.05)),
+            bandwidth=float(w.get("bandwidth", 125_000.0)),
+            jitter=float(w.get("jitter", 0.0)),
+        )
+    return machines, wan
+
+
+def load_cluster_file(path: str, seed: int = 0) -> tuple[list[Machine], LatencyModel | None]:
+    """Read a JSON cluster file; see module docstring for the format."""
+    try:
+        with open(path) as fh:
+            spec = json.load(fh)
+    except json.JSONDecodeError as err:
+        raise ConfigurationError(f"cluster file {path!r}: invalid JSON ({err})") from err
+    return machines_from_spec(spec, seed)

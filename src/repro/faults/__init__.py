@@ -1,0 +1,23 @@
+"""Fault injection and recovery invariants.
+
+"Fault-tolerance of the group leader will be achieved through redundancy
+and error recovery mechanisms." (§5) — the injector kills hosts (including
+group leaders specifically), produces churn, and the invariant helpers
+verify from the event log that recovery behaved as the paper promises:
+oldest-survivor leadership, bounded detection latency, and application
+completion despite daemon churn.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    leadership_transfer_times,
+    surviving_leader_is_oldest,
+    views_converged,
+)
+
+__all__ = [
+    "FaultInjector",
+    "leadership_transfer_times",
+    "surviving_leader_is_oldest",
+    "views_converged",
+]

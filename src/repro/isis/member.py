@@ -1,0 +1,915 @@
+"""The Isis-style group member actor.
+
+:class:`IsisMember` gives subclasses the toolkit facilities the paper's
+prototype uses:
+
+- ``join`` / ``leave`` / automatic failure eviction, with coordinator-driven
+  two-phase view changes (Flush, NewView);
+- ``cbcast`` — causal multicast (vector clocks, BSS delivery rule);
+- ``abcast`` — totally-ordered multicast (coordinator as sequencer);
+- ``group_request`` / ``reply`` — the Isis *bcast and collect nwanted
+  replies* primitive used verbatim by the scheduler ("The prototype uses
+  Isis bcast and reply primitives for communication between the execution
+  program, group leaders, and group members");
+- heartbeat failure detection with rank-staggered takeover so "the oldest
+  surviving member of the group assume[s] the role of group leader".
+
+Concurrency note: everything runs inside one deterministic simulator, so no
+locking is needed; correctness concerns are protocol-level (stale views,
+crashed coordinators, messages from superseded views).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.isis.messages import (
+    AbcastReq,
+    AbcastSeq,
+    AbcastNack,
+    CBcastAck,
+    CBcastMsg,
+    CoordBeat,
+    Evicted,
+    Flush,
+    FlushOk,
+    GroupReply,
+    GroupRequest,
+    Heartbeat,
+    JoinReq,
+    LeaveReq,
+    NewView,
+    ReplayRecord,
+    Suspect,
+)
+from repro.isis.vclock import VectorClock
+from repro.isis.views import View
+from repro.netsim.host import Address
+from repro.netsim.process import SimProcess
+from repro.util.errors import MembershipError
+
+#: Sentinel for ``group_request(n_wanted=ALL)``: wait for a reply from every
+#: member of the view in force when the request was issued.
+ALL = -1
+#: Sentinel: wait for a strict majority of the view.
+MAJORITY = -2
+
+
+@dataclass
+class IsisConfig:
+    """Protocol timing and sizing knobs.
+
+    Attributes:
+        hb_interval: heartbeat period (s).
+        hb_timeout: silence after which a member is declared failed (s).
+        flush_timeout: how long the coordinator waits for FlushOk before
+            treating non-responders as failed (s).
+        join_retry: joiner's retransmission period (s).
+        request_timeout: default ``group_request`` reply-collection timeout.
+        replay_window: how many recently delivered multicasts each member
+            retains for re-delivery during a flush (bounded stand-in for
+            Isis stability tracking).
+        control_size: wire size charged to protocol messages (bytes).
+        require_majority: when True, a view change only installs if a
+            strict majority of the previous view survives into the new one
+            — the quorum rule that prevents split-brain under network
+            partitions (an extension beyond the paper's LAN prototype).
+            Members on a minority side stall until the partition heals,
+            then learn they were evicted and rejoin.
+    """
+
+    hb_interval: float = 0.5
+    hb_timeout: float = 2.0
+    flush_timeout: float = 1.5
+    join_retry: float = 1.0
+    request_timeout: float = 3.0
+    replay_window: int = 64
+    control_size: int = 128
+    require_majority: bool = False
+    retransmit_interval: float = 0.75
+    abcast_history: int = 256
+
+
+@dataclass
+class _PendingRequest:
+    req_id: str
+    wanted: int
+    replies: list[tuple[Address, Any]]
+    on_done: Callable[[list[tuple[Address, Any]], bool], None]
+    done: bool = False
+
+
+@dataclass
+class _ViewChange:
+    """Coordinator-side state of an in-progress view change."""
+
+    proposed: View
+    waiting_on: set[Address]
+    replay: dict[str, ReplayRecord]
+
+
+class IsisMember(SimProcess):
+    """A process-group member. Subclass and override the ``on_*`` hooks.
+
+    Args:
+        name: process name (unique per host).
+        group: group name (informational; one member object serves one group).
+        contacts: addresses of existing members to join through; ``None`` or
+            empty founds a new group as its first (and thus coordinator)
+            member.
+        config: protocol knobs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        group: str,
+        contacts: list[Address] | None = None,
+        config: IsisConfig | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.group = group
+        self.config = config or IsisConfig()
+        self._contacts = list(contacts or [])
+        self._contact_idx = 0
+
+        self.view: View | None = None
+        self._left = False
+
+        # causal multicast state (reset each view)
+        self._vc = VectorClock()
+        self._cb_holdback: list[CBcastMsg] = []
+        self._delivered_ids: set[str] = set()
+        self._replay: deque[ReplayRecord] = deque(maxlen=self.config.replay_window)
+
+        # total order state (reset each view)
+        self._ab_next_deliver = 0
+        self._ab_holdback: dict[int, AbcastSeq] = {}
+        self._ab_next_assign = 0  # sequencer counter (coordinator only)
+
+        # reliability layer (lossy-link tolerance; reset each view)
+        self._received_ids: set[str] = set()
+        self._unacked: dict[str, tuple[CBcastMsg, set[Address], int]] = {}
+        self._ab_history: deque[AbcastSeq] = deque(maxlen=self.config.abcast_history)
+        self._ab_pending: dict[str, tuple[AbcastReq, int]] = {}  # unsequenced sends
+        self._ab_sequenced: set[str] = set()  # sequencer-side dedup
+        self._ab_known_high = 0  # sequencer high-water mark (from CoordBeat)
+
+        # view-change state
+        self._change: _ViewChange | None = None
+        self._flushing = False
+        self._queued_joins: list[Address] = []
+        self._queued_leaves: set[Address] = set()
+        self._queued_mcasts: list[tuple[str, Any, bool]] = []  # (kind, payload, ordered)
+        self._acting_coordinator = False
+
+        # failure detection
+        self._last_seen: dict[Address, float] = {}
+        self._last_coord_seen = 0.0
+        # group-merge machinery: departed members we occasionally probe so
+        # that concurrently-formed rival groups discover each other
+        self._alumni: dict[Address, int] = {}  # address -> probes sent
+        self._hb_ticks = 0
+
+        # request/reply
+        self._pending_requests: dict[str, _PendingRequest] = {}
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def joined(self) -> bool:
+        return self.view is not None and not self._left
+
+    @property
+    def is_coordinator(self) -> bool:
+        return (
+            self.view is not None
+            and not self._left
+            and (self.view.coordinator == self.address or self._acting_coordinator)
+        )
+
+    def cbcast(self, kind: str, payload: Any, size: int = 256) -> None:
+        """Causally ordered multicast to the group (including self)."""
+        self._require_joined()
+        if self._flushing:
+            self._queued_mcasts.append((kind, payload, False))
+            return
+        assert self.view is not None
+        self._vc.increment(self.address)
+        msg = CBcastMsg(
+            msg_id=self.sim.ids.next(f"cb.{self.name}"),
+            sender=self.address,
+            view_id=self.view.view_id,
+            clock=self._vc.snapshot(),
+            kind=kind,
+            payload=payload,
+        )
+        pending = {m for m in self.view.members if m != self.address}
+        for member in pending:
+            self.send(member, msg, size=size)
+        if pending:
+            self._unacked[msg.msg_id] = (msg, pending, size)
+            if not self.has_timer("rtx"):
+                self.set_timer(self.config.retransmit_interval, "rtx")
+        self._deliver_cbcast(msg)
+
+    def abcast(self, kind: str, payload: Any, size: int = 256) -> None:
+        """Totally ordered multicast (sequenced by the coordinator)."""
+        self._require_joined()
+        if self._flushing:
+            self._queued_mcasts.append((kind, payload, True))
+            return
+        assert self.view is not None
+        req = AbcastReq(
+            msg_id=self.sim.ids.next(f"ab.{self.name}"),
+            sender=self.address,
+            view_id=self.view.view_id,
+            kind=kind,
+            payload=payload,
+        )
+        self._ab_pending[req.msg_id] = (req, size)
+        if not self.has_timer("rtx"):
+            self.set_timer(self.config.retransmit_interval, "rtx")
+        if self.is_coordinator:
+            self._sequence_abcast(req)
+        else:
+            self.send(self.view.coordinator, req, size=size)
+
+    def group_request(
+        self,
+        body: Any,
+        n_wanted: int = ALL,
+        timeout: float | None = None,
+        on_done: Callable[[list[tuple[Address, Any]], bool], None] | None = None,
+    ) -> str:
+        """Isis bcast-and-reply: multicast *body*; collect replies.
+
+        ``on_done(replies, timed_out)`` fires once, either when ``n_wanted``
+        replies arrived (``ALL``/``MAJORITY`` resolve against the current
+        view) or at timeout with whatever has arrived. Returns the request
+        id.
+        """
+        self._require_joined()
+        assert self.view is not None
+        if n_wanted == ALL:
+            wanted = len(self.view)
+        elif n_wanted == MAJORITY:
+            wanted = self.view.majority()
+        else:
+            wanted = n_wanted
+        if wanted <= 0:
+            raise MembershipError(f"n_wanted must resolve positive, got {wanted}")
+        req_id = self.sim.ids.next(f"req.{self.name}")
+        pending = _PendingRequest(req_id, wanted, [], on_done or (lambda r, t: None))
+        self._pending_requests[req_id] = pending
+        self.set_timer(timeout if timeout is not None else self.config.request_timeout, f"req:{req_id}")
+        self.cbcast("__request__", GroupRequest(req_id, self.address, body))
+        return req_id
+
+    def leave(self) -> None:
+        """Gracefully depart the group."""
+        if not self.joined:
+            return
+        assert self.view is not None
+        self._left = True
+        self.cancel_timer("hb")
+        if self.view.coordinator == self.address or self._acting_coordinator:
+            # Coordinator hands off by running one last view change that
+            # excludes itself; the next-oldest member leads the new view.
+            self._queued_leaves.add(self.address)
+            self._maybe_start_view_change()
+        else:
+            self.send(self.view.coordinator, LeaveReq(self.address), size=self.config.control_size)
+        self.emit("isis.leave", group=self.group)
+
+    # ----------------------------------------------------------------- hooks
+
+    def on_view_change(self, view: View, joined: list[Address], left: list[Address]) -> None:
+        """Membership changed. Override in subclasses."""
+
+    def on_cbcast(self, sender: Address, kind: str, payload: Any) -> None:
+        """A causal multicast was delivered. Override in subclasses."""
+
+    def on_abcast(self, sender: Address, kind: str, payload: Any) -> None:
+        """A totally-ordered multicast was delivered. Override."""
+
+    def on_group_request(
+        self, requester: Address, body: Any, reply: Callable[[Any], None]
+    ) -> None:
+        """A ``group_request`` arrived; call ``reply(value)`` to answer (or
+        don't — e.g. an overloaded daemon that declines to bid)."""
+
+    def on_join_failed(self) -> None:
+        """All join attempts are failing (no contact responded). Default:
+        keep retrying; override to give up."""
+
+    def get_group_state(self) -> Any:
+        """Coordinator-side state-transfer hook: return a snapshot to hand
+        to members joining in the next view (None = no state transfer)."""
+        return None
+
+    def on_state_received(self, state: Any) -> None:
+        """Joiner-side state-transfer hook: called with the coordinator's
+        snapshot just before ``on_view_change`` for the joining view."""
+
+    # ------------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        if not self._contacts:
+            self._install(View(1, (self.address,)), replay=())
+        else:
+            self._try_join()
+
+    def _try_join(self) -> None:
+        if self.joined or not self.alive:
+            return
+        contact = self._contacts[self._contact_idx % len(self._contacts)]
+        self._contact_idx += 1
+        self.send(contact, JoinReq(self.address), size=self.config.control_size)
+        self.set_timer(self.config.join_retry, "join-retry")
+        if self._contact_idx > 0 and self._contact_idx % (2 * len(self._contacts)) == 0:
+            self.on_join_failed()
+
+    def _require_joined(self) -> None:
+        if not self.joined:
+            raise MembershipError(f"{self.address} is not a member of group {self.group!r}")
+
+    # ------------------------------------------------------------ dispatch
+
+    def on_message(self, src: Address, payload: Any) -> None:
+        if self._left:
+            return
+        if isinstance(payload, JoinReq):
+            self._on_join_req(payload)
+        elif isinstance(payload, LeaveReq):
+            self._on_leave_req(payload)
+        elif isinstance(payload, Flush):
+            self._on_flush(src, payload)
+        elif isinstance(payload, FlushOk):
+            self._on_flush_ok(payload)
+        elif isinstance(payload, NewView):
+            self._on_new_view(payload)
+        elif isinstance(payload, Heartbeat):
+            self._last_seen[payload.sender] = self.now
+            # a live heartbeat retracts any queued suspicion (partition heal)
+            self._queued_leaves.discard(payload.sender)
+            if self.view is not None and payload.sender not in self.view:
+                # a non-member is heartbeating us: it was evicted (losing
+                # side of a partition, or a superseded rival group) and
+                # should rejoin through our coordinator
+                self.send(
+                    payload.sender,
+                    Evicted(self.view.view_id, self.view.coordinator),
+                    size=self.config.control_size,
+                )
+        elif isinstance(payload, CoordBeat):
+            if self.view is None:
+                pass
+            elif (
+                self.view.coordinator == self.address
+                and payload.sender != self.address
+                and payload.sender not in self.view
+            ):
+                # another coordinator exists (concurrent takeovers formed
+                # rival groups): resolve deterministically and merge
+                self._on_rival_coordinator(payload)
+            elif payload.view_id >= self.view.view_id and payload.sender in self.view:
+                self._last_coord_seen = self.now
+                if payload.sender != self.address:
+                    # the legitimate coordinator is alive: stand down any
+                    # takeover attempt (e.g. after a heal)
+                    self._acting_coordinator = False
+                if payload.view_id == self.view.view_id:
+                    self._ab_known_high = max(self._ab_known_high, payload.high_seq)
+                    if (
+                        self._ab_known_high > self._ab_next_deliver
+                        and not self.has_timer("abgap")
+                    ):
+                        self.set_timer(self.config.retransmit_interval, "abgap")
+        elif isinstance(payload, Evicted):
+            self._on_evicted(payload)
+        elif isinstance(payload, Suspect):
+            self._on_suspect(payload)
+        elif isinstance(payload, CBcastMsg):
+            self._on_cbcast_msg(payload)
+        elif isinstance(payload, CBcastAck):
+            entry = self._unacked.get(payload.msg_id)
+            if entry is not None:
+                entry[1].discard(payload.sender)
+                if not entry[1]:
+                    del self._unacked[payload.msg_id]
+        elif isinstance(payload, AbcastNack):
+            self._on_abcast_nack(payload)
+        elif isinstance(payload, AbcastReq):
+            self._on_abcast_req(payload)
+        elif isinstance(payload, AbcastSeq):
+            self._on_abcast_seq(payload)
+        elif isinstance(payload, GroupReply):
+            self._on_group_reply(payload)
+
+    # ------------------------------------------------------------ membership
+
+    def _on_join_req(self, req: JoinReq) -> None:
+        if not self.joined:
+            return
+        assert self.view is not None
+        if req.joiner in self.view and self._change is None:
+            # Duplicate join (e.g. retransmission raced the NewView): resend
+            # the current view so the joiner learns it is already in.
+            self.send(req.joiner, NewView(self.view), size=self.config.control_size)
+            return
+        if self.is_coordinator:
+            if req.joiner not in self._queued_joins:
+                self._queued_joins.append(req.joiner)
+            self._maybe_start_view_change()
+        else:
+            self.send(self.view.coordinator, req, size=self.config.control_size)
+
+    def _on_leave_req(self, req: LeaveReq) -> None:
+        if not self.joined:
+            return
+        assert self.view is not None
+        if self.is_coordinator:
+            self._queued_leaves.add(req.leaver)
+            self._maybe_start_view_change()
+        else:
+            self.send(self.view.coordinator, req, size=self.config.control_size)
+
+    def _on_evicted(self, msg: Evicted) -> None:
+        """We were removed from the group while unreachable: reset
+        membership state and rejoin through the current coordinator."""
+        if self.view is None or self._left:
+            return
+        if msg.group_view_id < self.view.view_id:
+            return  # stale
+        self.emit("isis.evicted", group=self.group, rejoin_via=str(msg.coordinator))
+        self.view = None
+        self._acting_coordinator = False
+        self._change = None
+        self._flushing = False
+        self._queued_joins.clear()
+        self._queued_leaves.clear()
+        self._cb_holdback.clear()
+        self._ab_holdback.clear()
+        self.cancel_timer("hb")
+        self.cancel_timer("flush-timeout")
+        self._contacts = [msg.coordinator]
+        self._contact_idx = 0
+        self._try_join()
+
+    def _on_suspect(self, msg: Suspect) -> None:
+        if self.is_coordinator and self.view is not None and msg.suspect in self.view:
+            self._queued_leaves.add(msg.suspect)
+            self._maybe_start_view_change()
+
+    def _maybe_start_view_change(self) -> None:
+        if self._change is not None or not self.is_coordinator or self.view is None:
+            return
+        joins = [j for j in self._queued_joins if j not in self.view]
+        leaves = {l for l in self._queued_leaves if l in self.view}
+        if not joins and not leaves:
+            self._queued_joins.clear()
+            self._queued_leaves.clear()
+            return
+        if self.config.require_majority:
+            survivors = [m for m in self.view.members if m not in leaves]
+            if len(survivors) < self.view.majority():
+                # minority side of a partition: do NOT install a view — keep
+                # the suspicions queued and retry when connectivity returns
+                self.emit(
+                    "isis.quorum_blocked",
+                    group=self.group,
+                    survivors=len(survivors),
+                    needed=self.view.majority(),
+                )
+                return
+        self._queued_joins.clear()
+        self._queued_leaves.clear()
+        members = self.view.without(*leaves) + tuple(joins)
+        if not members:
+            return
+        proposed = View(self.view.view_id + 1, members)
+        survivors = {m for m in self.view.members if m in members and m != self.address}
+        self._change = _ViewChange(proposed, set(survivors), {})
+        self._flushing = True
+        for rec in self._replay:
+            self._change.replay[rec.msg_id] = rec
+        self.emit(
+            "isis.flush_start",
+            group=self.group,
+            proposed=proposed.view_id,
+            joins=[str(j) for j in joins],
+            leaves=[str(l) for l in leaves],
+        )
+        if not survivors:
+            self._finish_view_change()
+            return
+        flush = Flush(proposed, proposed.view_id)
+        for member in survivors:
+            self.send(member, flush, size=self.config.control_size)
+        self.set_timer(self.config.flush_timeout, "flush-timeout")
+
+    def _on_flush(self, src: Address, msg: Flush) -> None:
+        if self.view is None or msg.proposed.view_id <= self.view.view_id:
+            return
+        self._flushing = True
+        self.send(
+            src,
+            FlushOk(self.address, msg.change_id, tuple(self._replay)),
+            size=self.config.control_size + 64 * len(self._replay),
+        )
+
+    def _on_flush_ok(self, msg: FlushOk) -> None:
+        change = self._change
+        if change is None or msg.change_id != change.proposed.view_id:
+            return
+        if msg.sender in change.waiting_on:
+            change.waiting_on.discard(msg.sender)
+            for rec in msg.recent:
+                change.replay.setdefault(rec.msg_id, rec)
+            if not change.waiting_on:
+                self.cancel_timer("flush-timeout")
+                self._finish_view_change()
+
+    def _finish_view_change(self) -> None:
+        change = self._change
+        assert change is not None
+        self._change = None
+        replay = tuple(change.replay.values())
+        old_members = set(self.view.members) if self.view is not None else set()
+        joiners = [m for m in change.proposed.members if m not in old_members]
+        state = self.get_group_state() if joiners else None
+        for member in change.proposed.members:
+            if member != self.address:
+                self.send(
+                    member,
+                    NewView(
+                        change.proposed,
+                        replay,
+                        state=(state if member in joiners else None),
+                    ),
+                    size=self.config.control_size + 64 * len(replay),
+                )
+        if self.address in change.proposed:
+            self._on_new_view(NewView(change.proposed, replay))
+        else:
+            # Coordinator excluded itself (graceful leave): go quiet.
+            self.view = None
+
+    def _on_new_view(self, msg: NewView) -> None:
+        if self.view is not None and msg.view.view_id <= self.view.view_id:
+            return
+        # Deliver replayed multicasts we missed from the old view.
+        for rec in msg.replay:
+            if rec.msg_id not in self._delivered_ids:
+                self._delivered_ids.add(rec.msg_id)
+                self._dispatch(rec.sender, rec.kind, rec.payload, ordered=False)
+        if msg.state is not None:
+            # Isis state transfer: we are joining; adopt the coordinator's
+            # snapshot before any view/application callbacks fire
+            self.on_state_received(msg.state)
+        self._install(msg.view, msg.replay)
+
+    def _install(self, view: View, replay: tuple[ReplayRecord, ...]) -> None:
+        old = self.view
+        old_members = set(old.members) if old else set()
+        joined = [m for m in view.members if m not in old_members]
+        left = [m for m in (old.members if old else ()) if m not in view]
+        for gone in left:
+            self._alumni.setdefault(gone, 0)
+        for member in view.members:
+            self._alumni.pop(member, None)
+        self.view = view
+        self._vc = VectorClock()
+        self._cb_holdback.clear()
+        self._delivered_ids = set()
+        self._replay.clear()
+        self._ab_next_deliver = 0
+        self._ab_holdback.clear()
+        self._ab_next_assign = 0
+        self._received_ids = set()
+        self._unacked.clear()
+        self._ab_history.clear()
+        resend = [
+            (req.kind, req.payload, size) for req, size in self._ab_pending.values()
+        ]
+        self._ab_pending.clear()
+        self._ab_sequenced = set()
+        self._ab_known_high = 0
+        self.cancel_timer("rtx")
+        self.cancel_timer("abgap")
+        for kind, payload, size in resend:
+            # sends from the superseded view that never got sequenced are
+            # re-issued in the new view (after the install completes)
+            self._queued_mcasts.append((kind, payload, True))
+        self._flushing = False
+        self._acting_coordinator = False
+        self._change = None
+        self._last_coord_seen = self.now
+        self._last_seen = {m: self.now for m in view.members}
+        self.cancel_timer("join-retry")
+        self.set_timer(self.config.hb_interval, "hb")
+        self.emit(
+            "isis.view",
+            group=self.group,
+            view_id=view.view_id,
+            members=[str(m) for m in view.members],
+            coordinator=str(view.coordinator),
+        )
+        self.on_view_change(view, joined, left)
+        # Re-issue multicasts queued while flushing.
+        queued, self._queued_mcasts = self._queued_mcasts, []
+        for kind, payload, ordered in queued:
+            if ordered:
+                self.abcast(kind, payload)
+            else:
+                self.cbcast(kind, payload)
+        # A fresh coordinator may have inherited queued membership work.
+        if self.is_coordinator:
+            self._maybe_start_view_change()
+
+    # --------------------------------------------------------- failure detect
+
+    def on_timer(self, key: str) -> None:
+        if key == "hb":
+            self._heartbeat_tick()
+        elif key == "rtx":
+            self._retransmit_unacked()
+        elif key == "abgap":
+            self._nack_abcast_gap()
+        elif key == "join-retry":
+            self._try_join()
+        elif key == "flush-timeout":
+            self._flush_timed_out()
+        elif key.startswith("req:"):
+            self._request_timed_out(key[4:])
+
+    def _heartbeat_tick(self) -> None:
+        if not self.joined:
+            return
+        assert self.view is not None
+        cfg = self.config
+        self._hb_ticks += 1
+        if self.is_coordinator:
+            beat = CoordBeat(self.address, self.view.view_id, self._ab_next_assign)
+            for member in self.view.members:
+                if member != self.address:
+                    self.send(member, beat, size=cfg.control_size)
+            if self._hb_ticks % 4 == 0:
+                # probe departed members: if one of them now leads a rival
+                # group, the beat triggers merge resolution on its side
+                for alumnus in list(self._alumni):
+                    self._alumni[alumnus] += 1
+                    if self._alumni[alumnus] > 20:
+                        del self._alumni[alumnus]  # presumed really gone
+                        continue
+                    self.send(alumnus, beat, size=cfg.control_size)
+            dead = {
+                m
+                for m, seen in self._last_seen.items()
+                if m != self.address
+                and m in self.view
+                and self.now - seen > cfg.hb_timeout
+            }
+            if dead:
+                for m in dead:
+                    self.emit("isis.failure_detected", group=self.group, failed=str(m))
+                self._queued_leaves.update(dead)
+                self._maybe_start_view_change()
+        else:
+            self.send(self.view.coordinator, Heartbeat(self.address, self.view.view_id), size=cfg.control_size)
+            rank = self.view.rank(self.address)
+            takeover_after = cfg.hb_timeout * (1 + rank)
+            if self.now - self._last_coord_seen > takeover_after:
+                self._take_over()
+        self.set_timer(cfg.hb_interval, "hb")
+
+    def _take_over(self) -> None:
+        """Rank-staggered coordinator takeover: every member senior to us has
+        stayed silent past its own (shorter) takeover deadline, so presume
+        the whole senior prefix dead and lead a view excluding it."""
+        assert self.view is not None
+        rank = self.view.rank(self.address)
+        if self.config.require_majority and len(self.view) - rank < self.view.majority():
+            # we cannot see a majority: never seize leadership from a
+            # minority side — wait for the partition to heal instead
+            self.emit(
+                "isis.quorum_blocked",
+                group=self.group,
+                survivors=len(self.view) - rank,
+                needed=self.view.majority(),
+            )
+            self._last_coord_seen = self.now  # back off; re-check later
+            return
+        presumed_dead = self.view.members[:rank]
+        self.emit(
+            "isis.takeover",
+            group=self.group,
+            new_coordinator=str(self.address),
+            presumed_dead=[str(m) for m in presumed_dead],
+        )
+        self._acting_coordinator = True
+        self._queued_leaves.update(presumed_dead)
+        self._last_coord_seen = self.now  # don't re-trigger while changing
+        self._maybe_start_view_change()
+
+    def _on_rival_coordinator(self, beat: CoordBeat) -> None:
+        """Two coordinators lead disjoint groups (concurrent takeovers or a
+        healed partition without quorum). Deterministic resolution: the
+        higher view id wins; ties go to the lexicographically smaller
+        address. The loser dissolves its group, redirecting every member
+        (itself included) to rejoin the winner."""
+        assert self.view is not None
+        i_lose = beat.view_id > self.view.view_id or (
+            beat.view_id == self.view.view_id
+            and str(beat.sender) < str(self.address)
+        )
+        if not i_lose:
+            # tell the rival about us; it will dissolve on receipt
+            self.send(
+                beat.sender,
+                CoordBeat(self.address, self.view.view_id, self._ab_next_assign),
+                size=self.config.control_size,
+            )
+            return
+        self.emit(
+            "isis.group_merge",
+            group=self.group,
+            dissolved_view=self.view.view_id,
+            into=str(beat.sender),
+        )
+        order = Evicted(self.view.view_id, beat.sender)
+        for member in self.view.members:
+            if member != self.address:
+                self.send(member, order, size=self.config.control_size)
+        self._on_evicted(order)
+
+    def _flush_timed_out(self) -> None:
+        """Survivors that never acknowledged the flush are treated as failed:
+        restart the change without them."""
+        change = self._change
+        if change is None:
+            return
+        stragglers = set(change.waiting_on)
+        self._change = None
+        for m in stragglers:
+            self.emit("isis.flush_straggler", group=self.group, member=str(m))
+        self._queued_leaves.update(stragglers)
+        # Preserve the joins the aborted proposal carried.
+        if self.view is not None:
+            for m in change.proposed.members:
+                if m not in self.view and m not in self._queued_joins:
+                    self._queued_joins.append(m)
+        self._maybe_start_view_change()
+
+    def _retransmit_unacked(self) -> None:
+        if not self.joined or self.view is None:
+            return
+        live = set(self.view.members)
+        for msg_id in list(self._unacked):
+            msg, pending, size = self._unacked[msg_id]
+            pending &= live  # departed members never need to ack
+            if not pending:
+                del self._unacked[msg_id]
+                continue
+            for member in pending:
+                self.send(member, msg, size=size)
+        for req, size in list(self._ab_pending.values()):
+            if self.is_coordinator:
+                self._sequence_abcast(req)
+            else:
+                self.send(self.view.coordinator, req, size=size)
+        if self._unacked or self._ab_pending:
+            self.set_timer(self.config.retransmit_interval, "rtx")
+
+    def _nack_abcast_gap(self) -> None:
+        if not self.joined or self.view is None:
+            return
+        behind_high = self._ab_known_high > self._ab_next_deliver
+        if behind_high or (
+            self._ab_holdback and min(self._ab_holdback) > self._ab_next_deliver
+        ):
+            self.send(
+                self.view.coordinator,
+                AbcastNack(self._ab_next_deliver, self.address, self.view.view_id),
+                size=self.config.control_size,
+            )
+            # keep probing until the gap closes
+            self.set_timer(self.config.retransmit_interval, "abgap")
+
+    def _on_abcast_nack(self, msg: AbcastNack) -> None:
+        if self.view is None or msg.view_id != self.view.view_id or not self.is_coordinator:
+            return
+        for entry in self._ab_history:
+            if entry.seq >= msg.from_seq:
+                self.send(msg.requester, entry)
+
+    # ------------------------------------------------------------- multicast
+
+    def _on_cbcast_msg(self, msg: CBcastMsg) -> None:
+        if self.view is None or msg.view_id != self.view.view_id:
+            return  # stale or early; flush replay covers the gap
+        # ack every copy (including duplicates: the original ack was lost)
+        self.send(msg.sender, CBcastAck(msg.msg_id, self.address),
+                  size=self.config.control_size)
+        if msg.msg_id in self._delivered_ids or msg.msg_id in self._received_ids:
+            return
+        self._received_ids.add(msg.msg_id)
+        self._cb_holdback.append(msg)
+        self._drain_cb_holdback()
+
+    def _drain_cb_holdback(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for msg in list(self._cb_holdback):
+                if self._vc.can_deliver_from(msg.sender, msg.clock):
+                    self._cb_holdback.remove(msg)
+                    self._vc.increment(msg.sender)
+                    self._vc.merge(msg.clock)
+                    self._deliver_cbcast(msg)
+                    progress = True
+
+    def _deliver_cbcast(self, msg: CBcastMsg) -> None:
+        self._delivered_ids.add(msg.msg_id)
+        self._replay.append(ReplayRecord(msg.msg_id, msg.sender, msg.kind, msg.payload))
+        self._dispatch(msg.sender, msg.kind, msg.payload, ordered=False)
+
+    def _sequence_abcast(self, req: AbcastReq) -> None:
+        assert self.view is not None
+        if req.msg_id in self._ab_sequenced:
+            return  # duplicate request (the sender's ack — its own delivery — was delayed)
+        self._ab_sequenced.add(req.msg_id)
+        seq = self._ab_next_assign
+        self._ab_next_assign += 1
+        out = AbcastSeq(seq, req.msg_id, req.sender, self.view.view_id, req.kind, req.payload)
+        self._ab_history.append(out)
+        for member in self.view.members:
+            if member != self.address:
+                self.send(member, out)
+        self._on_abcast_seq(out)
+
+    def _on_abcast_req(self, req: AbcastReq) -> None:
+        if self.view is None or req.view_id != self.view.view_id or not self.is_coordinator:
+            return
+        self._sequence_abcast(req)
+
+    def _on_abcast_seq(self, msg: AbcastSeq) -> None:
+        if self.view is None or msg.view_id != self.view.view_id:
+            return
+        if msg.seq < self._ab_next_deliver:
+            return
+        self._ab_holdback[msg.seq] = msg
+        if msg.seq > self._ab_next_deliver and not self.has_timer("abgap"):
+            # a gap: give the missing copies one retransmit interval to
+            # arrive, then NACK the sequencer
+            self.set_timer(self.config.retransmit_interval, "abgap")
+        while self._ab_next_deliver in self._ab_holdback:
+            ready = self._ab_holdback.pop(self._ab_next_deliver)
+            self._ab_next_deliver += 1
+            self._ab_pending.pop(ready.msg_id, None)  # our send got through
+            self._delivered_ids.add(ready.msg_id)
+            self._replay.append(
+                ReplayRecord(ready.msg_id, ready.sender, ready.kind, ready.payload)
+            )
+            self._dispatch(ready.sender, ready.kind, ready.payload, ordered=True)
+
+    def _dispatch(self, sender: Address, kind: str, payload: Any, ordered: bool) -> None:
+        if kind == "__request__":
+            request: GroupRequest = payload
+
+            def reply(value: Any) -> None:
+                self.send(
+                    request.requester,
+                    GroupReply(request.req_id, self.address, value),
+                    size=self.config.control_size,
+                )
+
+            self.on_group_request(request.requester, request.body, reply)
+        elif ordered:
+            self.on_abcast(sender, kind, payload)
+        else:
+            self.on_cbcast(sender, kind, payload)
+
+    # ---------------------------------------------------------- request/reply
+
+    def _on_group_reply(self, msg: GroupReply) -> None:
+        pending = self._pending_requests.get(msg.req_id)
+        if pending is None or pending.done:
+            return
+        pending.replies.append((msg.sender, msg.body))
+        if len(pending.replies) >= pending.wanted:
+            self._finish_request(pending, timed_out=False)
+
+    def _request_timed_out(self, req_id: str) -> None:
+        pending = self._pending_requests.get(req_id)
+        if pending is not None and not pending.done:
+            self._finish_request(pending, timed_out=True)
+
+    def _finish_request(self, pending: _PendingRequest, timed_out: bool) -> None:
+        pending.done = True
+        self.cancel_timer(f"req:{pending.req_id}")
+        del self._pending_requests[pending.req_id]
+        pending.on_done(list(pending.replies), timed_out)

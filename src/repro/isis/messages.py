@@ -1,0 +1,194 @@
+"""Wire messages of the virtual-synchrony protocol.
+
+All are plain frozen dataclasses; the :class:`~repro.isis.member.IsisMember`
+dispatches on type. ``view_id`` fields let receivers discard stale traffic
+from superseded views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.isis.vclock import VectorClock
+from repro.isis.views import View
+from repro.netsim.host import Address
+
+# -- membership -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class JoinReq:
+    """A process asks to join; sent to a contact member and forwarded to the
+    coordinator."""
+
+    joiner: Address
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveReq:
+    """Graceful departure announcement."""
+
+    leaver: Address
+
+
+@dataclass(frozen=True, slots=True)
+class Flush:
+    """Phase 1 of a view change: the coordinator announces the proposed view
+    and asks survivors to stop multicasting and report recent messages."""
+
+    proposed: View
+    change_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class FlushOk:
+    """A member's phase-1 acknowledgement, carrying its replay window of
+    recently delivered multicasts (msg_id -> replayable record)."""
+
+    sender: Address
+    change_id: int
+    recent: tuple["ReplayRecord", ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayRecord:
+    """A delivered multicast carried through a flush so that members that
+    missed it can still deliver it in the old view's scope."""
+
+    msg_id: str
+    sender: Address
+    kind: str
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class NewView:
+    """Phase 2: install the view. ``replay`` is the union of survivors'
+    windows; installers deliver anything they have not yet delivered.
+    ``state`` carries the coordinator's application-state snapshot to
+    *joiners* only (Isis state transfer); None for surviving members."""
+
+    view: View
+    replay: tuple[ReplayRecord, ...] = ()
+    state: Any = None
+
+
+# -- failure detection -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Member -> coordinator liveness signal."""
+
+    sender: Address
+    view_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class CoordBeat:
+    """Coordinator -> members liveness signal. Piggybacks the sequencer's
+    high-water mark so members can detect (and NACK) lost tail AbcastSeq
+    messages even when no later sequence number ever arrives."""
+
+    sender: Address
+    view_id: int
+    high_seq: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Evicted:
+    """Coordinator -> a process that heartbeats but is not a member: you
+    were removed from the group (e.g. on the losing side of a healed
+    partition); clear your view and rejoin."""
+
+    group_view_id: int
+    coordinator: Address
+
+
+@dataclass(frozen=True, slots=True)
+class Suspect:
+    """A member reports a peer it believes has failed (e.g. a reply never
+    arrived); the coordinator verifies via its own timeout bookkeeping."""
+
+    suspect: Address
+    reporter: Address
+
+
+# -- ordered multicast ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CBcastMsg:
+    """A causal multicast: carries the sender's vector clock."""
+
+    msg_id: str
+    sender: Address
+    view_id: int
+    clock: VectorClock
+    kind: str
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class CBcastAck:
+    """Receiver -> sender: a CBCAST copy arrived (reliability layer).
+    Unacked copies are retransmitted periodically until acked or the view
+    changes — tolerance for lossy links beyond the paper's LAN."""
+
+    msg_id: str
+    sender: Address
+
+
+@dataclass(frozen=True, slots=True)
+class AbcastNack:
+    """Receiver -> sequencer: sequence numbers from *from_seq* up are
+    missing in my holdback; please re-send from your history."""
+
+    from_seq: int
+    requester: Address
+    view_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class AbcastReq:
+    """Sender -> sequencer (coordinator): please order this message."""
+
+    msg_id: str
+    sender: Address
+    view_id: int
+    kind: str
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class AbcastSeq:
+    """Sequencer -> members: message with its global sequence number."""
+
+    seq: int
+    msg_id: str
+    sender: Address
+    view_id: int
+    kind: str
+    payload: Any
+
+
+# -- request / reply (Isis bcast-and-collect) -------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GroupRequest:
+    """Payload of a ``group_request`` multicast."""
+
+    req_id: str
+    requester: Address
+    body: Any
+
+
+@dataclass(frozen=True, slots=True)
+class GroupReply:
+    """A member's unicast answer to a :class:`GroupRequest`."""
+
+    req_id: str
+    sender: Address
+    body: Any

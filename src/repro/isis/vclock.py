@@ -1,0 +1,76 @@
+"""Vector clocks for causal (CBCAST) delivery.
+
+The clock maps member addresses to counters of *delivered* messages from
+each member. A message multicast by ``s`` carries the clock ``s`` held after
+incrementing its own entry; a receiver ``r`` may deliver it once
+
+- ``msg.vc[s] == r.vc[s] + 1``  (it is the next message from ``s``), and
+- ``msg.vc[k] <= r.vc[k]`` for every ``k != s``  (``r`` has already
+  delivered everything the message causally depends on).
+
+This is the standard Birman–Schiper–Stephenson condition used by Isis.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+
+class VectorClock:
+    """A mutable vector clock over hashable member keys.
+
+    Missing entries are implicitly zero, so membership changes need no
+    resizing ceremony.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[Hashable, int] | None = None) -> None:
+        self._counts: dict[Hashable, int] = {k: v for k, v in (counts or {}).items() if v}
+
+    def get(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def increment(self, key: Hashable) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        for key, value in other._counts.items():
+            if value > self._counts.get(key, 0):
+                self._counts[key] = value
+
+    def snapshot(self) -> "VectorClock":
+        """An independent copy (what a multicast message carries)."""
+        return VectorClock(self._counts)
+
+    def can_deliver_from(self, sender: Hashable, msg_clock: "VectorClock") -> bool:
+        """The BSS causal-delivery condition (see module docstring)."""
+        if msg_clock.get(sender) != self.get(sender) + 1:
+            return False
+        for key, value in msg_clock._counts.items():
+            if key != sender and value > self.get(key):
+                return False
+        return True
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._counts.keys()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Happened-before-or-equal: every entry <= other's."""
+        return all(v <= other.get(k) for k, v in self._counts.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not (self <= other) and not (other <= self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._counts.items(), key=str))
+        return f"VC({inner})"

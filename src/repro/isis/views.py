@@ -1,0 +1,55 @@
+"""Group views.
+
+A :class:`View` is an immutable, numbered snapshot of group membership.
+Members are ordered by *seniority* (join order): the first element is the
+oldest member and acts as coordinator/group leader — exactly the paper's
+"first instance of the scheduler/dispatcher program to come on-line assumes
+the role of group leader ... the oldest surviving member of the group
+assume[s] the role ... in case the group leader fails".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.host import Address
+
+
+@dataclass(frozen=True, slots=True)
+class View:
+    """An immutable membership snapshot.
+
+    Attributes:
+        view_id: monotonically increasing view number (first view is 1).
+        members: addresses ordered oldest-first.
+    """
+
+    view_id: int
+    members: tuple[Address, ...]
+
+    @property
+    def coordinator(self) -> Address:
+        """The group leader: the oldest member."""
+        return self.members[0]
+
+    def rank(self, member: Address) -> int:
+        """Seniority rank (0 = coordinator). Raises ValueError if absent."""
+        return self.members.index(member)
+
+    def __contains__(self, member: Address) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def without(self, *gone: Address) -> tuple[Address, ...]:
+        """Membership tuple with *gone* removed, order preserved."""
+        return tuple(m for m in self.members if m not in gone)
+
+    def majority(self) -> int:
+        """Smallest count that is a strict majority of this view."""
+        return len(self.members) // 2 + 1
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        names = ", ".join(str(m) for m in self.members)
+        return f"View#{self.view_id}[{names}]"

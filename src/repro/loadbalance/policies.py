@@ -1,0 +1,113 @@
+"""Balancing policies (see package docstring)."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.util.errors import MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.loadbalance.balancer import LoadBalancer
+    from repro.machines.machine import Machine
+    from repro.runtime.instance import TaskInstance
+
+
+class BalancingPolicy(abc.ABC):
+    """Reaction to load transitions on one machine.
+
+    ``on_busy`` fires when a machine's *background* (locally-initiated)
+    load crosses above the busy threshold while hosting VCE instances;
+    ``on_idle`` fires when it drops back below.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_busy(
+        self, balancer: "LoadBalancer", machine: "Machine", instances: list["TaskInstance"]
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def on_idle(
+        self, balancer: "LoadBalancer", machine: "Machine", instances: list["TaskInstance"]
+    ) -> None: ...
+
+
+class NoActionPolicy(BalancingPolicy):
+    """Control: remote tasks keep running (and crawling) under local load."""
+
+    name = "none"
+
+    def on_busy(self, balancer, machine, instances) -> None:
+        pass
+
+    def on_idle(self, balancer, machine, instances) -> None:
+        pass
+
+
+class SuspendResumePolicy(BalancingPolicy):
+    """The Stealth/DAWGS philosophy: "suspend (or drastically reduce the
+    local dispatching priority of) remotely initiated tasks when resource
+    requirements of locally initiated processes increase. Execution of
+    remote tasks is resumed when activity of locally initiated tasks
+    diminishes." (§4.3)"""
+
+    name = "suspend"
+
+    def on_busy(self, balancer, machine, instances) -> None:
+        for instance in instances:
+            instance.suspend()
+        balancer.sim.emit(
+            "lb.suspend", machine.name, count=len(instances), policy=self.name
+        )
+
+    def on_idle(self, balancer, machine, instances) -> None:
+        resumed = 0
+        for instance in instances:
+            if instance._suspended:
+                instance.resume()
+                resumed += 1
+        if resumed:
+            balancer.sim.emit("lb.resume", machine.name, count=resumed, policy=self.name)
+
+
+class MigrateOnLoadPolicy(BalancingPolicy):
+    """Move remote work off busy machines to the least-loaded alternative,
+    using the migration selector's cheapest eligible scheme."""
+
+    name = "migrate"
+
+    def __init__(self, selector) -> None:
+        #: a repro.migration.MigrationSelector
+        self.selector = selector
+
+    def on_busy(self, balancer, machine, instances) -> None:
+        taken: set[str] = {machine.name}  # spread this round's migrations
+        for instance in instances:
+            target = balancer.least_loaded_machine(exclude=taken)
+            if target is None:
+                target = balancer.least_loaded_machine(exclude={machine.name})
+            if target is None:
+                balancer.sim.emit("lb.no_target", machine.name)
+                return
+            taken.add(target)
+            app, record = balancer.locate(instance)
+            if app is None or record is None or record.instance is not instance:
+                continue  # redundant copy or stale reference: skip
+            try:
+                scheme = self.selector.migrate(app, record, target)
+            except MigrationError as err:
+                balancer.sim.emit("lb.migrate_failed", machine.name, reason=str(err))
+                continue
+            balancer.sim.emit(
+                "lb.migrate",
+                machine.name,
+                task=record.task,
+                rank=record.rank,
+                dst=target,
+                scheme=scheme.name,
+            )
+
+    def on_idle(self, balancer, machine, instances) -> None:
+        pass  # migrated tasks stay where they are

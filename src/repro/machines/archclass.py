@@ -1,0 +1,38 @@
+"""Machine architecture classes.
+
+The paper's examples name SIMD (CM-5*, MasPar MP-1), MIMD, vector machines,
+and Unix workstations. Group formation, the bidding protocol, compilation
+targets, and the script language's directive keywords all key off these
+classes.
+
+(*The CM-5 is MIMD hardware; we keep the paper's own example placement.)
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MachineClass(enum.Enum):
+    """Low-level machine architecture classes.
+
+    These are the "low-level counterparts of the problem architecture
+    classes used by the design stage" (paper §4.1).
+    """
+
+    SIMD = "SIMD"
+    MIMD = "MIMD"
+    VECTOR = "VECTOR"
+    WORKSTATION = "WORKSTATION"
+
+    @classmethod
+    def parse(cls, text: str) -> "MachineClass":
+        """Case-insensitive lookup used by the script language."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            valid = ", ".join(m.name for m in cls)
+            raise ValueError(f"unknown machine class {text!r}; expected one of {valid}") from None
+
+    def __str__(self) -> str:
+        return self.value

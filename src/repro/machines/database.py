@@ -1,0 +1,72 @@
+"""The machine database.
+
+"Through the use of a simple database, maintained by VCE software, the
+compilation manager determines which are the best machines on which to run
+each task." (§3.1.2)
+
+The database indexes :class:`~repro.machines.machine.Machine` records by
+name and by class, and answers the capability queries the compilation
+manager and the execution program need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator
+
+from repro.machines.archclass import MachineClass
+from repro.machines.machine import Machine
+from repro.util.errors import ConfigurationError
+
+
+class MachineDatabase:
+    """Registry of the machines participating in a VCE."""
+
+    def __init__(self) -> None:
+        self._machines: dict[str, Machine] = {}
+        self._by_class: dict[MachineClass, list[Machine]] = defaultdict(list)
+
+    def register(self, machine: Machine) -> Machine:
+        if machine.name in self._machines:
+            raise ConfigurationError(f"machine {machine.name!r} already registered")
+        self._machines[machine.name] = machine
+        self._by_class[machine.arch_class].append(machine)
+        return machine
+
+    def unregister(self, name: str) -> None:
+        machine = self._machines.pop(name, None)
+        if machine is not None:
+            self._by_class[machine.arch_class].remove(machine)
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._machines
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self._machines.values())
+
+    def get(self, name: str) -> Machine:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown machine {name!r}") from None
+
+    def machines_in_class(self, arch_class: MachineClass) -> list[Machine]:
+        return list(self._by_class.get(arch_class, []))
+
+    def classes_present(self) -> set[MachineClass]:
+        return {c for c, ms in self._by_class.items() if ms}
+
+    def class_counts(self) -> dict[MachineClass, int]:
+        return {c: len(ms) for c, ms in self._by_class.items() if ms}
+
+    def find(self, requirements: dict[str, Any]) -> list[Machine]:
+        """All machines satisfying a task's hardware requirements."""
+        return [m for m in self._machines.values() if m.satisfies(requirements)]
+
+    def feasible_classes(self, requirements: dict[str, Any]) -> set[MachineClass]:
+        """Classes containing at least one machine satisfying *requirements*
+        — the candidate compilation targets for a task."""
+        return {m.arch_class for m in self.find(requirements)}

@@ -1,0 +1,96 @@
+"""The :class:`Machine` description record.
+
+A Machine is the *capability* view of a host: what the compilation manager's
+database stores and what placement decisions consult. The simulation-level
+behaviour (timers, message delivery, crash state) lives on the
+:class:`~repro.netsim.host.Host` the machine is attached to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machines.archclass import MachineClass
+from repro.machines.load import ConstantLoad, LoadModel
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class Machine:
+    """Static description of one VCE machine.
+
+    Attributes:
+        name: unique machine name (matches its Host name).
+        arch_class: machine class used for group formation and compilation.
+        speed: work units per second when fully idle. A 1994 workstation is
+            speed 1.0; a parallel machine is larger.
+        memory_mb: installed memory; tasks declaring more are not placeable.
+        object_code_format: binary-compatibility tag; address-space-dump
+            migration requires equal formats ("requires homogeneity", §4.4).
+        os: operating-system family tag (informational; tasks may require it).
+        background_load: the locally-initiated-work model.
+        files: names of data files present on this machine (file requirements
+            of §4.3; anticipatory file replication appends here).
+        attributes: free-form extra capabilities (e.g. ``{"graphics": True}``)
+            matched against task requirements.
+    """
+
+    name: str
+    arch_class: MachineClass
+    speed: float = 1.0
+    memory_mb: int = 64
+    object_code_format: str = ""
+    os: str = "unix"
+    background_load: LoadModel = field(default_factory=ConstantLoad)
+    files: set[str] = field(default_factory=set)
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ConfigurationError(f"machine {self.name!r}: speed must be positive")
+        if self.memory_mb <= 0:
+            raise ConfigurationError(f"machine {self.name!r}: memory must be positive")
+        if not self.object_code_format:
+            # Default: binaries are compatible exactly within an architecture
+            # class, the paper's "object-code compatible" group property.
+            self.object_code_format = f"{self.arch_class.value.lower()}-elf"
+
+    # -- capability checks ---------------------------------------------------
+
+    def satisfies(self, requirements: dict[str, Any]) -> bool:
+        """Check task hardware requirements against this machine.
+
+        Recognized requirement keys: ``arch_class`` (MachineClass or name),
+        ``min_memory_mb``, ``os``, ``files`` (iterable of file names), and any
+        other key, which must equal the machine attribute of the same name.
+        """
+        for key, want in requirements.items():
+            if key == "arch_class":
+                want_class = want if isinstance(want, MachineClass) else MachineClass.parse(str(want))
+                if self.arch_class is not want_class:
+                    return False
+            elif key == "min_memory_mb":
+                if self.memory_mb < want:
+                    return False
+            elif key == "os":
+                if self.os != want:
+                    return False
+            elif key == "files":
+                if not set(want) <= self.files:
+                    return False
+            elif self.attributes.get(key) != want:
+                return False
+        return True
+
+    def binary_compatible_with(self, other: "Machine") -> bool:
+        """True when an address-space image moved between the two machines
+        would run (the homogeneity requirement of dump migration)."""
+        return self.object_code_format == other.object_code_format
+
+    def load_at(self, t: float) -> float:
+        return self.background_load.load(t)
+
+    def effective_speed(self, t: float) -> float:
+        """Compute rate left over for VCE tasks at time *t*."""
+        return self.speed * max(0.0, 1.0 - self.load_at(t))

@@ -1,0 +1,20 @@
+"""Metrics: derived measurements and report formatting.
+
+Everything is computed from the run-wide :class:`~repro.util.eventlog.EventLog`
+(plus network counters), so instrumentation lives in one place and any
+experiment can be re-analyzed after the fact.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_table, format_series
+from repro.metrics.timeline import Span, build_timeline, host_busy_fraction, render_gantt
+
+__all__ = [
+    "MetricsCollector",
+    "format_table",
+    "format_series",
+    "Span",
+    "build_timeline",
+    "render_gantt",
+    "host_busy_fraction",
+]

@@ -1,0 +1,161 @@
+"""Metric derivation from the event log."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.eventlog import EventLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.network import Network
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStat:
+    scheme: str
+    latency: float
+    src: str | None
+    dst: str | None
+
+
+class MetricsCollector:
+    """Post-hoc analysis over one simulation's event log."""
+
+    def __init__(self, log: EventLog, network: "Network | None" = None) -> None:
+        self.log = log
+        self.network = network
+
+    # ------------------------------------------------------------- makespans
+
+    def app_makespans(self) -> dict[str, float]:
+        """app id → submit-to-done time for completed applications."""
+        submits = {r.source: r.time for r in self.log.records(category="app.submit")}
+        out = {}
+        for record in self.log.records(category="app.done"):
+            if record.source in submits:
+                out[record.source] = record.time - submits[record.source]
+        return out
+
+    def throughput(self, horizon: float) -> float:
+        """Completed applications per second over [0, horizon]."""
+        done = [r for r in self.log.records(category="app.done") if r.time <= horizon]
+        return len(done) / horizon if horizon > 0 else 0.0
+
+    # ------------------------------------------------------------ utilization
+
+    def busy_intervals(self) -> dict[str, list[tuple[float, float]]]:
+        """host → merged [start, end) intervals with ≥1 VCE task present."""
+        starts: dict[tuple, float] = {}
+        raw: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        for record in self.log:
+            if record.category == "task.start":
+                key = (record.get("app"), record.get("task"), record.get("rank"), record.source)
+                starts[key] = record.time
+            elif record.category in ("task.done", "task.failed", "task.killed"):
+                for key in [k for k in starts if k[:3] == (record.get("app"), record.get("task"), record.get("rank"))]:
+                    host = record.get("host") or key[3].split("/")[0]
+                    raw[host].append((starts.pop(key), record.time))
+        return {host: _merge(intervals) for host, intervals in raw.items()}
+
+    def utilization(self, horizon: float) -> dict[str, float]:
+        """host → fraction of [0, horizon] spent hosting VCE tasks."""
+        if horizon <= 0:
+            return {}
+        return {
+            host: sum(e - s for s, e in intervals) / horizon
+            for host, intervals in self.busy_intervals().items()
+        }
+
+    def mean_utilization(self, horizon: float, hosts: list[str]) -> float:
+        per_host = self.utilization(horizon)
+        if not hosts:
+            return 0.0
+        return sum(per_host.get(h, 0.0) for h in hosts) / len(hosts)
+
+    # -------------------------------------------------------------- scheduler
+
+    def allocation_latencies(self) -> list[float]:
+        """Per request: exec.request → exec.reply time."""
+        requested: dict[str, float] = {}
+        out = []
+        for record in self.log:
+            if record.category == "exec.request":
+                requested[record.get("req_id")] = record.time
+            elif record.category == "exec.reply":
+                # replies don't carry req ids; pair in order per class
+                pass
+        # simpler robust pairing: first reply after each request per source
+        requests = self.log.records(category="exec.request")
+        replies = self.log.records(category="exec.reply")
+        for req in requests:
+            candidates = [
+                r for r in replies if r.source == req.source and r.time >= req.time
+            ]
+            if candidates:
+                out.append(candidates[0].time - req.time)
+        return out
+
+    def bid_counts(self) -> list[int]:
+        return [r.get("bids", 0) for r in self.log.records(category="sched.alloc")]
+
+    def alloc_errors(self) -> int:
+        return self.log.count("sched.alloc_error")
+
+    def queue_waits(self) -> list[float]:
+        return [r.get("waited", 0.0) for r in self.log.records(category="sched.retry")]
+
+    # --------------------------------------------------------------- migration
+
+    def migrations(self) -> list[MigrationStat]:
+        return [
+            MigrationStat(r.get("scheme"), r.get("latency", 0.0), r.get("src"), r.get("dst"))
+            for r in self.log.records(category="migration.done")
+        ]
+
+    def migration_latency_by_scheme(self) -> dict[str, list[float]]:
+        out: dict[str, list[float]] = defaultdict(list)
+        for stat in self.migrations():
+            out[stat.scheme].append(stat.latency)
+        return dict(out)
+
+    # -------------------------------------------------------------- suspension
+
+    def suspension_spans(self) -> list[float]:
+        """Durations of suspend→resume windows per instance (the raw
+        material of the §4.3 ripple-effect measurement)."""
+        open_suspends: dict[tuple, float] = {}
+        spans = []
+        for record in self.log:
+            key = (record.get("app"), record.get("task"), record.get("rank"))
+            if record.category == "task.suspend":
+                open_suspends[key] = record.time
+            elif record.category == "task.resume" and key in open_suspends:
+                spans.append(record.time - open_suspends.pop(key))
+        return spans
+
+    # ----------------------------------------------------------------- network
+
+    def message_totals(self) -> dict[str, int]:
+        if self.network is None:
+            return {}
+        return {
+            "sent": self.network.messages_sent,
+            "delivered": self.network.messages_delivered,
+            "bytes": self.network.bytes_sent,
+        }
+
+
+def _merge(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    out = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = out[-1]
+        if start <= last_end:
+            out[-1] = (last_start, max(last_end, end))
+        else:
+            out.append((start, end))
+    return out

@@ -1,0 +1,71 @@
+"""Process migration through checkpointing (§4.4, second scheme).
+
+"Migratable jobs checkpoint regularly. To migrate a job kill it and start
+it somewhere else by instantiating the new incarnation from the checkpoint
+record. This is expensive and may require the cooperation of the task
+involved."
+
+Costs charged: checkpoint restore time (store read, proportional to state
+size) plus the work done since the last checkpoint, which the new
+incarnation re-executes (visible as a longer completion time rather than an
+explicit delay — the program itself replays from the restored state).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.migration.base import MigrationContext, MigrationScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.app import Application, InstanceRecord
+
+
+class CheckpointMigration(MigrationScheme):
+    name = "checkpoint"
+
+    def can_migrate(
+        self, app: "Application", record: "InstanceRecord", dst_host: str
+    ) -> tuple[bool, str]:
+        node = app.graph.task(record.task)
+        if not node.hints.checkpointable:
+            return False, "task does not cooperate with checkpointing"
+        if record.instance is None:
+            return False, "instance was never dispatched"
+        return True, ""
+
+    def migrate(
+        self,
+        app: "Application",
+        record: "InstanceRecord",
+        dst_host: str,
+        on_done: Callable[[float], None] | None = None,
+    ) -> None:
+        self._check(app, record, dst_host)
+        runtime = self.context.runtime
+        sim = self.context.sim
+        started = sim.now
+        src_host = record.host_name
+        checkpoint = runtime.checkpoints.get(app.id, record.task, record.rank)
+        instance = record.instance
+        if instance is not None and not instance.state.terminal:
+            instance.kill("checkpoint-migration")
+        restore_delay = (
+            runtime.checkpoints.restore_cost(checkpoint) if checkpoint is not None else 0.0
+        )
+        state = checkpoint.state if checkpoint is not None else None
+
+        def restart() -> None:
+            new_instance = runtime.dispatch_instance(app, record, dst_host, restored_state=state)
+            if instance is not None:
+                runtime.rebind_instance(instance.address, new_instance.address)
+            self._finish(
+                record,
+                dst_host,
+                started,
+                on_done,
+                src=src_host,
+                had_checkpoint=checkpoint is not None,
+            )
+
+        sim.schedule(restore_delay, restart)

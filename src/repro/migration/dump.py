@@ -1,0 +1,88 @@
+"""Process migration the old-fashioned way (§4.4, third scheme).
+
+"To migrate a job we dump the contents of the address space, copy it to a
+new machine and restart it. This has many drawbacks, one being that it
+requires homogeneity."
+
+In the simulation the live process object *is* the address space, so the
+move is exact — no work is lost — but it is only legal between machines
+with identical object-code formats, and it freezes the task for the full
+transfer time (address-space size over the wire).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.migration.base import MigrationContext, MigrationScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.app import Application, InstanceRecord
+
+
+class DumpMigration(MigrationScheme):
+    name = "dump"
+
+    #: bytes of address space per declared MB of task memory
+    BYTES_PER_MEMORY_MB = 1_000_000
+
+    def can_migrate(
+        self, app: "Application", record: "InstanceRecord", dst_host: str
+    ) -> tuple[bool, str]:
+        node = app.graph.task(record.task)
+        if not node.hints.migratable:
+            return False, "task is not migratable"
+        instance = record.instance
+        if instance is None or instance.state.terminal:
+            return False, "no live instance"
+        if record.host_name is None:
+            return False, "instance has no recorded host"
+        src = self.context.machine_of(record.host_name)
+        dst = self.context.machine_of(dst_host)
+        if not src.binary_compatible_with(dst):
+            return False, (
+                f"heterogeneous pair: {src.object_code_format} vs "
+                f"{dst.object_code_format} (dump requires homogeneity)"
+            )
+        return True, ""
+
+    def migrate(
+        self,
+        app: "Application",
+        record: "InstanceRecord",
+        dst_host: str,
+        on_done: Callable[[float], None] | None = None,
+    ) -> None:
+        self._check(app, record, dst_host)
+        sim = self.context.sim
+        network = self.context.network
+        started = sim.now
+        src_host = record.host_name
+        node = app.graph.task(record.task)
+        instance = record.instance
+        assert instance is not None
+        image_bytes = node.memory_mb * self.BYTES_PER_MEMORY_MB
+        transfer = image_bytes / network.latency.bandwidth + network.latency.base_latency
+        old_address = instance.address
+        instance.suspend()  # frozen while the image is on the wire
+        sim.emit(
+            "migration.dump_freeze",
+            f"{record.task}[{record.rank}]",
+            bytes=image_bytes,
+            transfer=transfer,
+        )
+
+        def arrive() -> None:
+            dst = network.host(dst_host)
+            if not dst.up or instance.state.terminal:
+                # destination died (or task ended) mid-transfer: thaw in place
+                instance.resume()
+                return
+            dst.adopt(instance)
+            self.context.runtime.rebind_instance(old_address, instance.address)
+            record.host_name = dst_host
+            record.placements.append(dst_host)
+            instance.resume()
+            self._finish(record, dst_host, started, on_done, src=src_host, bytes=image_bytes)
+
+        sim.schedule(transfer, arrive)

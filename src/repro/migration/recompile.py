@@ -1,0 +1,82 @@
+"""Process migration through recompilation (§4.4, fourth scheme).
+
+"This is very expensive but may be very robust. It is only discussed in
+one paper [Theimer & Hayes 1991] and may be difficult to implement."
+
+The task is killed, its source is compiled for the destination's machine
+class (unless a binary is already cached — anticipatory compilation makes
+this scheme cheap!), and a new incarnation starts at the destination. By
+default the incarnation restarts from the beginning; with
+``use_checkpoint=True`` it restores the (architecture-independent)
+checkpoint state, modelling the Theimer–Hayes state-translation idea.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.migration.base import MigrationContext, MigrationScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.app import Application, InstanceRecord
+
+
+class RecompileMigration(MigrationScheme):
+    name = "recompile"
+
+    def __init__(self, context: MigrationContext, use_checkpoint: bool = False) -> None:
+        super().__init__(context)
+        self.use_checkpoint = use_checkpoint
+
+    def can_migrate(
+        self, app: "Application", record: "InstanceRecord", dst_host: str
+    ) -> tuple[bool, str]:
+        node = app.graph.task(record.task)
+        if node.language is None:
+            return False, "task has no source language recorded"
+        dst = self.context.machine_of(dst_host)
+        compilation = self.context.compilation
+        if compilation is None:
+            return False, "no compilation manager available"
+        if (
+            not compilation.cache.has(node.name, dst.arch_class)
+            and compilation.registry.lookup(node.language, dst.arch_class) is None
+        ):
+            return False, f"no compiler for {node.language!r} on {dst.arch_class}"
+        return True, ""
+
+    def migrate(
+        self,
+        app: "Application",
+        record: "InstanceRecord",
+        dst_host: str,
+        on_done: Callable[[float], None] | None = None,
+    ) -> None:
+        self._check(app, record, dst_host)
+        runtime = self.context.runtime
+        compilation = self.context.compilation
+        assert compilation is not None
+        sim = self.context.sim
+        started = sim.now
+        src_host = record.host_name
+        node = app.graph.task(record.task)
+        dst = self.context.machine_of(dst_host)
+        instance = record.instance
+        if instance is not None and not instance.state.terminal:
+            instance.kill("recompile-migration")
+        # compile (or reuse an anticipatorily prepared binary)
+        compile_delay = compilation.load_delay(node, dst, sim.now)
+        state = None
+        if self.use_checkpoint:
+            checkpoint = runtime.checkpoints.get(app.id, record.task, record.rank)
+            if checkpoint is not None:
+                compile_delay += runtime.checkpoints.restore_cost(checkpoint)
+                state = checkpoint.state
+
+        def restart() -> None:
+            new_instance = runtime.dispatch_instance(app, record, dst_host, restored_state=state)
+            if instance is not None:
+                runtime.rebind_instance(instance.address, new_instance.address)
+            self._finish(record, dst_host, started, on_done, src=src_host, compile_delay=compile_delay)
+
+        sim.schedule(compile_delay, restart)

@@ -1,0 +1,79 @@
+"""Scheme selection.
+
+"The execution layer should have several of these techniques in its
+repertoire. Which of these will be used for any particular migration will
+depend on the state of the system and the characteristics of the task(s)
+involved." (§4.4)
+
+Selection order (cheapest viable first):
+
+1. redundant — a live copy already runs elsewhere: killing is free;
+2. dump — exact, moderate cost, but only between homogeneous machines;
+3. checkpoint — needs task cooperation; loses work since the last record;
+4. recompile — works across any architecture pair, most expensive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.migration.base import MigrationContext, MigrationScheme
+from repro.migration.checkpoint import CheckpointMigration
+from repro.migration.dump import DumpMigration
+from repro.migration.recompile import RecompileMigration
+from repro.migration.redundant import RedundantExecutionManager
+from repro.util.errors import MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.app import Application, InstanceRecord
+
+
+class MigrationSelector:
+    """Holds one instance of each scheme and routes each migration to the
+    cheapest eligible one."""
+
+    def __init__(self, context: MigrationContext) -> None:
+        self.context = context
+        self.redundant = RedundantExecutionManager(context)
+        self.dump = DumpMigration(context)
+        self.checkpoint = CheckpointMigration(context)
+        self.recompile = RecompileMigration(context, use_checkpoint=True)
+        #: cheapest-first repertoire
+        self.repertoire: list[MigrationScheme] = [
+            self.redundant,
+            self.dump,
+            self.checkpoint,
+            self.recompile,
+        ]
+
+    def choose(
+        self, app: "Application", record: "InstanceRecord", dst_host: str
+    ) -> MigrationScheme:
+        reasons = []
+        for scheme in self.repertoire:
+            ok, reason = scheme.can_migrate(app, record, dst_host)
+            if ok:
+                return scheme
+            reasons.append(f"{scheme.name}: {reason}")
+        raise MigrationError(
+            f"no scheme can migrate {record.task}[{record.rank}] to {dst_host} — "
+            + "; ".join(reasons)
+        )
+
+    def migrate(
+        self,
+        app: "Application",
+        record: "InstanceRecord",
+        dst_host: str,
+        on_done: Callable[[float], None] | None = None,
+    ) -> MigrationScheme:
+        """Pick and run a scheme; returns the scheme used."""
+        scheme = self.choose(app, record, dst_host)
+        self.context.sim.emit(
+            "migration.selected",
+            f"{record.task}[{record.rank}]",
+            scheme=scheme.name,
+            dst=dst_host,
+        )
+        scheme.migrate(app, record, dst_host, on_done)
+        return scheme

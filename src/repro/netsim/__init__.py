@@ -1,0 +1,35 @@
+"""Discrete-event network/host simulation kernel.
+
+This is the substrate everything else runs on. The paper's prototype ran on
+a workstation LAN; we replace the LAN with a deterministic simulator so that
+scheduling, migration, and fault-tolerance experiments are exactly
+reproducible (see DESIGN.md, substitution table).
+
+Layering:
+
+- :class:`Simulator` — the event loop: a priority queue of timestamped
+  callbacks, with cancellable timers.
+- :class:`Host` — a simulated machine that owns named :class:`SimProcess`
+  actors, can crash and recover.
+- :class:`Network` — delivers messages between hosts under a configurable
+  latency/bandwidth/jitter model, with partitions and probabilistic loss for
+  fault experiments.
+- :class:`SimProcess` — the actor base class: ``on_message`` / ``on_timer``
+  handlers plus ``send`` and ``set_timer`` effects.
+"""
+
+from repro.netsim.kernel import Simulator, Timer
+from repro.netsim.network import Network, LatencyModel, Message
+from repro.netsim.host import Host, Address
+from repro.netsim.process import SimProcess
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "Network",
+    "LatencyModel",
+    "Message",
+    "Host",
+    "Address",
+    "SimProcess",
+]

@@ -1,0 +1,146 @@
+"""Simulated hosts and process addressing.
+
+A :class:`Host` is the simulation-level stand-in for one machine on the VCE
+network. It owns named :class:`~repro.netsim.process.SimProcess` actors
+(the VCE daemon, task instances, ...), a speed factor used by the compute
+model, and an up/down state driven by the fault injector.
+
+Machine *semantics* (architecture class, memory, object-code format) live in
+``repro.machines.Machine``; the Host carries a reference to that description
+once a cluster is built, keeping the network simulator ignorant of VCE
+concepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.kernel import Simulator
+    from repro.netsim.network import Network
+    from repro.netsim.process import SimProcess
+
+
+@dataclass(frozen=True, slots=True)
+class Address:
+    """Location of a process: ``(host name, process name)``."""
+
+    host: str
+    proc: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.host}/{self.proc}"
+
+
+class Host:
+    """One simulated machine.
+
+    Args:
+        sim: the owning simulator.
+        name: unique host name.
+        speed: relative CPU speed (work units per second); the executor
+            divides task work by this to get compute durations.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise SimulationError(f"host speed must be positive, got {speed}")
+        self.sim = sim
+        self.name = name
+        self.speed = speed
+        self.up = True
+        self.network: "Network | None" = None
+        self.machine: Any = None  # repro.machines.Machine, attached by cluster builder
+        self._processes: dict[str, "SimProcess"] = {}
+        self._boot_count = 0  # incarnation number, bumped on recover
+
+    # -- process management --------------------------------------------------
+
+    def spawn(self, process: "SimProcess") -> Address:
+        """Attach *process* to this host and start it."""
+        if process.name in self._processes:
+            raise SimulationError(
+                f"process {process.name!r} already exists on host {self.name!r}"
+            )
+        self._processes[process.name] = process
+        process._bind(self)
+        if self.up:
+            self.sim.call_soon(process._start)
+        return process.address
+
+    def adopt(self, process: "SimProcess") -> Address:
+        """Move an already-running process onto this host, preserving its
+        entire in-memory state (mailboxes, generators, timers).
+
+        This is the simulation-level primitive behind address-space-dump
+        migration: the process object *is* the address space. The caller is
+        responsible for charging transfer time and rebinding channels.
+        """
+        if process.name in self._processes:
+            raise SimulationError(
+                f"process {process.name!r} already exists on host {self.name!r}"
+            )
+        if process.host is not None:
+            process.host._processes.pop(process.name, None)
+        process.host = self
+        self._processes[process.name] = process
+        return process.address
+
+    def kill(self, proc_name: str) -> None:
+        """Remove a process from this host (it gets an ``on_stop`` callback)."""
+        process = self._processes.pop(proc_name, None)
+        if process is not None:
+            process._stopped()
+
+    def process(self, name: str) -> "SimProcess | None":
+        return self._processes.get(name)
+
+    def processes(self) -> Iterator["SimProcess"]:
+        return iter(list(self._processes.values()))
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, message: Any) -> None:
+        """Hand an arriving network message to the addressed process.
+
+        Messages to a down host or a dead process are silently dropped —
+        exactly what a real crashed machine does.
+        """
+        if not self.up:
+            return
+        process = self._processes.get(message.dst.proc)
+        if process is not None:
+            process._receive(message)
+
+    # -- fault injection -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the host down: every process is stopped, future deliveries and
+        timers are dropped."""
+        if not self.up:
+            return
+        self.up = False
+        self.sim.emit("host.crash", self.name)
+        for process in list(self._processes.values()):
+            process._crashed()
+
+    def recover(self) -> None:
+        """Bring the host back up. Processes killed by the crash do not
+        restart automatically — a recovering VCE machine reboots its daemon
+        explicitly (done by the fault injector / cluster code)."""
+        if self.up:
+            return
+        self.up = True
+        self._boot_count += 1
+        self.sim.emit("host.recover", self.name, incarnation=self._boot_count)
+
+    @property
+    def incarnation(self) -> int:
+        return self._boot_count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self.up else "DOWN"
+        return f"<Host {self.name} speed={self.speed} {state}>"

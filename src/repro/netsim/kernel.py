@@ -1,0 +1,207 @@
+"""The discrete-event loop.
+
+A :class:`Simulator` holds a heap of ``(time, sequence, callback)`` entries.
+The sequence number breaks ties so that events scheduled earlier at the same
+timestamp run earlier — a deterministic total order, which is essential for
+reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import SimulationError
+from repro.util.eventlog import EventLog
+from repro.util.ids import IdGenerator
+from repro.util.rng import RngStreams
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    daemon: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle to a scheduled event; supports cancellation.
+
+    Cancellation is lazy: the heap entry is flagged and skipped when popped,
+    which keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("_entry", "_sim")
+
+    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
+        self._entry = entry
+        self._sim = sim
+
+    def cancel(self) -> None:
+        if not self._entry.cancelled:
+            self._entry.cancelled = True
+            if not self._entry.daemon:
+                self._sim._live_nondaemon -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        seed: root seed for every random stream derived from this run.
+
+    The simulator also owns the run-wide :class:`EventLog`, the id generator,
+    and the :class:`RngStreams` factory so that components created for one
+    simulation never share state with another.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+        self._live_nondaemon = 0
+        self.seed = seed
+        self.log = EventLog()
+        self.ids = IdGenerator()
+        self.rng = RngStreams(seed)
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Timer:
+        """Run *callback* ``delay`` seconds from now. Returns a cancellable
+        :class:`Timer`.
+
+        A *daemon* event (periodic monitors, samplers) never keeps the
+        simulation alive: ``run()`` without a deadline stops once only
+        daemon events remain — the same contract as daemon threads.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, daemon=daemon)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Timer:
+        """Run *callback* at absolute simulation time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        entry = _Entry(time, self._seq, callback, daemon=daemon)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        if not daemon:
+            self._live_nondaemon += 1
+        return Timer(entry, self)
+
+    def call_soon(self, callback: Callable[[], None]) -> Timer:
+        """Run *callback* at the current time, after already-queued events at
+        this timestamp."""
+        return self.schedule(0.0, callback)
+
+    # -- running -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the single next event. Returns False when the queue is
+        empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            if entry.time < self._now:
+                raise SimulationError("event queue produced time in the past")
+            if not entry.daemon:
+                self._live_nondaemon -= 1
+            self._now = entry.time
+            self._events_processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once simulation time would exceed this (the clock is
+                advanced to ``until`` on a timed-out run).
+            max_events: safety valve against livelock; raises
+                :class:`SimulationError` when hit.
+            stop_when: checked after every event; return True to stop.
+
+        Returns the simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        processed = 0
+        stopped_early = False
+        try:
+            while True:
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is None and self._live_nondaemon == 0:
+                    break  # only daemon events (monitors/samplers) remain
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+                if stop_when is not None and stop_when():
+                    stopped_early = True
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"max_events={max_events} exceeded; possible livelock"
+                    )
+            if not stopped_early and until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- convenience -------------------------------------------------------
+
+    def emit(self, category: str, source: str, **data: Any) -> None:
+        """Shorthand for ``self.log.emit(self.now, ...)``."""
+        self.log.emit(self._now, category, source, **data)

@@ -1,0 +1,201 @@
+"""Message transport between hosts.
+
+The network charges each message a latency drawn from a
+:class:`LatencyModel` (fixed base + size/bandwidth + seeded jitter), honours
+partitions (no delivery across partition boundaries), and can drop messages
+probabilistically for fault experiments.
+
+Delivery between two processes on the *same* host bypasses the wire and costs
+:attr:`LatencyModel.local_latency` — the paper's LAN prototype similarly
+distinguishes local procedure calls from remote messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.netsim.host import Address, Host
+from repro.netsim.kernel import Simulator
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A message in flight.
+
+    Attributes:
+        src: sender address.
+        dst: recipient address.
+        payload: arbitrary application object (never serialized — the sim
+            moves references; *size* models the wire cost).
+        size: bytes charged to the bandwidth model.
+    """
+
+    src: Address
+    dst: Address
+    payload: Any
+    size: int = 256
+
+
+@dataclass
+class LatencyModel:
+    """Per-message delay model.
+
+    ``delay = base_latency + size / bandwidth + U(0, jitter)``
+
+    Defaults approximate a early-1990s 10 Mb/s Ethernet LAN with ~1 ms
+    software overhead, matching the environment of the paper's prototype.
+    """
+
+    base_latency: float = 1e-3
+    bandwidth: float = 1.25e6  # bytes/second (10 Mb/s)
+    jitter: float = 2e-4
+    local_latency: float = 5e-5
+
+    def delay(self, size: int, jitter_draw: float) -> float:
+        return self.base_latency + size / self.bandwidth + jitter_draw * self.jitter
+
+
+class Network:
+    """Connects hosts; schedules message deliveries on the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        fifo: bool = True,
+        egress_serialization: bool = False,
+    ) -> None:
+        """Args:
+        fifo: when True (default), messages between a given host pair
+            arrive in send order, as they would over a TCP connection —
+            the ordering the Isis toolkit assumes of its transport.
+        egress_serialization: when True, each host has one NIC: concurrent
+            outgoing messages queue behind each other for their
+            transmission time (size/bandwidth). Off by default — the
+            plain model delivers every message independently, which is
+            adequate for control traffic but understates the cost of
+            fan-out-heavy data patterns like alltoall (ablated in
+            benchmark E12b).
+        """
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self.hosts: dict[str, Host] = {}
+        self._rng = sim.rng.stream("network.jitter")
+        self._drop_rng = sim.rng.stream("network.drop")
+        self._drop_rate = 0.0
+        self._partitions: list[set[str]] | None = None
+        self._fifo = fifo
+        self._egress_serialization = egress_serialization
+        self._egress_free: dict[str, float] = {}
+        self._last_arrival: dict[tuple[str, str], float] = {}
+        self._routes: dict[frozenset[str], LatencyModel] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def attach(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise SimulationError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        host.network = self
+        return host
+
+    def add_host(self, name: str, speed: float = 1.0) -> Host:
+        """Create and attach a host in one call."""
+        return self.attach(Host(self.sim, name, speed))
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise SimulationError(f"unknown host {name!r}") from None
+
+    def set_route(self, a: str, b: str, latency: LatencyModel) -> None:
+        """Override the latency model for the (symmetric) pair *a*, *b* —
+        e.g. a WAN link between hosts at different sites. A network of
+        supercomputers across campuses is the VCE's motivating setting."""
+        self._routes[frozenset((a, b))] = latency
+
+    def latency_between(self, a: str, b: str) -> LatencyModel:
+        return self._routes.get(frozenset((a, b)), self.latency)
+
+    # -- fault knobs -----------------------------------------------------------
+
+    def set_drop_rate(self, p: float) -> None:
+        """Drop each cross-host message independently with probability *p*."""
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"drop rate must be in [0,1], got {p}")
+        self._drop_rate = p
+
+    def partition(self, *groups: set[str] | frozenset[str] | list[str]) -> None:
+        """Split the network: messages only flow within a group. Hosts not
+        named in any group form an implicit final group."""
+        named = [set(g) for g in groups]
+        rest = set(self.hosts) - set().union(*named) if named else set(self.hosts)
+        if rest:
+            named.append(rest)
+        self._partitions = named
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partitions = None
+
+    def _connected(self, a: str, b: str) -> bool:
+        if self._partitions is None:
+            return True
+        for group in self._partitions:
+            if a in group:
+                return b in group
+        return False
+
+    # -- transport ---------------------------------------------------------------
+
+    def send(self, src: Address, dst: Address, payload: Any, size: int = 256) -> None:
+        """Send a message; delivery is scheduled per the latency model.
+
+        Sends to unknown hosts raise (a programming error); sends to crashed
+        hosts or across a partition are silently dropped (a runtime
+        condition the protocols must tolerate).
+        """
+        message = Message(src, dst, payload, size)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        dst_host = self.host(dst.host)
+        if src.host == dst.host:
+            delay = self.latency.local_latency
+        else:
+            if not self._connected(src.host, dst.host):
+                self.sim.emit("net.partition_drop", src.host, dst=dst.host)
+                return
+            if self._drop_rate > 0.0 and self._drop_rng.random() < self._drop_rate:
+                self.sim.emit("net.drop", src.host, dst=dst.host)
+                return
+            model = self.latency_between(src.host, dst.host)
+            if self._egress_serialization:
+                # one NIC per host: transmissions queue for the wire
+                tx_start = max(self.sim.now, self._egress_free.get(src.host, 0.0))
+                tx_done = tx_start + size / model.bandwidth
+                self._egress_free[src.host] = tx_done
+                delay = (
+                    (tx_done - self.sim.now)
+                    + model.base_latency
+                    + self._rng.random() * model.jitter
+                )
+            else:
+                delay = model.delay(size, self._rng.random())
+
+        arrival = self.sim.now + delay
+        if self._fifo and src.host != dst.host:
+            key = (src.host, dst.host)
+            arrival = max(arrival, self._last_arrival.get(key, 0.0))
+            self._last_arrival[key] = arrival
+
+        def _deliver() -> None:
+            self.messages_delivered += 1
+            dst_host.deliver(message)
+
+        self.sim.schedule_at(arrival, _deliver)

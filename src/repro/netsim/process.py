@@ -1,0 +1,138 @@
+"""Actor base class for simulated processes.
+
+A :class:`SimProcess` lives on one :class:`~repro.netsim.host.Host`, reacts
+to messages (``on_message``) and named timers (``on_timer``), and can send
+messages and arm cancellable timers. All VCE runtime components — scheduler
+daemons, task instances, the execution program — derive from it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.netsim.host import Address
+from repro.netsim.kernel import Timer
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.host import Host
+    from repro.netsim.kernel import Simulator
+
+
+class SimProcess:
+    """Base class for all simulated actors.
+
+    Lifecycle hooks (override as needed):
+
+    - ``on_start()`` — process attached to an up host.
+    - ``on_message(src, payload)`` — a network message arrived.
+    - ``on_timer(key)`` — a timer armed with ``set_timer`` fired.
+    - ``on_stop()`` — killed deliberately (host still up).
+    - ``on_crash()`` — host went down underneath us.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.host: "Host | None" = None
+        self.alive = False
+        self._timers: dict[str, Timer] = {}
+
+    # -- plumbing (called by Host) -------------------------------------------
+
+    def _bind(self, host: "Host") -> None:
+        if self.host is not None:
+            raise SimulationError(f"process {self.name!r} already bound")
+        self.host = host
+
+    def _start(self) -> None:
+        if self.host is None or not self.host.up:
+            return
+        self.alive = True
+        self.on_start()
+
+    def _receive(self, message: Any) -> None:
+        if self.alive:
+            self.on_message(message.src, message.payload)
+
+    def _fire(self, key: str) -> None:
+        self._timers.pop(key, None)
+        if self.alive:
+            self.on_timer(key)
+
+    def _stopped(self) -> None:
+        self.alive = False
+        self._cancel_all_timers()
+        self.on_stop()
+
+    def _crashed(self) -> None:
+        self.alive = False
+        self._cancel_all_timers()
+        self.on_crash()
+
+    def _cancel_all_timers(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    # -- effects ---------------------------------------------------------------
+
+    @property
+    def sim(self) -> "Simulator":
+        if self.host is None:
+            raise SimulationError(f"process {self.name!r} not bound to a host")
+        return self.host.sim
+
+    @property
+    def address(self) -> Address:
+        if self.host is None:
+            raise SimulationError(f"process {self.name!r} not bound to a host")
+        return Address(self.host.name, self.name)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def send(self, dst: Address, payload: Any, size: int = 256) -> None:
+        """Send a message through the network (dropped if we are dead)."""
+        if not self.alive or self.host is None or self.host.network is None:
+            return
+        self.host.network.send(self.address, dst, payload, size)
+
+    def set_timer(self, delay: float, key: str) -> None:
+        """Arm (or re-arm) the named timer; ``on_timer(key)`` fires once after
+        *delay* seconds unless cancelled."""
+        self.cancel_timer(key)
+        self._timers[key] = self.sim.schedule(delay, lambda: self._fire(key))
+
+    def cancel_timer(self, key: str) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    def has_timer(self, key: str) -> bool:
+        return key in self._timers
+
+    def emit(self, category: str, **data: Any) -> None:
+        """Write to the run-wide event log, tagged with this process."""
+        self.sim.emit(category, str(self.address), **data)
+
+    # -- hooks -------------------------------------------------------------------
+
+    def on_start(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_message(self, src: Address, payload: Any) -> None:  # pragma: no cover
+        pass
+
+    def on_timer(self, key: str) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_stop(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_crash(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = self.host.name if self.host else "<unbound>"
+        return f"<{type(self).__name__} {self.name} on {where}>"

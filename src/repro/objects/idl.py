@@ -1,0 +1,159 @@
+"""A small OMG-IDL-flavoured interface definition language.
+
+Grammar::
+
+    idl       := interface*
+    interface := "interface" NAME "{" method* "}"
+    method    := NAME "(" params? ")" ("->" TYPE)? ";"
+    params    := param ("," param)*
+    param     := NAME ":" TYPE
+    TYPE      := "int" | "float" | "string" | "bool" | "record" | "void"
+
+Comments run from ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.util.errors import CommunicationError
+
+VALID_TYPES = {"int", "float", "string", "bool", "record", "void"}
+
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    name: str
+    type: str
+
+
+@dataclass(frozen=True, slots=True)
+class Method:
+    name: str
+    params: tuple[Param, ...] = ()
+    returns: str = "void"
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass
+class Interface:
+    name: str
+    methods: dict[str, Method] = field(default_factory=dict)
+
+    def method(self, name: str) -> Method:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise CommunicationError(
+                f"interface {self.name!r} has no method {name!r}"
+            ) from None
+
+    def check_call(self, name: str, args: tuple) -> Method:
+        method = self.method(name)
+        if len(args) != method.arity:
+            raise CommunicationError(
+                f"{self.name}.{name} takes {method.arity} arguments, got {len(args)}"
+            )
+        return method
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<word>[A-Za-z_][A-Za-z0-9_]*)|(?P<sym>[{}();:,]|->))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    text = re.sub(r"//[^\n]*", "", text)
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise CommunicationError(f"IDL: cannot tokenize near {remainder[:20]!r}")
+        tokens.append(match.group("word") or match.group("sym"))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise CommunicationError("IDL: unexpected end of input")
+        if expected is not None and token != expected:
+            raise CommunicationError(f"IDL: expected {expected!r}, got {token!r}")
+        self.pos += 1
+        return token
+
+    def parse(self) -> dict[str, Interface]:
+        out: dict[str, Interface] = {}
+        while self.peek() is not None:
+            iface = self.interface()
+            if iface.name in out:
+                raise CommunicationError(f"IDL: duplicate interface {iface.name!r}")
+            out[iface.name] = iface
+        return out
+
+    def interface(self) -> Interface:
+        self.take("interface")
+        name = self.take()
+        iface = Interface(name)
+        self.take("{")
+        while self.peek() != "}":
+            method = self.method()
+            if method.name in iface.methods:
+                raise CommunicationError(
+                    f"IDL: duplicate method {name}.{method.name}"
+                )
+            iface.methods[method.name] = method
+        self.take("}")
+        return iface
+
+    def method(self) -> Method:
+        name = self.take()
+        self.take("(")
+        params: list[Param] = []
+        if self.peek() != ")":
+            while True:
+                pname = self.take()
+                self.take(":")
+                ptype = self._type()
+                params.append(Param(pname, ptype))
+                if self.peek() == ",":
+                    self.take(",")
+                else:
+                    break
+        self.take(")")
+        returns = "void"
+        if self.peek() == "->":
+            self.take("->")
+            returns = self._type()
+        self.take(";")
+        return Method(name, tuple(params), returns)
+
+    def _type(self) -> str:
+        token = self.take()
+        if token not in VALID_TYPES:
+            raise CommunicationError(
+                f"IDL: unknown type {token!r}; expected one of {sorted(VALID_TYPES)}"
+            )
+        return token
+
+
+def parse_idl(text: str) -> dict[str, Interface]:
+    """Parse IDL text into {interface name: Interface}."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,44 @@
+"""Architecture-independent encoding costs.
+
+Proxies "translate information into architecture independent form" (§4.2).
+We model an XDR-like canonical encoding: :func:`wire_size` estimates the
+encoded size of a Python value, and :func:`conversion_seconds` models the
+CPU cost of converting to/from the canonical form (byte-order swaps,
+word-size fixes) — charged by data-conversion interposers and proxies when
+caller and callee architectures differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: XDR pads everything to 4-byte units; headers cost one unit.
+_UNIT = 4
+_HEADER = 4
+
+
+def wire_size(value: Any) -> int:
+    """Estimated XDR-encoded size of *value* in bytes."""
+    if value is None or isinstance(value, bool):
+        return _UNIT
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        n = len(value.encode("utf-8"))
+        return _HEADER + ((n + _UNIT - 1) // _UNIT) * _UNIT
+    if isinstance(value, bytes):
+        return _HEADER + ((len(value) + _UNIT - 1) // _UNIT) * _UNIT
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return _HEADER + sum(wire_size(v) for v in value)
+    if isinstance(value, dict):
+        return _HEADER + sum(wire_size(k) + wire_size(v) for k, v in value.items())
+    # unknown object: assume a pickled blob of its repr size
+    return _HEADER + len(repr(value))
+
+
+def conversion_seconds(size: int, seconds_per_byte: float = 1e-8) -> float:
+    """CPU time to convert *size* bytes to/from canonical form (~100 MB/s
+    by default, a generous 1994 marshalling rate)."""
+    return size * seconds_per_byte

@@ -1,0 +1,127 @@
+"""Application bookkeeping.
+
+An :class:`Application` tracks the instances of one submitted task graph —
+their placements, states, results, and timing — and reports completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.runtime.instance import InstanceState, TaskInstance
+from repro.taskgraph import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.host import Host
+
+
+class AppStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TERMINATED = "terminated"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (AppStatus.DONE, AppStatus.FAILED, AppStatus.TERMINATED)
+
+
+@dataclass
+class InstanceRecord:
+    """The runtime manager's view of one task instance."""
+
+    task: str
+    rank: int
+    state: InstanceState = InstanceState.PENDING
+    host_name: str | None = None
+    instance: TaskInstance | None = None
+    result: Any = None
+    dispatched_at: float | None = None
+    finished_at: float | None = None
+    placements: list[str] = field(default_factory=list)  # migration history
+    redundant_copies: list[TaskInstance] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.task, self.rank)
+
+
+class Application:
+    """One submitted VCE application."""
+
+    def __init__(self, app_id: str, graph: TaskGraph, params: dict[str, Any] | None = None):
+        self.id = app_id
+        self.graph = graph
+        self.params = dict(params or {})
+        self.status = AppStatus.PENDING
+        self.submitted_at: float | None = None
+        self.completed_at: float | None = None
+        self.records: dict[tuple[str, int], InstanceRecord] = {}
+        for node in graph:
+            for rank in range(node.instances):
+                self.records[(node.name, rank)] = InstanceRecord(node.name, rank)
+        self._on_complete: list[Callable[["Application"], None]] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def record(self, task: str, rank: int) -> InstanceRecord:
+        return self.records[(task, rank)]
+
+    def task_records(self, task: str) -> list[InstanceRecord]:
+        return [r for r in self.records.values() if r.task == task]
+
+    def task_done(self, task: str) -> bool:
+        """All instances of *task* completed successfully."""
+        return all(r.state is InstanceState.DONE for r in self.task_records(task))
+
+    def ready_tasks(self) -> list[str]:
+        """Tasks whose precedence predecessors are all done and whose own
+        instances are still pending."""
+        out = []
+        for node in self.graph:
+            records = self.task_records(node.name)
+            if any(
+                r.dispatched_at is not None or r.state is not InstanceState.PENDING
+                for r in records
+            ):
+                continue
+            if all(self.task_done(p) for p in self.graph.predecessors(node.name)):
+                out.append(node.name)
+        return out
+
+    @property
+    def all_done(self) -> bool:
+        return all(r.state is InstanceState.DONE for r in self.records.values())
+
+    @property
+    def any_failed(self) -> bool:
+        return any(r.state is InstanceState.FAILED for r in self.records.values())
+
+    def results(self, task: str) -> list[Any]:
+        """Rank-ordered results of a completed task."""
+        records = sorted(self.task_records(task), key=lambda r: r.rank)
+        return [r.result for r in records]
+
+    @property
+    def makespan(self) -> float | None:
+        if self.submitted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    # -- completion ---------------------------------------------------------
+
+    def on_complete(self, callback: Callable[["Application"], None]) -> None:
+        self._on_complete.append(callback)
+        if self.status.terminal:
+            callback(self)
+
+    def _mark_complete(self, status: AppStatus, time: float) -> None:
+        if self.status.terminal:
+            return
+        self.status = status
+        self.completed_at = time
+        for callback in self._on_complete:
+            callback(self)

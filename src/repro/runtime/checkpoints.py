@@ -1,0 +1,64 @@
+"""Checkpoint records (§4.4, "process migration through checkpointing").
+
+The store is logically replicated (any machine can restart a task from it);
+we model write cost at checkpoint time and restore cost at restart time,
+charged by the migration scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointRecord:
+    """One saved checkpoint."""
+
+    app: str
+    task: str
+    rank: int
+    state: Any
+    size: int
+    time: float
+
+
+class CheckpointStore:
+    """Latest-checkpoint-per-instance storage.
+
+    Attributes:
+        write_seconds_per_byte: cost charged to the running task at
+            ``Checkpoint`` syscalls.
+        restore_seconds_per_byte: cost charged when a migration scheme
+            instantiates "the new incarnation from the checkpoint record".
+    """
+
+    def __init__(
+        self,
+        write_seconds_per_byte: float = 2e-8,
+        restore_seconds_per_byte: float = 2e-8,
+    ) -> None:
+        self.write_seconds_per_byte = write_seconds_per_byte
+        self.restore_seconds_per_byte = restore_seconds_per_byte
+        self._records: dict[tuple[str, str, int], CheckpointRecord] = {}
+        self.writes = 0
+
+    def put(self, app: str, task: str, rank: int, state: Any, size: int, time: float) -> float:
+        """Store a checkpoint; returns the write cost in seconds."""
+        self._records[(app, task, rank)] = CheckpointRecord(app, task, rank, state, size, time)
+        self.writes += 1
+        return size * self.write_seconds_per_byte
+
+    def get(self, app: str, task: str, rank: int) -> CheckpointRecord | None:
+        return self._records.get((app, task, rank))
+
+    def restore_cost(self, record: CheckpointRecord) -> float:
+        return record.size * self.restore_seconds_per_byte
+
+    def drop_app(self, app: str) -> None:
+        """Discard all records of a finished application."""
+        for key in [k for k in self._records if k[0] == app]:
+            del self._records[key]
+
+    def __len__(self) -> int:
+        return len(self._records)

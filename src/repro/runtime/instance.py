@@ -1,0 +1,429 @@
+"""Task instances: the syscall interpreter.
+
+A :class:`TaskInstance` drives one task program (a Python generator) on its
+host, translating the vMPI syscalls into simulated effects:
+
+- ``Compute`` — time = work / (machine effective speed / co-resident VCE
+  compute tasks). Effective speed is sampled when the burst starts (a
+  documented approximation; bursts are short relative to load changes in
+  the shipped workloads) and re-sampled if the machine is fully busy.
+- ``Send``/``Recv`` — channel traffic with tag/src matching and a parked-
+  receive mailbox.
+- ``Checkpoint`` — writes the checkpoint store, charging write cost.
+- ``ReadFile``/``WriteFile`` — local or remote file access against the
+  machine's file set.
+- ``Sleep``/``Emit`` — timing and logging.
+
+Instances can be *suspended* (the Stealth-style load policies of §4.3: the
+program stops advancing but keeps accumulating messages), *killed* (the
+redundant-execution scheme kills copies), and *adopted* by another host
+(dump migration moves the live object; see ``Host.adopt``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.channels.channel import Channel, ChannelDelivery
+from repro.channels.port import Port, PortDirection
+from repro.netsim.host import Address
+from repro.netsim.process import SimProcess
+from repro.util.errors import CommunicationError, SimulationError
+from repro.vmpi.api import ANY, Checkpoint, Compute, Emit, ReadFile, Recv, Send, Sleep, WriteFile
+from repro.vmpi.communicator import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.checkpoints import CheckpointStore
+    from repro.taskgraph.node import TaskNode
+
+
+class InstanceState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SUSPENDED = "suspended"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (InstanceState.DONE, InstanceState.FAILED, InstanceState.KILLED)
+
+
+def _host_compute_count(host: Any) -> int:
+    return getattr(host, "_vce_computing", 0)
+
+
+def _host_compute_delta(host: Any, delta: int) -> None:
+    host._vce_computing = _host_compute_count(host) + delta
+
+
+class _Envelope:
+    """Tagged payload riding inside channel deliveries."""
+
+    __slots__ = ("tag", "data")
+
+    def __init__(self, tag: str | None, data: Any) -> None:
+        self.tag = tag
+        self.data = data
+
+
+class TaskInstance(SimProcess):
+    """One running copy of a task (see module docstring).
+
+    Args:
+        name: globally unique process name.
+        ctx: the task context handed to the program factory.
+        node: the task-graph node being executed.
+        channels: name → Channel for every channel this instance may use;
+            the key ``None``... is not allowed — the MPI communicator
+            channel is passed as ``mpi_channel``.
+        mpi_channel: the channel carrying this task's rank-addressed
+            traffic (None for single-instance tasks that never use ranks).
+        checkpoints: the checkpoint store.
+        on_exit: callback ``(instance, state, result_or_error)`` fired once
+            on DONE / FAILED / KILLED.
+    """
+
+    #: polling interval when the machine is completely saturated by local load
+    STALL_RETRY = 1.0
+
+    def __init__(
+        self,
+        name: str,
+        ctx: TaskContext,
+        node: "TaskNode",
+        channels: dict[str, Channel],
+        mpi_channel: Channel | None,
+        checkpoints: "CheckpointStore",
+        on_exit: Callable[["TaskInstance", InstanceState, Any], None] | None = None,
+        start_delay: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        self.ctx = ctx
+        self.node = node
+        self.channels = channels
+        self.mpi_channel = mpi_channel
+        self.checkpoints = checkpoints
+        self.on_exit = on_exit
+        self.start_delay = start_delay
+
+        self.state = InstanceState.PENDING
+        self.result: Any = None
+        self.error: Exception | None = None
+        self.work_done = 0.0
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+        self._gen: Any = None
+        self._gen_started = False
+        self._mailbox: list[tuple[str | None, str | int, str | None, Any]] = []
+        self._parked_recv: Recv | None = None
+        self._suspended = False
+        self._held_resume: tuple[Any] | None = None
+        self._computing = False
+        self._compute_finish_at: float | None = None
+        self._frozen_compute_remaining: float | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        if self.state is not InstanceState.PENDING:
+            return
+        if self.start_delay > 0:
+            # data-staging / binary-loading time before the program runs
+            self.set_timer(self.start_delay, "stage-in")
+        else:
+            self._begin()
+
+    def on_timer(self, key: str) -> None:
+        if key == "stage-in":
+            self._begin()
+        elif key == "compute-done":
+            self._computing = False
+            _host_compute_delta(self.host, -1)
+            self._resume(None)
+        elif key == "compute-stalled":
+            self._start_compute(self._stalled_work)
+        elif key == "resume":
+            self._resume(None)
+
+    def _begin(self) -> None:
+        if self.node.program is None:
+            raise SimulationError(f"task {self.node.name!r} has no program attached")
+        self.state = InstanceState.RUNNING
+        self.started_at = self.now
+        self.emit(
+            "task.start",
+            app=self.ctx.app,
+            task=self.ctx.task,
+            rank=self.ctx.rank,
+            host=self.host.name if self.host else "?",
+        )
+        self._gen = self.node.program(self.ctx)
+        self._step(None)
+
+    # ------------------------------------------------------------ interpreter
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator until it blocks or finishes."""
+        while self.alive and not self.state.terminal:
+            try:
+                if self._gen_started:
+                    syscall = self._gen.send(send_value)
+                else:
+                    self._gen_started = True
+                    syscall = next(self._gen)
+            except StopIteration as stop:
+                self._finish(InstanceState.DONE, stop.value)
+                return
+            except Exception as err:  # noqa: BLE001 - task program fault
+                self._finish(InstanceState.FAILED, err)
+                return
+            send_value = None
+
+            if isinstance(syscall, Compute):
+                self._start_compute(syscall.work)
+                return
+            if isinstance(syscall, Send):
+                self._do_send(syscall)
+                continue
+            if isinstance(syscall, Recv):
+                matched = self._match_mailbox(syscall)
+                if matched is not None:
+                    send_value = matched
+                    continue
+                self._parked_recv = syscall
+                self.state = InstanceState.BLOCKED
+                return
+            if isinstance(syscall, Checkpoint):
+                cost = self.checkpoints.put(
+                    self.ctx.app, self.ctx.task, self.ctx.rank,
+                    syscall.state, syscall.size, self.now,
+                )
+                self.emit("task.checkpoint", app=self.ctx.app, task=self.ctx.task,
+                          rank=self.ctx.rank, size=syscall.size)
+                self.set_timer(cost, "resume")
+                return
+            if isinstance(syscall, Sleep):
+                self.set_timer(max(0.0, syscall.seconds), "resume")
+                return
+            if isinstance(syscall, Emit):
+                self.emit(syscall.category, **syscall.data)
+                continue
+            if isinstance(syscall, ReadFile):
+                self.set_timer(self._file_read_cost(syscall), "resume")
+                return
+            if isinstance(syscall, WriteFile):
+                machine = self.host.machine
+                if machine is not None:
+                    machine.files.add(syscall.name)
+                self.set_timer(syscall.size * 1e-8, "resume")
+                return
+            raise SimulationError(
+                f"task {self.node.name!r} yielded unknown syscall {syscall!r}"
+            )
+
+    def _resume(self, value: Any) -> None:
+        """Continue the generator, honouring suspension."""
+        if not self.alive or self.state.terminal:
+            return
+        if self._suspended:
+            self._held_resume = (value,)
+            return
+        self.state = InstanceState.RUNNING
+        self._step(value)
+
+    # -------------------------------------------------------------- compute
+
+    def _start_compute(self, work: float) -> None:
+        machine = self.host.machine
+        base = machine.effective_speed(self.now) if machine is not None else self.host.speed
+        if base <= 1e-9:
+            # machine saturated by local work: poll until capacity frees up
+            self._stalled_work = work
+            self.set_timer(self.STALL_RETRY, "compute-stalled")
+            return
+        contenders = _host_compute_count(self.host) + 1
+        speed = base / contenders
+        duration = work / speed
+        self._computing = True
+        _host_compute_delta(self.host, +1)
+        self.work_done += work
+        self._compute_finish_at = self.now + duration
+        self.set_timer(duration, "compute-done")
+
+    # ---------------------------------------------------------------- comms
+
+    def _channel_for(self, name: str | None) -> Channel:
+        if name is None:
+            if self.mpi_channel is None:
+                raise CommunicationError(
+                    f"task {self.node.name!r} has no MPI communicator "
+                    "(single-instance task sending by rank?)"
+                )
+            return self.mpi_channel
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise CommunicationError(
+                f"task {self.node.name!r} is not attached to channel {name!r}"
+            ) from None
+
+    def _do_send(self, syscall: Send) -> None:
+        channel = self._channel_for(syscall.channel)
+        if isinstance(syscall.dst, int):
+            to = str(syscall.dst)
+            sender_port = str(self.ctx.rank)
+        else:
+            to = syscall.dst
+            sender_port = f"{self.ctx.task}[{self.ctx.rank}]"
+        channel.send(
+            Port(sender_port, self.address, PortDirection.SEND),
+            _Envelope(syscall.tag, syscall.data),
+            size=syscall.size,
+            to=to,
+        )
+
+    def _match_mailbox(self, pattern: Recv) -> tuple[Any, Any] | None:
+        """Find, pop, and return (src, data) for the first matching message."""
+        for i, (chan, src, tag, data) in enumerate(self._mailbox):
+            if self._matches(pattern, chan, src, tag):
+                self._mailbox.pop(i)
+                return (src, data)
+        return None
+
+    @staticmethod
+    def _matches(pattern: Recv, chan: str | None, src: Any, tag: str | None) -> bool:
+        if pattern.channel != chan:
+            return False
+        if pattern.src is not ANY and pattern.src != src:
+            return False
+        if pattern.tag is not None and pattern.tag != tag:
+            return False
+        return True
+
+    def on_message(self, src: Address, payload: Any) -> None:
+        if not isinstance(payload, ChannelDelivery):
+            return
+        envelope = payload.data
+        tag = envelope.tag if isinstance(envelope, _Envelope) else None
+        data = envelope.data if isinstance(envelope, _Envelope) else envelope
+        if self.mpi_channel is not None and payload.channel == self.mpi_channel.name:
+            chan_key: str | None = None
+            try:
+                source: Any = int(payload.sender_port)
+            except ValueError:
+                source = payload.sender_port
+        else:
+            chan_key = payload.channel
+            source = payload.sender_port
+        self._mailbox.append((chan_key, source, tag, data))
+        if self._parked_recv is not None and not self._suspended:
+            matched = self._match_mailbox(self._parked_recv)
+            if matched is not None:
+                self._parked_recv = None
+                self._resume(matched)
+
+    # ------------------------------------------------------------------ files
+
+    def _file_read_cost(self, syscall: ReadFile) -> float:
+        machine = self.host.machine
+        local_cost = syscall.size * 1e-8  # ~100 MB/s local disk
+        if machine is None or syscall.name in machine.files:
+            return local_cost
+        # remote fetch over the LAN, then cache locally
+        network = self.host.network
+        fetch = syscall.size / network.latency.bandwidth + network.latency.base_latency
+        machine.files.add(syscall.name)
+        self.emit("task.file_fetch", app=self.ctx.app, task=self.ctx.task,
+                  rank=self.ctx.rank, file=syscall.name, size=syscall.size)
+        return local_cost + fetch
+
+    # ----------------------------------------------------------------- control
+
+    def suspend(self) -> None:
+        """Stop advancing the program (Stealth-style local-priority yield).
+        An in-flight compute burst is frozen and its remaining time resumes
+        on :meth:`resume` — the CPU really is taken away."""
+        if self.state.terminal or self._suspended:
+            return
+        self._suspended = True
+        if self._computing and self._compute_finish_at is not None:
+            self._frozen_compute_remaining = max(0.0, self._compute_finish_at - self.now)
+            self.cancel_timer("compute-done")
+            self._computing = False
+            _host_compute_delta(self.host, -1)
+        self.state = InstanceState.SUSPENDED
+        self.emit("task.suspend", app=self.ctx.app, task=self.ctx.task, rank=self.ctx.rank)
+
+    def resume(self) -> None:
+        """Undo :meth:`suspend`."""
+        if self.state.terminal or not self._suspended:
+            return
+        self._suspended = False
+        self.state = InstanceState.BLOCKED if self._parked_recv else InstanceState.RUNNING
+        self.emit("task.resume", app=self.ctx.app, task=self.ctx.task, rank=self.ctx.rank)
+        if self._frozen_compute_remaining is not None:
+            remaining = self._frozen_compute_remaining
+            self._frozen_compute_remaining = None
+            self._computing = True
+            _host_compute_delta(self.host, +1)
+            self._compute_finish_at = self.now + remaining
+            self.set_timer(remaining, "compute-done")
+            return
+        if self._held_resume is not None:
+            value = self._held_resume[0]
+            self._held_resume = None
+            self._resume(value)
+        elif self._parked_recv is not None:
+            matched = self._match_mailbox(self._parked_recv)
+            if matched is not None:
+                self._parked_recv = None
+                self._resume(matched)
+
+    def kill(self, reason: str = "") -> None:
+        """Terminate this copy ("kill the incarnation of the redundant task
+        on that machine", §4.4)."""
+        if self.state.terminal:
+            return
+        self._finish(InstanceState.KILLED, reason)
+        if self.host is not None:
+            self.host.kill(self.name)
+
+    def _finish(self, state: InstanceState, outcome: Any) -> None:
+        if self.state.terminal:
+            return
+        if self._computing:
+            self._computing = False
+            _host_compute_delta(self.host, -1)
+            self.cancel_timer("compute-done")
+        self.state = state
+        self.finished_at = self.now
+        if state is InstanceState.DONE:
+            self.result = outcome
+        elif state is InstanceState.FAILED:
+            self.error = outcome
+        self.emit(
+            f"task.{state.value}",
+            app=self.ctx.app,
+            task=self.ctx.task,
+            rank=self.ctx.rank,
+            host=self.host.name if self.host else "?",
+        )
+        if self.on_exit is not None:
+            self.on_exit(self, state, outcome)
+
+    def on_crash(self) -> None:
+        if not self.state.terminal:
+            if self._computing:
+                self._computing = False
+                _host_compute_delta(self.host, -1)
+            self.state = InstanceState.FAILED
+            self.error = SimulationError(f"host {self.host.name} crashed")
+            self.finished_at = self.now
+            self.emit("task.host_crashed", app=self.ctx.app, task=self.ctx.task, rank=self.ctx.rank)
+            if self.on_exit is not None:
+                self.on_exit(self, InstanceState.FAILED, self.error)

@@ -1,0 +1,336 @@
+"""The runtime manager: dispatch, precedence, staging, completion.
+
+The manager turns an annotated task graph plus a :class:`Placement` into
+running :class:`~repro.runtime.instance.TaskInstance` processes:
+
+- root tasks dispatch immediately; successors dispatch when every instance
+  of every precedence predecessor has completed;
+- DATA-arc volumes are charged as stage-in delay when producer and consumer
+  landed on different hosts;
+- binary availability is consulted through an optional *binary service*
+  (the compilation manager): a task whose binary is already prepared for
+  the target machine class starts immediately, otherwise it pays
+  compile-on-demand time — the cost anticipatory compilation (§4.5)
+  removes;
+- instance failures are offered to registered failure handlers (migration
+  and fault-tolerance policies); unhandled failures fail the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Protocol
+
+from repro.channels.channel import Channel, ChannelManager
+from repro.channels.port import Port, PortDirection
+from repro.runtime.app import Application, AppStatus, InstanceRecord
+from repro.runtime.checkpoints import CheckpointStore
+from repro.runtime.instance import InstanceState, TaskInstance
+from repro.taskgraph import ArcKind, TaskGraph
+from repro.util.errors import ConfigurationError
+from repro.vmpi.communicator import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machines.machine import Machine
+    from repro.netsim.host import Host
+    from repro.netsim.kernel import Simulator
+    from repro.netsim.network import Network
+    from repro.taskgraph.node import TaskNode
+
+
+class BinaryService(Protocol):
+    """What the runtime manager needs from the compilation manager."""
+
+    def load_delay(self, task: "TaskNode", machine: "Machine", now: float) -> float:
+        """Seconds of extra start latency to have a runnable binary on
+        *machine* (0.0 when one is already prepared). May raise
+        :class:`~repro.util.errors.CompilationError` if impossible."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class Placement:
+    """(task, rank) → host-name assignment produced by the scheduler."""
+
+    assignments: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    def assign(self, task: str, rank: int, host_name: str) -> None:
+        self.assignments[(task, rank)] = host_name
+
+    def host_for(self, task: str, rank: int) -> str:
+        try:
+            return self.assignments[(task, rank)]
+        except KeyError:
+            raise ConfigurationError(f"no placement for {task}[{rank}]") from None
+
+    def covers(self, graph: TaskGraph) -> bool:
+        return all(
+            (node.name, rank) in self.assignments
+            for node in graph
+            for rank in range(node.instances)
+        )
+
+
+#: Failure handler signature: return True if the failure was handled (the
+#: handler re-dispatched or absorbed it), False to let the app fail.
+FailureHandler = Callable[[Application, InstanceRecord, TaskInstance], bool]
+
+
+class RuntimeManager:
+    """Central dispatch bookkeeping of the EXM (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        channels: ChannelManager | None = None,
+        checkpoints: CheckpointStore | None = None,
+        binary_service: BinaryService | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.channels = channels or ChannelManager(network)
+        self.checkpoints = checkpoints or CheckpointStore()
+        self.binary_service = binary_service
+        self.apps: dict[str, Application] = {}
+        self.failure_handlers: list[FailureHandler] = []
+        #: called after every instance dispatch — migration/redundancy
+        #: services hook here (e.g. to launch redundant copies)
+        self.dispatch_hooks: list[Callable[[Application, InstanceRecord], None]] = []
+        self._incarnations: dict[tuple[str, str, int], int] = {}
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        graph: TaskGraph,
+        placement: Placement,
+        params: dict[str, Any] | None = None,
+        app_id: str | None = None,
+    ) -> Application:
+        """Start an application; returns its tracking object immediately."""
+        graph.validate()
+        if not placement.covers(graph):
+            raise ConfigurationError(f"placement does not cover graph {graph.name!r}")
+        app_id = app_id or self.sim.ids.next("app")
+        app = Application(app_id, graph, params)
+        app.submitted_at = self.sim.now
+        app.status = AppStatus.RUNNING
+        app._placement = placement  # kept for successor dispatch
+        self.apps[app_id] = app
+        self.sim.emit("app.submit", app_id, tasks=len(graph))
+        for task in app.ready_tasks():
+            self._dispatch_task(app, task)
+        if not app.records:  # degenerate empty graph
+            app._mark_complete(AppStatus.DONE, self.sim.now)
+        return app
+
+    def terminate(self, app: Application) -> None:
+        """Kill every live instance ("the execution program notifies all
+        machines working on the application to terminate", §5)."""
+        for record in app.records.values():
+            if record.instance is not None and not record.instance.state.terminal:
+                record.instance.kill("app-terminated")
+            for copy in record.redundant_copies:
+                if not copy.state.terminal:
+                    copy.kill("app-terminated")
+        app._mark_complete(AppStatus.TERMINATED, self.sim.now)
+        self.checkpoints.drop_app(app.id)
+        self.sim.emit("app.terminate", app.id)
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch_task(self, app: Application, task: str) -> None:
+        node = app.graph.task(task)
+        for rank in range(node.instances):
+            record = app.record(task, rank)
+            host_name = app._placement.host_for(task, rank)
+            self.dispatch_instance(app, record, host_name)
+
+    def dispatch_instance(
+        self,
+        app: Application,
+        record: InstanceRecord,
+        host_name: str,
+        restored_state: Any = None,
+    ) -> TaskInstance:
+        """Create and start one instance of ``record`` on *host_name*.
+
+        Also used by migration schemes for re-dispatch: pass
+        ``restored_state`` to hand the program its last checkpoint.
+        """
+        node = app.graph.task(record.task)
+        host = self.network.host(host_name)
+        key = (app.id, record.task, record.rank)
+        incarnation = self._incarnations.get(key, 0)
+        self._incarnations[key] = incarnation + 1
+        name = f"{app.id}.{record.task}.{record.rank}#{incarnation}"
+
+        ctx = TaskContext(
+            app=app.id,
+            task=record.task,
+            rank=record.rank,
+            size=node.instances,
+            params=app.params,
+            restored_state=restored_state,
+        )
+        mpi_channel, named = self._wire_channels(app, node, record.rank)
+        start_delay = self._stage_in_delay(app, node, host_name)
+        start_delay += self._binary_delay(node, host)
+
+        instance = TaskInstance(
+            name=name,
+            ctx=ctx,
+            node=node,
+            channels=named,
+            mpi_channel=mpi_channel,
+            checkpoints=self.checkpoints,
+            on_exit=lambda inst, state, outcome: self._instance_exited(
+                app, record, inst, state, outcome
+            ),
+            start_delay=start_delay,
+        )
+        address = host.spawn(instance)
+        # point this rank's receive ports at the new incarnation
+        if mpi_channel is not None:
+            self._bind_port(mpi_channel, str(record.rank), address)
+        for channel in named.values():
+            self._bind_port(channel, f"{record.task}[{record.rank}]", address)
+
+        record.instance = instance
+        record.state = InstanceState.PENDING
+        record.host_name = host_name
+        record.dispatched_at = self.sim.now
+        record.placements.append(host_name)
+        self.sim.emit(
+            "runtime.dispatch",
+            app.id,
+            task=record.task,
+            rank=record.rank,
+            host=host_name,
+            stage_in=start_delay,
+        )
+        for hook in self.dispatch_hooks:
+            hook(app, record)
+        return instance
+
+    @staticmethod
+    def _bind_port(channel: Channel, port_name: str, address: Any) -> None:
+        existing = {p.name for p in channel.receive_ports}
+        if port_name in existing:
+            channel.rebind(port_name, address)
+        else:
+            channel.attach(Port(port_name, address, PortDirection.RECEIVE))
+
+    def _wire_channels(
+        self, app: Application, node: "TaskNode", rank: int
+    ) -> tuple[Channel | None, dict[str, Channel]]:
+        mpi_channel = None
+        if node.instances > 1:
+            mpi_channel = self.channels.get_or_create(f"{app.id}.{node.name}.mpi")
+        named: dict[str, Channel] = {}
+        for arc in app.graph.arcs:
+            if arc.kind is not ArcKind.STREAM or node.name not in (arc.src, arc.dst):
+                continue
+            cname = arc.channel or f"{app.id}.{arc.src}->{arc.dst}"
+            named[cname] = self.channels.get_or_create(cname)
+        return mpi_channel, named
+
+    def _stage_in_delay(self, app: Application, node: "TaskNode", host_name: str) -> float:
+        """Max transfer time of incoming DATA-arc volumes produced on other
+        hosts (transfers proceed in parallel)."""
+        delay = 0.0
+        bandwidth = self.network.latency.bandwidth
+        for arc in app.graph.arcs_into(node.name):
+            if arc.kind is not ArcKind.DATA or arc.volume <= 0:
+                continue
+            remote = any(
+                r.host_name is not None and r.host_name != host_name
+                for r in app.task_records(arc.src)
+            )
+            if remote:
+                delay = max(delay, arc.volume / bandwidth + self.network.latency.base_latency)
+        return delay
+
+    def _binary_delay(self, node: "TaskNode", host: "Host") -> float:
+        if self.binary_service is None or host.machine is None:
+            return 0.0
+        return self.binary_service.load_delay(node, host.machine, self.sim.now)
+
+    # ------------------------------------------------------------ transitions
+
+    def _instance_exited(
+        self,
+        app: Application,
+        record: InstanceRecord,
+        instance: TaskInstance,
+        state: InstanceState,
+        outcome: Any,
+    ) -> None:
+        if record.instance is not instance:
+            # a superseded incarnation (killed during migration) — ignore
+            return
+        record.state = state
+        record.finished_at = self.sim.now
+        if state is InstanceState.DONE:
+            record.result = instance.result
+            self._kill_redundant_copies(record, "primary-done")
+            self._advance(app)
+        elif state is InstanceState.FAILED:
+            if app.status.terminal:
+                return
+            handled = any(h(app, record, instance) for h in self.failure_handlers)
+            if not handled:
+                app._mark_complete(AppStatus.FAILED, self.sim.now)
+                self.sim.emit("app.failed", app.id, task=record.task, rank=record.rank)
+        # KILLED incarnations are superseded deliberately; nothing to do.
+
+    def _kill_redundant_copies(self, record: InstanceRecord, reason: str) -> None:
+        # iterate a snapshot: each kill() re-enters the copy's on_exit, which
+        # may remove it from the live list
+        for copy in list(record.redundant_copies):
+            if not copy.state.terminal:
+                copy.kill(reason)
+        record.redundant_copies.clear()
+
+    def _advance(self, app: Application) -> None:
+        if app.status.terminal:
+            return
+        if app.all_done:
+            app._mark_complete(AppStatus.DONE, self.sim.now)
+            self.sim.emit("app.done", app.id, makespan=app.makespan)
+            self.checkpoints.drop_app(app.id)
+            return
+        for task in app.ready_tasks():
+            self._dispatch_task(app, task)
+
+    # ------------------------------------------------------------- utilities
+
+    def add_failure_handler(self, handler: FailureHandler) -> None:
+        self.failure_handlers.append(handler)
+
+    def instances_on(self, host_name: str) -> list[TaskInstance]:
+        """Live VCE task instances currently on *host_name*."""
+        out = []
+        for app in self.apps.values():
+            for record in app.records.values():
+                inst = record.instance
+                if (
+                    inst is not None
+                    and not inst.state.terminal
+                    and inst.host is not None
+                    and inst.host.name == host_name
+                ):
+                    out.append(inst)
+                for copy in record.redundant_copies:
+                    if (
+                        not copy.state.terminal
+                        and copy.host is not None
+                        and copy.host.name == host_name
+                    ):
+                        out.append(copy)
+        return out
+
+    def rebind_instance(self, old_address: Any, new_address: Any) -> int:
+        """Channel handoff after a migration (counts ports moved)."""
+        return self.channels.rebind_everywhere(old_address, new_address)

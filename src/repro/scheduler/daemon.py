@@ -1,0 +1,314 @@
+"""The scheduling/dispatching daemon.
+
+One :class:`SchedulerDaemon` runs on every machine "authorized to host
+remote executions". Daemons of one machine class form an Isis process
+group; the group's coordinator (oldest member) acts as group leader and
+runs the C-style ``groupLeader()`` loop from §5:
+
+    receiveRequest → bcastRequestToGroup → collect bids →
+    sortBidsByLoad → returnBids | returnAllocError
+
+Every daemon (leader included) answers the state-disclosure broadcast with
+a bid when it is "not already excessively loaded and can run remote jobs".
+Unsatisfiable requests flagged ``queue_if_insufficient`` enter the leader's
+:class:`~repro.scheduler.queue.AgingQueue` and are retried periodically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.isis.member import ALL, IsisConfig, IsisMember
+from repro.isis.views import View
+from repro.netsim.host import Address
+from repro.scheduler.directory import GroupDirectory
+from repro.scheduler.messages import (
+    AllocationError_,
+    AllocationReply,
+    ExecutionInfo,
+    MachineBid,
+    ResourceRequest,
+    SetPriority,
+    TerminateNotice,
+)
+from repro.scheduler.queue import AgingQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machines.machine import Machine
+
+
+@dataclass
+class DaemonConfig:
+    """Daemon policy knobs.
+
+    Attributes:
+        busy_threshold: above this load a daemon declines to bid
+            ("not already excessively loaded").
+        per_instance_load: load attributed to each hosted VCE instance when
+            reporting "current load".
+        bid_timeout: how long the leader collects bids before deciding.
+        retry_interval: queued-request retry period.
+        aging_rate: priority gained per second of queue wait (§4.3).
+        accepts_remote: whether this machine hosts remote executions at all.
+    """
+
+    busy_threshold: float = 0.8
+    per_instance_load: float = 0.25
+    bid_timeout: float = 1.0
+    retry_interval: float = 2.0
+    aging_rate: float = 0.1
+    accepts_remote: bool = True
+
+
+class SchedulerDaemon(IsisMember):
+    """See module docstring.
+
+    Args:
+        name: process name (conventionally ``"vced"``).
+        machine: this host's machine description.
+        directory: shared leader directory kept fresh from view changes.
+        contacts: existing group members to join through.
+        config: daemon policy; isis_config: group-protocol timing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: "Machine",
+        directory: GroupDirectory,
+        contacts: list[Address] | None = None,
+        config: DaemonConfig | None = None,
+        isis_config: IsisConfig | None = None,
+    ) -> None:
+        group_name = f"vce.{machine.arch_class.value}"
+        super().__init__(name, group_name, contacts, isis_config)
+        self.machine = machine
+        self.directory = directory
+        self.daemon_config = config or DaemonConfig()
+        self.hosted: dict[str, int] = {}  # app id -> instances hosted here
+        self.pending_queue = AgingQueue(self.daemon_config.aging_rate)
+        self._collecting: dict[str, ResourceRequest] = {}
+        self._first_enqueued: dict[str, float] = {}
+        self.bids_made = 0
+        self.requests_led = 0
+
+    # ------------------------------------------------------------------ load
+
+    def hosted_instances(self) -> int:
+        return sum(self.hosted.values())
+
+    def current_load(self) -> float:
+        """Background (locally-initiated) load plus VCE-hosted work."""
+        return (
+            self.machine.load_at(self.now)
+            + self.daemon_config.per_instance_load * self.hosted_instances()
+        )
+
+    def can_bid(self) -> bool:
+        return (
+            self.daemon_config.accepts_remote
+            and self.current_load() < self.daemon_config.busy_threshold
+        )
+
+    def make_bid(self) -> MachineBid:
+        return MachineBid(
+            machine=self.machine.name,
+            daemon=self.address,
+            load=self.current_load(),
+            speed=self.machine.speed,
+            arch_class=self.machine.arch_class,
+            free_memory_mb=self.machine.memory_mb,
+            site=str(self.machine.attributes.get("site", "")),
+        )
+
+    # ------------------------------------------------------- membership hooks
+
+    def on_view_change(self, view: View, joined: list[Address], left: list[Address]) -> None:
+        if self.is_coordinator:
+            self.directory.update(
+                self.machine.arch_class, self.address, list(view.members), view.view_id
+            )
+            self.emit("sched.leader", group=self.group, view_id=view.view_id)
+            if self.pending_queue:
+                self.set_timer(self.daemon_config.retry_interval, "retry-queue")
+
+    # ----------------------------------------------------------- leader side
+
+    def on_message(self, src: Address, payload: Any) -> None:
+        if isinstance(payload, ResourceRequest):
+            self._on_resource_request(payload)
+            return
+        if isinstance(payload, ExecutionInfo):
+            self.hosted[payload.app] = self.hosted.get(payload.app, 0) + len(payload.tasks)
+            self.emit("sched.hosting", app=payload.app, count=len(payload.tasks))
+            return
+        if isinstance(payload, SetPriority):
+            self._on_set_priority(payload)
+            return
+        if isinstance(payload, TerminateNotice):
+            if payload.app in self.hosted:
+                del self.hosted[payload.app]
+                self.emit("sched.released", app=payload.app)
+                # capacity freed: give queued requests another chance
+                if self.is_coordinator and self.pending_queue:
+                    self.set_timer(0.0, "retry-queue")
+            return
+        super().on_message(src, payload)
+
+    def _on_resource_request(self, request: ResourceRequest) -> None:
+        if not self.joined:
+            return
+        if not self.is_coordinator:
+            # forward to the leader (the execution program may hold a stale
+            # directory entry across a leader failure)
+            assert self.view is not None
+            self.send(self.view.coordinator, request, size=512)
+            return
+        if request.queue_if_insufficient and (self.pending_queue or self._collecting):
+            # a backlog exists: fresh queueable arrivals take their place in
+            # the aged-priority order rather than racing the queue (§4.3)
+            first = self._first_enqueued.setdefault(request.req_id, self.now)
+            if request.req_id not in self.pending_queue and request.req_id not in self._collecting:
+                # replicate the queue entry to the whole group so it
+                # survives a leader crash (cbcast self-delivers, so our own
+                # queue is updated synchronously too)
+                self.cbcast("queue_add", (request, first), size=512)
+            if not self._collecting:
+                self.set_timer(0.0, "retry-queue")
+            return
+        self._start_bidding(request)
+
+    def _on_set_priority(self, msg: SetPriority) -> None:
+        """Runtime priority change for a queued request (§4.3). Leaders
+        apply and replicate; non-leaders forward."""
+        if not self.joined:
+            return
+        if not self.is_coordinator:
+            assert self.view is not None
+            self.send(self.view.coordinator, msg, size=128)
+            return
+        if msg.req_id in self.pending_queue:
+            self.cbcast("queue_reprioritize", (msg.req_id, msg.priority), size=128)
+
+    def _start_bidding(self, request: ResourceRequest) -> None:
+        self.requests_led += 1
+        self.emit("sched.request", app=request.app, req_id=request.req_id,
+                  needed=request.total_min)
+        self._collecting[request.req_id] = request
+        self.group_request(
+            ("disclose", request.req_id),
+            n_wanted=ALL,
+            timeout=self.daemon_config.bid_timeout,
+            on_done=lambda replies, timed_out: self._bids_collected(
+                request, replies, timed_out
+            ),
+        )
+
+    def _bids_collected(
+        self,
+        request: ResourceRequest,
+        replies: list[tuple[Address, Any]],
+        timed_out: bool,
+    ) -> None:
+        self._collecting.pop(request.req_id, None)
+        if not self.alive or not self.is_coordinator:
+            return
+        bids = [b for (_, b) in replies if isinstance(b, MachineBid)]
+        # sortBidsByLoad(); ties broken by speed (faster first), then name
+        bids.sort(key=lambda b: (b.load, -b.speed, b.machine))
+        if len(bids) < request.total_min:
+            queued = request.queue_if_insufficient
+            self.emit(
+                "sched.alloc_error",
+                app=request.app,
+                req_id=request.req_id,
+                requested=request.total_min,
+                available=len(bids),
+                queued=queued,
+            )
+            self.send(
+                request.reply_to,
+                AllocationError_(request.req_id, request.total_min, len(bids), queued),
+                size=256,
+            )
+            if queued and request.req_id not in self.pending_queue:
+                # preserve the original enqueue time across retries so the
+                # request keeps aging instead of resetting (§4.3); replicate
+                # it group-wide so it survives a leader crash
+                first = self._first_enqueued.setdefault(request.req_id, self.now)
+                self.cbcast("queue_add", (request, first), size=512)
+            if self.pending_queue:
+                self.set_timer(self.daemon_config.retry_interval, "retry-queue")
+            return
+        self._first_enqueued.pop(request.req_id, None)
+        if request.req_id in self.pending_queue:
+            self.cbcast("queue_remove", request.req_id, size=128)
+        self.emit("sched.alloc", app=request.app, req_id=request.req_id, bids=len(bids))
+        self.send(request.reply_to, AllocationReply(request.req_id, tuple(bids)), size=1024)
+        if self.pending_queue:
+            self.set_timer(self.daemon_config.retry_interval, "retry-queue")
+
+    # ------------------------------------------------------------ member side
+
+    def on_cbcast(self, sender: Address, kind: str, payload: Any) -> None:
+        """Queue replication: every daemon mirrors the leader's pending
+        queue, so a new leader resumes queued work after a takeover
+        ("fault-tolerance of the group leader ... through redundancy")."""
+        if kind == "queue_add":
+            request, first = payload
+            self._first_enqueued.setdefault(request.req_id, first)
+            self.pending_queue.push(request, first)
+            if self.is_coordinator and not self._collecting and not self.has_timer("retry-queue"):
+                self.set_timer(self.daemon_config.retry_interval, "retry-queue")
+        elif kind == "queue_remove":
+            self.pending_queue.remove(payload)
+            self._first_enqueued.pop(payload, None)
+        elif kind == "queue_reprioritize":
+            req_id, priority = payload
+            for item in self.pending_queue._items:
+                if item.request.req_id == req_id:
+                    import dataclasses as _dc
+
+                    item.request = _dc.replace(item.request, priority=priority)
+                    if self.is_coordinator:
+                        self.emit("sched.reprioritized", req_id=req_id, priority=priority)
+                    break
+
+    def on_group_request(self, requester: Address, body: Any, reply: Callable[[Any], None]) -> None:
+        if isinstance(body, tuple) and body and body[0] == "disclose":
+            if self.can_bid():
+                self.bids_made += 1
+                reply(self.make_bid())
+            else:
+                self.emit("sched.decline", load=self.current_load())
+            return
+
+    # ---------------------------------------------------------------- timers
+
+    def on_timer(self, key: str) -> None:
+        if key == "retry-queue":
+            self._retry_queued()
+        else:
+            super().on_timer(key)
+
+    def _retry_queued(self) -> None:
+        if not self.is_coordinator or not self.pending_queue:
+            return
+        if self._collecting:
+            # one bidding round at a time: queue order must not be bypassed
+            # by overlapping disclosure rounds
+            self.set_timer(self.daemon_config.retry_interval, "retry-queue")
+            return
+        item = self.pending_queue.peek(self.now)
+        if item is None or item.request.req_id in self._collecting:
+            return
+        item.attempts += 1
+        self.emit(
+            "sched.retry",
+            req_id=item.request.req_id,
+            attempts=item.attempts,
+            waited=self.now - item.enqueued_at,
+            effective_priority=item.effective_priority(self.now, self.pending_queue.aging_rate),
+        )
+        self._start_bidding(item.request)

@@ -1,0 +1,58 @@
+"""Group-leader directory.
+
+The execution program must know where to send each group's request. In the
+Isis prototype this is the toolkit's group-name lookup; here a directory
+object records, per machine class, the current leader and membership — the
+daemons' view-change callbacks keep it fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.archclass import MachineClass
+from repro.netsim.host import Address
+from repro.util.errors import AllocationError
+
+
+@dataclass
+class _GroupEntry:
+    leader: Address | None = None
+    members: list[Address] = field(default_factory=list)
+    view_id: int = 0
+
+
+class GroupDirectory:
+    """Class → (leader, members) lookup."""
+
+    def __init__(self) -> None:
+        self._groups: dict[MachineClass, _GroupEntry] = {}
+
+    def update(
+        self, arch_class: MachineClass, leader: Address, members: list[Address], view_id: int
+    ) -> None:
+        entry = self._groups.setdefault(arch_class, _GroupEntry())
+        if view_id >= entry.view_id:
+            entry.leader = leader
+            entry.members = list(members)
+            entry.view_id = view_id
+
+    def leader(self, arch_class: MachineClass) -> Address:
+        entry = self._groups.get(arch_class)
+        if entry is None or entry.leader is None:
+            raise AllocationError(f"no {arch_class} group is on line")
+        return entry.leader
+
+    def members(self, arch_class: MachineClass) -> list[Address]:
+        entry = self._groups.get(arch_class)
+        return list(entry.members) if entry else []
+
+    def group_size(self, arch_class: MachineClass) -> int:
+        return len(self.members(arch_class))
+
+    def classes(self) -> list[MachineClass]:
+        return [c for c, e in self._groups.items() if e.members]
+
+    def has_group(self, arch_class: MachineClass) -> bool:
+        entry = self._groups.get(arch_class)
+        return entry is not None and entry.leader is not None and bool(entry.members)

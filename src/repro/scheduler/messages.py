@@ -1,0 +1,116 @@
+"""Wire messages between execution programs and scheduler daemons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machines.archclass import MachineClass
+from repro.netsim.host import Address
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleNeed:
+    """One module's resource needs within a request (one script directive).
+
+    ``min_instances``/``max_instances`` encode the paper's planned
+    vocabulary: ``ASYNC 2`` → (2, 2); ``ASYNC 5-`` → (1, 5);
+    ``SYNC 5,10`` → (5, 10).
+    """
+
+    task: str
+    min_instances: int = 1
+    max_instances: int = 1
+    requirements: dict[str, Any] = field(default_factory=dict)
+    priority: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRequest:
+    """Execution program → group leader: "a list of the resources required
+    from each group for a given VCE application"."""
+
+    req_id: str
+    app: str
+    machine_class: MachineClass
+    modules: tuple[ModuleNeed, ...]
+    reply_to: Address
+    priority: float = 0.0
+    queue_if_insufficient: bool = False
+
+    @property
+    def total_min(self) -> int:
+        return sum(m.min_instances for m in self.modules)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineBid:
+    """A daemon's bid: "Each bid includes the current load of the bidding
+    machine"."""
+
+    machine: str
+    daemon: Address
+    load: float
+    speed: float
+    arch_class: MachineClass
+    free_memory_mb: int = 0
+    site: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationReply:
+    """Leader → execution program: the sorted bids of the least-loaded
+    processors available for remote execution."""
+
+    req_id: str
+    bids: tuple[MachineBid, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationError_:
+    """Leader → execution program: insufficient resources in this group.
+
+    (Trailing underscore avoids clashing with the exception
+    :class:`repro.util.errors.AllocationError`.)
+    """
+
+    req_id: str
+    requested: int
+    available: int
+    queued: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """The execution program's final (task, rank) → machine assignment for
+    one group, derived from the bids by a placement policy."""
+
+    app: str
+    assignments: tuple[tuple[str, int, str], ...]  # (task, rank, machine)
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionInfo:
+    """Execution program → selected daemon: "the programs and data files
+    that make up the application" headed its way."""
+
+    app: str
+    tasks: tuple[tuple[str, int], ...]  # (task, rank) pairs assigned here
+
+
+@dataclass(frozen=True, slots=True)
+class TerminateNotice:
+    """Execution program → daemons: the application is finished."""
+
+    app: str
+
+
+@dataclass(frozen=True, slots=True)
+class SetPriority:
+    """Authorized user → group leader: change a queued request's base
+    priority ("authorized users will be able to modify the priorities of
+    particular applications", §4.3). Applied (and replicated) if the
+    request is still queued."""
+
+    req_id: str
+    priority: float

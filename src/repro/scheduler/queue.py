@@ -1,0 +1,83 @@
+"""The leader's pending-request queue with priority aging.
+
+"An additional prioritization scheme will also be needed to prevent
+starvation of tasks. That is, as a task waits to be dispatched its priority
+will be increased to insure it will eventually be dispatched even if that
+results in a globally suboptimal schedule. Authorized users will be able to
+modify the priorities of particular applications." (§4.3)
+
+Effective priority = base priority + aging_rate × wait time. The queue pops
+in descending effective priority; with ``aging_rate = 0`` this degrades to
+strict base-priority order, which is what benchmark E4 contrasts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduler.messages import ResourceRequest
+
+
+@dataclass
+class QueuedRequest:
+    request: "ResourceRequest"
+    enqueued_at: float
+    attempts: int = 0
+
+    def effective_priority(self, now: float, aging_rate: float) -> float:
+        return self.request.priority + aging_rate * (now - self.enqueued_at)
+
+
+class AgingQueue:
+    """Pending requests, served in aged-priority order."""
+
+    def __init__(self, aging_rate: float = 0.1) -> None:
+        self.aging_rate = aging_rate
+        self._items: list[QueuedRequest] = []
+
+    def push(self, request: "ResourceRequest", now: float) -> QueuedRequest:
+        """Enqueue (idempotent: re-pushing a queued req_id returns the
+        existing item, preserving its age — replication may deliver
+        duplicates)."""
+        for item in self._items:
+            if item.request.req_id == request.req_id:
+                return item
+        item = QueuedRequest(request, now)
+        self._items.append(item)
+        return item
+
+    def __contains__(self, req_id: str) -> bool:
+        return any(item.request.req_id == req_id for item in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def peek(self, now: float) -> QueuedRequest | None:
+        """Highest effective priority first; FIFO among equals."""
+        if not self._items:
+            return None
+        return max(
+            self._items,
+            key=lambda q: (q.effective_priority(now, self.aging_rate), -q.enqueued_at),
+        )
+
+    def pop(self, now: float) -> QueuedRequest | None:
+        item = self.peek(now)
+        if item is not None:
+            self._items.remove(item)
+        return item
+
+    def remove(self, req_id: str) -> bool:
+        for item in self._items:
+            if item.request.req_id == req_id:
+                self._items.remove(item)
+                return True
+        return False
+
+    def wait_times(self, now: float) -> list[float]:
+        return [now - q.enqueued_at for q in self._items]

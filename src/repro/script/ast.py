@@ -1,0 +1,146 @@
+"""AST nodes and the interpreter's output description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.machines.archclass import MachineClass
+from repro.taskgraph.node import ProblemClass
+
+# ------------------------------------------------------------------ AST
+
+
+@dataclass(frozen=True, slots=True)
+class Directive:
+    """One module line, e.g. ``ASYNC 2 "/apps/snow/collector.vce"``.
+
+    Exactly one of *problem_class* / *machine_class* is set for remote
+    directives; both are None for ``LOCAL``.
+    """
+
+    path: str
+    problem_class: ProblemClass | None = None
+    machine_class: MachineClass | None = None
+    min_instances: int = 1
+    max_instances: int = 1
+    local: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelStmt:
+    """``CHANNEL name FROM "a" TO "b" [VOLUME n]``."""
+
+    name: str
+    src_path: str
+    dst_path: str
+    volume: int = 0
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SetVar:
+    """``SET name = expr``."""
+
+    name: str
+    expr: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PrioritySpec:
+    """``PRIORITY n`` — the application's base scheduling priority."""
+
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """``IF expr THEN ... [ELSE ...] ENDIF``."""
+
+    expr: "Expr"
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+    line: int = 0
+
+
+Stmt = Union[Directive, ChannelStmt, SetVar, PrioritySpec, Condition]
+
+
+# ------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Available:
+    """``AVAILABLE(WORKSTATION)`` — biddable machines in the class."""
+
+    machine_class: MachineClass
+
+
+@dataclass(frozen=True, slots=True)
+class Compare:
+    op: str  # == != < <= > >=
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[IntLit, VarRef, Available, Compare]
+
+
+# ------------------------------------------------------ interpreter output
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleDirective:
+    """A resolved module: what the execution program requests."""
+
+    task: str
+    path: str
+    machine_class: MachineClass | None  # None = LOCAL
+    problem_class: ProblemClass | None
+    min_instances: int
+    max_instances: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelSpec:
+    name: str
+    src_task: str
+    dst_task: str
+    volume: int
+
+
+@dataclass
+class ApplicationDescription:
+    """The interpreter's output: everything the execution program needs."""
+
+    name: str
+    modules: list[ModuleDirective] = field(default_factory=list)
+    channels: list[ChannelSpec] = field(default_factory=list)
+    priority: float = 0.0
+
+    def module(self, task: str) -> ModuleDirective:
+        for module in self.modules:
+            if module.task == task:
+                return module
+        raise KeyError(task)
+
+    @property
+    def local_modules(self) -> list[ModuleDirective]:
+        return [m for m in self.modules if m.machine_class is None]
+
+    @property
+    def remote_modules(self) -> list[ModuleDirective]:
+        return [m for m in self.modules if m.machine_class is not None]

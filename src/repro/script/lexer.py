@@ -1,0 +1,90 @@
+"""Tokenizer for the application description language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.util.errors import ScriptError
+
+
+class TokenKind(enum.Enum):
+    WORD = "word"          # keywords and identifiers
+    INT = "int"
+    STRING = "string"      # double-quoted path
+    DASH = "dash"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EQUALS = "equals"      # '=' in SET
+    COMPARE = "compare"    # == != <= >= < >
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def int_value(self) -> int:
+        return int(self.text)
+
+
+_SPEC = [
+    (TokenKind.STRING, re.compile(r'"([^"\n]*)"')),
+    (TokenKind.INT, re.compile(r"\d+")),
+    (TokenKind.COMPARE, re.compile(r"==|!=|<=|>=|<|>")),
+    (TokenKind.WORD, re.compile(r"[A-Za-z_][A-Za-z0-9_./-]*")),
+    (TokenKind.DASH, re.compile(r"-")),
+    (TokenKind.COMMA, re.compile(r",")),
+    (TokenKind.LPAREN, re.compile(r"\(")),
+    (TokenKind.RPAREN, re.compile(r"\)")),
+    (TokenKind.EQUALS, re.compile(r"=")),
+]
+
+_COMMENT = re.compile(r"#[^\n]*")
+_WS = re.compile(r"[ \t\r\n]+")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a script; raises :class:`ScriptError` with location on
+    illegal input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+
+    def advance_lines(chunk: str, start_pos: int) -> None:
+        nonlocal line, line_start
+        newlines = chunk.count("\n")
+        if newlines:
+            line += newlines
+            line_start = start_pos + chunk.rfind("\n") + 1
+
+    while pos < len(text):
+        ws = _WS.match(text, pos)
+        if ws:
+            advance_lines(ws.group(), pos)
+            pos = ws.end()
+            continue
+        comment = _COMMENT.match(text, pos)
+        if comment:
+            pos = comment.end()
+            continue
+        for kind, pattern in _SPEC:
+            match = pattern.match(text, pos)
+            if match:
+                value = match.group(1) if kind is TokenKind.STRING else match.group()
+                tokens.append(Token(kind, value, line, pos - line_start + 1))
+                pos = match.end()
+                break
+        else:
+            raise ScriptError(
+                f"illegal character {text[pos]!r}", line=line, column=pos - line_start + 1
+            )
+    tokens.append(Token(TokenKind.EOF, "", line, pos - line_start + 1))
+    return tokens

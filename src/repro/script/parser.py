@@ -1,0 +1,255 @@
+"""Recursive-descent parser for the application description language.
+
+Grammar::
+
+    script    := stmt* EOF
+    stmt      := directive | channel | setvar | priority | cond
+    directive := CLASSWORD countspec? STRING | "LOCAL" STRING
+    countspec := INT | INT "-" | INT "," INT
+    channel   := "CHANNEL" WORD "FROM" STRING "TO" STRING ("VOLUME" INT)?
+    setvar    := "SET" WORD "=" expr
+    priority  := "PRIORITY" INT
+    cond      := "IF" expr "THEN" stmt* ("ELSE" stmt*)? "ENDIF"
+    expr      := term (COMPARE term)?
+    term      := INT | "AVAILABLE" "(" CLASSWORD ")" | WORD
+
+Keywords are case-insensitive; class words are ``ASYNC``, ``SYNC``,
+``LOOSESYNC`` (problem classes) and ``WORKSTATION``, ``SIMD``, ``MIMD``,
+``VECTOR`` (machine classes).
+"""
+
+from __future__ import annotations
+
+from repro.machines.archclass import MachineClass
+from repro.script.ast import (
+    Available,
+    ChannelStmt,
+    Compare,
+    Condition,
+    Directive,
+    Expr,
+    IntLit,
+    PrioritySpec,
+    SetVar,
+    Stmt,
+    VarRef,
+)
+from repro.script.lexer import Token, TokenKind, tokenize
+from repro.taskgraph.node import ProblemClass
+from repro.util.errors import ScriptError
+
+PROBLEM_CLASS_WORDS = {
+    "ASYNC": ProblemClass.ASYNCHRONOUS,
+    "SYNC": ProblemClass.SYNCHRONOUS,
+    "LOOSESYNC": ProblemClass.LOOSELY_SYNCHRONOUS,
+}
+MACHINE_CLASS_WORDS = {m.value: m for m in MachineClass}
+KEYWORDS = (
+    set(PROBLEM_CLASS_WORDS)
+    | set(MACHINE_CLASS_WORDS)
+    | {"LOCAL", "CHANNEL", "FROM", "TO", "VOLUME", "SET", "PRIORITY",
+       "IF", "THEN", "ELSE", "ENDIF", "AVAILABLE"}
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        token = self.next()
+        if token.kind is not kind:
+            raise ScriptError(
+                f"expected {what}, got {token.text or token.kind.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def keyword(self) -> str | None:
+        token = self.peek()
+        if token.kind is TokenKind.WORD and token.text.upper() in KEYWORDS:
+            return token.text.upper()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.next()
+        if token.kind is not TokenKind.WORD or token.text.upper() != word:
+            raise ScriptError(
+                f"expected {word}, got {token.text!r}", line=token.line, column=token.column
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def script(self) -> list[Stmt]:
+        body = self.stmt_list(stop={"__eof__"})
+        self.expect(TokenKind.EOF, "end of script")
+        return body
+
+    def stmt_list(self, stop: set[str]) -> list[Stmt]:
+        out: list[Stmt] = []
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                return out
+            word = self.keyword()
+            if word in stop:
+                return out
+            out.append(self.stmt())
+
+    def stmt(self) -> Stmt:
+        word = self.keyword()
+        token = self.peek()
+        if word is None:
+            raise ScriptError(
+                f"expected a statement keyword, got {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        if word in PROBLEM_CLASS_WORDS or word in MACHINE_CLASS_WORDS or word == "LOCAL":
+            return self.directive()
+        if word == "CHANNEL":
+            return self.channel()
+        if word == "SET":
+            return self.setvar()
+        if word == "PRIORITY":
+            return self.priority()
+        if word == "IF":
+            return self.cond()
+        raise ScriptError(
+            f"{word} cannot start a statement", line=token.line, column=token.column
+        )
+
+    def directive(self) -> Directive:
+        token = self.next()
+        word = token.text.upper()
+        if word == "LOCAL":
+            path = self.expect(TokenKind.STRING, "a quoted program path")
+            return Directive(path=path.text, local=True, line=token.line)
+        problem_class = PROBLEM_CLASS_WORDS.get(word)
+        machine_class = MACHINE_CLASS_WORDS.get(word)
+        lo, hi = self.countspec(token)
+        path = self.expect(TokenKind.STRING, "a quoted program path")
+        return Directive(
+            path=path.text,
+            problem_class=problem_class,
+            machine_class=machine_class,
+            min_instances=lo,
+            max_instances=hi,
+            line=token.line,
+        )
+
+    def countspec(self, directive_token: Token) -> tuple[int, int]:
+        if self.peek().kind is not TokenKind.INT:
+            return 1, 1  # "WORKSTATION \"path\"" defaults to one instance
+        first = self.next().int_value
+        if first < 1:
+            raise ScriptError(
+                "instance count must be >= 1",
+                line=directive_token.line,
+                column=directive_token.column,
+            )
+        if self.peek().kind is TokenKind.DASH:
+            self.next()
+            return 1, first  # "5-" = five or less
+        if self.peek().kind is TokenKind.COMMA:
+            self.next()
+            second = self.expect(TokenKind.INT, "an upper instance count").int_value
+            if second < first:
+                raise ScriptError(
+                    f"range {first},{second} is inverted",
+                    line=directive_token.line,
+                )
+            return first, second  # "5,10" = between five and ten
+        return first, first
+
+    def channel(self) -> ChannelStmt:
+        token = self.expect_keyword("CHANNEL")
+        name = self.expect(TokenKind.WORD, "a channel name")
+        self.expect_keyword("FROM")
+        src = self.expect(TokenKind.STRING, "a source program path")
+        self.expect_keyword("TO")
+        dst = self.expect(TokenKind.STRING, "a destination program path")
+        volume = 0
+        if self.keyword() == "VOLUME":
+            self.next()
+            volume = self.expect(TokenKind.INT, "a byte count").int_value
+        return ChannelStmt(name.text, src.text, dst.text, volume, line=token.line)
+
+    def setvar(self) -> SetVar:
+        token = self.expect_keyword("SET")
+        name = self.expect(TokenKind.WORD, "a variable name")
+        self.expect(TokenKind.EQUALS, "'='")
+        return SetVar(name.text, self.expr(), line=token.line)
+
+    def priority(self) -> PrioritySpec:
+        token = self.expect_keyword("PRIORITY")
+        value = self.expect(TokenKind.INT, "a priority value")
+        return PrioritySpec(value.int_value, line=token.line)
+
+    def cond(self) -> Condition:
+        token = self.expect_keyword("IF")
+        expr = self.expr()
+        self.expect_keyword("THEN")
+        then_body = self.stmt_list(stop={"ELSE", "ENDIF"})
+        else_body: list[Stmt] = []
+        if self.keyword() == "ELSE":
+            self.next()
+            else_body = self.stmt_list(stop={"ENDIF"})
+        self.expect_keyword("ENDIF")
+        return Condition(expr, tuple(then_body), tuple(else_body), line=token.line)
+
+    def expr(self) -> Expr:
+        left = self.term()
+        if self.peek().kind is TokenKind.COMPARE:
+            op = self.next().text
+            right = self.term()
+            return Compare(op, left, right)
+        return left
+
+    def term(self) -> Expr:
+        token = self.next()
+        if token.kind is TokenKind.INT:
+            return IntLit(token.int_value)
+        if token.kind is TokenKind.WORD:
+            if token.text.upper() == "AVAILABLE":
+                self.expect(TokenKind.LPAREN, "'('")
+                cls = self.expect(TokenKind.WORD, "a machine class")
+                word = cls.text.upper()
+                if word in MACHINE_CLASS_WORDS:
+                    machine_class = MACHINE_CLASS_WORDS[word]
+                elif word in PROBLEM_CLASS_WORDS:
+                    # AVAILABLE(SYNC) asks about the preferred machine class
+                    from repro.compilation.classes import candidate_classes
+
+                    machine_class = candidate_classes(PROBLEM_CLASS_WORDS[word])[0]
+                else:
+                    raise ScriptError(
+                        f"unknown class {cls.text!r}", line=cls.line, column=cls.column
+                    )
+                self.expect(TokenKind.RPAREN, "')'")
+                return Available(machine_class)
+            return VarRef(token.text)
+        raise ScriptError(
+            f"expected an expression, got {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+
+def parse_script(text: str) -> list[Stmt]:
+    """Parse script text into a statement list."""
+    return _Parser(tokenize(text)).script()

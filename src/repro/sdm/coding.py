@@ -1,0 +1,80 @@
+"""The coding level: attach implementations and hints.
+
+"In this stage, the application is parallelized using architecture
+independent languages ... The software tools and languages to code and
+parallelize the application at this level will be based on emerging
+standards (High Performance Fortran, High Performance C++, etc.)." (§3.1.1)
+
+In this reproduction, an "architecture-independent source module" is a
+Python generator factory: called with a task context, it yields runtime
+syscalls (``Compute``, ``Send``, ``Recv`` ... — see ``repro.vmpi.api``).
+The *language* tag still matters: the compilation manager only targets
+machine classes for which a compiler for that language is registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.taskgraph import ExecutionHints, TaskGraph
+from repro.util.errors import TaskGraphError
+
+
+@dataclass
+class SourceModule:
+    """One task's architecture-independent implementation.
+
+    Attributes:
+        language: language tag, e.g. ``"hpf"``, ``"hpc++"``, ``"c"``.
+        program: generator factory ``(ctx) -> Iterator[syscall]``.
+        source_size: abstract size of the source (drives compile time).
+        metadata: free-form extras (entry point name, flags...).
+    """
+
+    language: str
+    program: Callable[..., Any]
+    source_size: int = 1000
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class CodingLevel:
+    """Binds :class:`SourceModule` implementations and hints to tasks."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, SourceModule] = {}
+        self._hints: dict[str, ExecutionHints] = {}
+
+    def implement(self, task_name: str, module: SourceModule) -> "CodingLevel":
+        """Provide the implementation for *task_name* (chainable)."""
+        self._sources[task_name] = module
+        return self
+
+    def hint(self, task_name: str, hints: ExecutionHints) -> "CodingLevel":
+        """Override the user hints recorded on *task_name* (chainable)."""
+        self._hints[task_name] = hints
+        return self
+
+    def source_for(self, task_name: str) -> SourceModule | None:
+        return self._sources.get(task_name)
+
+    def run(self, graph: TaskGraph) -> TaskGraph:
+        """Attach implementations to the graph in place."""
+        unknown = set(self._sources) - {t.name for t in graph}
+        if unknown:
+            raise TaskGraphError(f"implementations for unknown tasks: {sorted(unknown)}")
+        for node in graph:
+            module = self._sources.get(node.name)
+            if module is not None:
+                node.language = module.language
+                node.program = module.program
+            if node.name in self._hints:
+                node.hints = self._hints[node.name]
+        return graph
+
+    @staticmethod
+    def check_complete(graph: TaskGraph) -> None:
+        """Raise unless every task is implemented."""
+        missing = [t.name for t in graph if not t.coded]
+        if missing:
+            raise TaskGraphError(f"coding level incomplete; unimplemented tasks: {missing}")

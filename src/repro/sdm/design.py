@@ -1,0 +1,84 @@
+"""The design stage: problem-architecture classification.
+
+"The design stage is responsible for analyzing the computational needs and
+the existing dependencies for each task in the task graph. The analysis ...
+is based on Fox's work on the architecture of problems ... The parallel
+software design methodology used in the design stage concentrates on the
+architecture of the problem and not the machine." (§3.1.1)
+
+Users may pre-annotate tasks; for the rest, the stage infers a
+:class:`~repro.taskgraph.ProblemClass` from graph structure:
+
+- a task with many instances and STREAM arcs among sibling instances — or an
+  explicitly "lockstep" task — is *synchronous* (uniform data-parallel
+  structure, the SIMD-shaped problems);
+- a multi-instance task that exchanges data at phase boundaries (DATA arcs
+  in and out, several instances) is *loosely synchronous*;
+- independent or irregular tasks (single instance, or multi-instance with no
+  coupling) are *asynchronous*.
+
+The heuristic is intentionally simple — the paper leaves the analysis
+abstract — but it is deterministic, overridable per task, and sufficient to
+drive realistic class-to-machine mapping downstream.
+"""
+
+from __future__ import annotations
+
+from repro.taskgraph import ArcKind, ProblemClass, TaskGraph, TaskNature
+from repro.util.errors import TaskGraphError
+
+
+class DesignStage:
+    """Annotates every task with a problem class and nature flags."""
+
+    def __init__(self, default_class: ProblemClass | None = None) -> None:
+        #: Used when inference has no signal; None means "infer ASYNC".
+        self.default_class = default_class
+
+    def run(self, graph: TaskGraph) -> TaskGraph:
+        """Classify all unclassified tasks in place; returns the graph."""
+        graph.validate()
+        for node in graph:
+            if node.problem_class is None:
+                node.problem_class = self._infer(graph, node.name)
+            self._infer_nature(graph, node.name)
+        return graph
+
+    def _infer(self, graph: TaskGraph, name: str) -> ProblemClass:
+        node = graph.task(name)
+        if node.requirements.get("lockstep"):
+            return ProblemClass.SYNCHRONOUS
+        stream_arcs = [
+            a for a in graph.arcs
+            if a.kind is ArcKind.STREAM and name in (a.src, a.dst)
+        ]
+        if node.instances >= 4 and stream_arcs:
+            # Wide, tightly-coupled data parallelism.
+            return ProblemClass.SYNCHRONOUS
+        if node.instances >= 2 and (graph.predecessors(name) or graph.successors(name)):
+            # Phase-coupled data parallelism.
+            return ProblemClass.LOOSELY_SYNCHRONOUS
+        return self.default_class or ProblemClass.ASYNCHRONOUS
+
+    def _infer_nature(self, graph: TaskGraph, name: str) -> None:
+        node = graph.task(name)
+        if node.local and TaskNature.GRAPHIC not in node.nature:
+            # Tasks pinned to the user's workstation are typically the
+            # display/interaction front end.
+            node.nature |= TaskNature.INTERACTIVE
+        total_volume = sum(
+            a.volume for a in graph.arcs if name in (a.src, a.dst)
+        )
+        if node.work > 0 and total_volume > 100 * node.work:
+            node.nature |= TaskNature.IO_INTENSIVE
+        if node.work >= 100:
+            node.nature |= TaskNature.COMPUTE_INTENSIVE
+
+    @staticmethod
+    def check_complete(graph: TaskGraph) -> None:
+        """Raise unless every task has been classified."""
+        missing = [t.name for t in graph if t.problem_class is None]
+        if missing:
+            raise TaskGraphError(
+                f"design stage incomplete; unclassified tasks: {missing}"
+            )

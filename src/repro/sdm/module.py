@@ -1,0 +1,49 @@
+"""The SDM facade: run all three layers and certify the task graph.
+
+"The primary purpose of this module is to develop, test and evaluate the
+performance of the application. ... The information contained in the
+completed task graph will include: Implementation language, Input
+requirements, Hardware requirements, User supplied information, and
+Outputs." (§3.1.1)
+"""
+
+from __future__ import annotations
+
+from repro.sdm.coding import CodingLevel
+from repro.sdm.design import DesignStage
+from repro.sdm.problemspec import ProblemSpecification
+from repro.taskgraph import TaskGraph
+
+
+class SoftwareDevelopmentModule:
+    """Pipelines problem specification → design stage → coding level.
+
+    Usage:
+
+    >>> sdm = SoftwareDevelopmentModule()
+    >>> spec = sdm.specification("app")          # layer 1
+    >>> _ = spec.task("t", work=5)
+    >>> from repro.sdm import SourceModule
+    >>> _ = sdm.coding.implement("t", SourceModule("hpf", lambda ctx: iter(())))
+    >>> graph = sdm.develop(spec)                # layers 2 + 3 + checks
+    >>> graph.task("t").designed and graph.task("t").coded
+    True
+    """
+
+    def __init__(self, design: DesignStage | None = None, coding: CodingLevel | None = None):
+        self.design = design or DesignStage()
+        self.coding = coding or CodingLevel()
+
+    def specification(self, name: str) -> ProblemSpecification:
+        """Open layer 1 for a new application."""
+        return ProblemSpecification(name)
+
+    def develop(self, spec: ProblemSpecification) -> TaskGraph:
+        """Run the remaining layers over a specification and return the
+        completed (fully annotated) task graph."""
+        graph = spec.build()
+        self.design.run(graph)
+        DesignStage.check_complete(graph)
+        self.coding.run(graph)
+        CodingLevel.check_complete(graph)
+        return graph

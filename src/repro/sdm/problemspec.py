@@ -1,0 +1,84 @@
+"""The problem specification layer: builds the initial task graph.
+
+A fluent builder over :class:`~repro.taskgraph.TaskGraph`; the output of
+this layer is a *structurally complete but unannotated* graph — functions,
+inputs, outputs, and flow, with design/coding information still absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.taskgraph import Arc, ArcKind, ExecutionHints, TaskGraph, TaskNode
+from repro.util.errors import TaskGraphError
+
+
+class ProblemSpecification:
+    """Fluent builder for the initial task graph.
+
+    >>> spec = ProblemSpecification("forecast")
+    >>> _ = (spec.task("collect", "gather observations", work=30, instances=2)
+    ...          .task("predict", "run the model", work=300)
+    ...          .flow("collect", "predict", volume=10_000_000))
+    >>> graph = spec.build()
+    >>> sorted(t.name for t in graph)
+    ['collect', 'predict']
+    """
+
+    def __init__(self, name: str) -> None:
+        self.graph = TaskGraph(name)
+
+    def task(
+        self,
+        name: str,
+        function: str = "",
+        *,
+        work: float = 1.0,
+        instances: int = 1,
+        memory_mb: int = 1,
+        inputs: list[str] | None = None,
+        outputs: list[str] | None = None,
+        requirements: dict[str, Any] | None = None,
+        hints: ExecutionHints | None = None,
+        local: bool = False,
+    ) -> "ProblemSpecification":
+        """Declare one task (chainable)."""
+        self.graph.add_task(
+            TaskNode(
+                name=name,
+                function=function,
+                work=work,
+                instances=instances,
+                memory_mb=memory_mb,
+                input_files=list(inputs or []),
+                output_files=list(outputs or []),
+                requirements=dict(requirements or {}),
+                hints=hints or ExecutionHints(),
+                local=local,
+            )
+        )
+        return self
+
+    def flow(self, src: str, dst: str, volume: int = 0) -> "ProblemSpecification":
+        """Declare that *src*'s output feeds *dst* (a DATA precedence arc)."""
+        self.graph.connect(src, dst, ArcKind.DATA, volume)
+        return self
+
+    def after(self, src: str, dst: str) -> "ProblemSpecification":
+        """Declare pure precedence: *dst* starts after *src* completes."""
+        self.graph.connect(src, dst, ArcKind.DEPENDENCY)
+        return self
+
+    def stream(
+        self, src: str, dst: str, volume: int = 0, channel: str | None = None
+    ) -> "ProblemSpecification":
+        """Declare concurrent message exchange between two tasks."""
+        self.graph.connect(src, dst, ArcKind.STREAM, volume, channel)
+        return self
+
+    def build(self) -> TaskGraph:
+        """Validate and return the initial task graph."""
+        if len(self.graph) == 0:
+            raise TaskGraphError("problem specification declares no tasks")
+        self.graph.validate()
+        return self.graph

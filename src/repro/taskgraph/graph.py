@@ -1,0 +1,213 @@
+"""The task graph container and its structural analyses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.taskgraph.arc import Arc, ArcKind
+from repro.taskgraph.node import TaskNode
+from repro.util.errors import TaskGraphError
+
+
+class TaskGraph:
+    """A named collection of :class:`TaskNode` connected by :class:`Arc`.
+
+    Precedence arcs (DEPENDENCY, DATA) must form a DAG — checked by
+    :meth:`validate`. STREAM arcs describe concurrent message exchange and
+    may form cycles.
+    """
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self._nodes: dict[str, TaskNode] = {}
+        self._arcs: list[Arc] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_task(self, node: TaskNode) -> TaskNode:
+        if node.name in self._nodes:
+            raise TaskGraphError(f"duplicate task {node.name!r}")
+        self._nodes[node.name] = node
+        return node
+
+    def add_arc(self, arc: Arc) -> Arc:
+        for end in (arc.src, arc.dst):
+            if end not in self._nodes:
+                raise TaskGraphError(f"arc references unknown task {end!r}")
+        self._arcs.append(arc)
+        return arc
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        kind: ArcKind = ArcKind.DEPENDENCY,
+        volume: int = 0,
+        channel: str | None = None,
+    ) -> Arc:
+        """Convenience: build and add an arc."""
+        return self.add_arc(Arc(src, dst, kind, volume, channel))
+
+    # -- access -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __iter__(self) -> Iterator[TaskNode]:
+        return iter(self._nodes.values())
+
+    def task(self, name: str) -> TaskNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TaskGraphError(f"unknown task {name!r}") from None
+
+    @property
+    def tasks(self) -> list[TaskNode]:
+        return list(self._nodes.values())
+
+    @property
+    def arcs(self) -> list[Arc]:
+        return list(self._arcs)
+
+    def arcs_from(self, name: str) -> list[Arc]:
+        return [a for a in self._arcs if a.src == name]
+
+    def arcs_into(self, name: str) -> list[Arc]:
+        return [a for a in self._arcs if a.dst == name]
+
+    def predecessors(self, name: str) -> list[str]:
+        """Tasks that must complete before *name* may start."""
+        return [a.src for a in self._arcs if a.dst == name and a.kind.is_precedence]
+
+    def successors(self, name: str) -> list[str]:
+        return [a.dst for a in self._arcs if a.src == name and a.kind.is_precedence]
+
+    def stream_peers(self, name: str) -> list[str]:
+        """Tasks this one exchanges messages with at runtime."""
+        peers = [a.dst for a in self._arcs if a.src == name and a.kind is ArcKind.STREAM]
+        peers += [a.src for a in self._arcs if a.dst == name and a.kind is ArcKind.STREAM]
+        return peers
+
+    # -- analyses ---------------------------------------------------------------
+
+    def _precedence_digraph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self._nodes)
+        for arc in self._arcs:
+            if arc.kind.is_precedence:
+                g.add_edge(arc.src, arc.dst)
+        return g
+
+    def validate(self) -> None:
+        """Raise :class:`TaskGraphError` on structural problems."""
+        g = self._precedence_digraph()
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            pretty = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[0][0]}"
+            raise TaskGraphError(f"precedence cycle: {pretty}")
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order (ties broken lexicographically)."""
+        self.validate()
+        return list(nx.lexicographical_topological_sort(self._precedence_digraph()))
+
+    def levels(self) -> list[list[str]]:
+        """Antichains of tasks with equal precedence depth — everything in a
+        level may run concurrently once the previous level completes."""
+        order = self.topological_order()
+        depth: dict[str, int] = {}
+        for name in order:
+            preds = self.predecessors(name)
+            depth[name] = 1 + max((depth[p] for p in preds), default=-1)
+        out: list[list[str]] = []
+        for name in order:
+            while len(out) <= depth[name]:
+                out.append([])
+            out[depth[name]].append(name)
+        return out
+
+    def roots(self) -> list[str]:
+        """Tasks with no precedence predecessors (dispatchable immediately)."""
+        return [n for n in self._nodes if not self.predecessors(n)]
+
+    def sinks(self) -> list[str]:
+        return [n for n in self._nodes if not self.successors(n)]
+
+    def critical_path(self) -> tuple[list[str], float]:
+        """Longest work-weighted precedence path: the lower bound on makespan
+        at speed 1. Returns (task names, total work)."""
+        self.validate()
+        order = self.topological_order()
+        best: dict[str, float] = {}
+        prev: dict[str, str | None] = {}
+        for name in order:
+            preds = self.predecessors(name)
+            if preds:
+                pick = max(preds, key=lambda p: best[p])
+                best[name] = best[pick] + self._nodes[name].work
+                prev[name] = pick
+            else:
+                best[name] = self._nodes[name].work
+                prev[name] = None
+        if not best:
+            return [], 0.0
+        end = max(best, key=lambda n: best[n])
+        path: list[str] = []
+        cursor: str | None = end
+        while cursor is not None:
+            path.append(cursor)
+            cursor = prev[cursor]
+        return path[::-1], best[end]
+
+    def total_work(self) -> float:
+        return sum(t.work * t.instances for t in self._nodes.values())
+
+    # -- export ----------------------------------------------------------------
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Full graph (all arc kinds) with node/arc attributes."""
+        g = nx.DiGraph(name=self.name)
+        for node in self._nodes.values():
+            g.add_node(
+                node.name,
+                work=node.work,
+                instances=node.instances,
+                problem_class=node.problem_class.value if node.problem_class else None,
+            )
+        for arc in self._arcs:
+            g.add_edge(arc.src, arc.dst, kind=arc.kind.value, volume=arc.volume)
+        return g
+
+    def to_dot(self) -> str:
+        """GraphViz rendering of the task graph — the VCE's "visual
+        representation" of an application."""
+        lines = [f'digraph "{self.name}" {{']
+        for node in self._nodes.values():
+            cls = node.problem_class.value if node.problem_class else "?"
+            label = f"{node.name}\\n[{cls}] x{node.instances}"
+            shape = "box" if node.local else "ellipse"
+            lines.append(f'  "{node.name}" [label="{label}", shape={shape}];')
+        for arc in self._arcs:
+            style = "dashed" if arc.kind is ArcKind.STREAM else "solid"
+            lines.append(f'  "{arc.src}" -> "{arc.dst}" [style={style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def subset(self, names: Iterable[str]) -> "TaskGraph":
+        """Induced subgraph on *names* (used by per-group dispatch)."""
+        keep = set(names)
+        out = TaskGraph(f"{self.name}.subset")
+        for name in keep:
+            out.add_task(self.task(name))
+        for arc in self._arcs:
+            if arc.src in keep and arc.dst in keep:
+                out.add_arc(arc)
+        return out

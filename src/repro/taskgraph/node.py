@@ -1,0 +1,163 @@
+"""Task nodes and their annotations.
+
+A node accumulates information as it flows through the SDM layers:
+
+- the *problem specification layer* creates it with a name, function
+  description, and input/output files;
+- the *design stage* assigns a :class:`ProblemClass` (Fox's problem
+  architectures: synchronous / loosely synchronous / asynchronous) and
+  optional :class:`TaskNature` flags (graphic, interactive);
+- the *coding level* attaches an implementation language, the program body,
+  and :class:`ExecutionHints` for the execution module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import TaskGraphError
+
+
+class ProblemClass(enum.Enum):
+    """Fox's three broad classes of problem architecture (§3.1.1).
+
+    "There are three broad classes of problem architectures: synchronous,
+    loosely synchronous, and asynchronous, which describe the temporal (time
+    or synchronization) structure of the problem."
+    """
+
+    SYNCHRONOUS = "SYNC"
+    LOOSELY_SYNCHRONOUS = "LOOSESYNC"
+    ASYNCHRONOUS = "ASYNC"
+
+    @classmethod
+    def parse(cls, text: str) -> "ProblemClass":
+        normalized = text.strip().upper().replace("-", "").replace("_", "")
+        table = {
+            "SYNC": cls.SYNCHRONOUS,
+            "SYNCHRONOUS": cls.SYNCHRONOUS,
+            "LOOSESYNC": cls.LOOSELY_SYNCHRONOUS,
+            "LOOSELYSYNCHRONOUS": cls.LOOSELY_SYNCHRONOUS,
+            "ASYNC": cls.ASYNCHRONOUS,
+            "ASYNCHRONOUS": cls.ASYNCHRONOUS,
+        }
+        try:
+            return table[normalized]
+        except KeyError:
+            raise ValueError(f"unknown problem class {text!r}") from None
+
+
+class TaskNature(enum.Flag):
+    """Auxiliary task classifications "that capture the nature of the task,
+    such as graphic or interactive" (§3.1.1), used by lower layers when
+    mapping tasks onto machines."""
+
+    NONE = 0
+    GRAPHIC = enum.auto()
+    INTERACTIVE = enum.auto()
+    IO_INTENSIVE = enum.auto()
+    COMPUTE_INTENSIVE = enum.auto()
+
+
+@dataclass
+class ExecutionHints:
+    """User-supplied hints recorded on the task graph (§3.1.1).
+
+    "These hints will allow the execution module to do extra optimization.
+    For instance, suppose a particular application has three functionally
+    parallel modules and the user expects one to run much longer than the
+    combined running times of the other two. If the system is aware of this,
+    dispatching of the longer job can be given higher priority."
+
+    Attributes:
+        runtime_weight: expected relative running time among siblings;
+            larger → dispatched earlier.
+        priority: base scheduling priority (authorized users may raise it).
+        migratable: whether the task tolerates migration.
+        checkpointable: whether the task cooperates with checkpointing.
+        redundancy: how many redundant copies the user requests (1 = none).
+    """
+
+    runtime_weight: float = 1.0
+    priority: float = 0.0
+    migratable: bool = True
+    checkpointable: bool = True
+    redundancy: int = 1
+
+
+@dataclass
+class TaskNode:
+    """One task in the graph.
+
+    Attributes:
+        name: unique node name within its graph.
+        function: human-readable statement of what the task does.
+        work: total compute demand in work units (a speed-1.0 workstation
+            does one unit per second).
+        instances: how many copies of this task the application wants
+            (the script's ``ASYNC 2 "collector"`` creates instances=2).
+        problem_class: design-stage temporal classification.
+        nature: auxiliary design-stage flags.
+        language: coding-level implementation language tag.
+        program: coding-level program body — a generator factory taking
+            (task context) and yielding runtime syscalls; None until coded.
+        memory_mb: memory requirement per instance.
+        input_files / output_files: file requirements (placement constraint
+            and anticipatory-replication subject).
+        requirements: extra hardware requirements matched against
+            :meth:`repro.machines.Machine.satisfies`.
+        hints: user execution hints.
+        local: run on the user's own workstation (the script's LOCAL
+            directive); never dispatched remotely.
+    """
+
+    name: str
+    function: str = ""
+    work: float = 1.0
+    instances: int = 1
+    problem_class: ProblemClass | None = None
+    nature: TaskNature = TaskNature.NONE
+    language: str | None = None
+    program: Callable[..., Any] | None = None
+    memory_mb: int = 1
+    input_files: list[str] = field(default_factory=list)
+    output_files: list[str] = field(default_factory=list)
+    requirements: dict[str, Any] = field(default_factory=dict)
+    hints: ExecutionHints = field(default_factory=ExecutionHints)
+    local: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("task name must be non-empty")
+        if self.work < 0:
+            raise TaskGraphError(f"task {self.name!r}: work must be >= 0")
+        if self.instances < 1:
+            raise TaskGraphError(f"task {self.name!r}: instances must be >= 1")
+        if self.hints.redundancy < 1:
+            raise TaskGraphError(f"task {self.name!r}: redundancy must be >= 1")
+
+    @property
+    def designed(self) -> bool:
+        """True once the design stage has classified this task."""
+        return self.problem_class is not None
+
+    @property
+    def coded(self) -> bool:
+        """True once the coding level attached language and program."""
+        return self.language is not None and self.program is not None
+
+    #: requirement keys that describe the *problem* (consumed by the design
+    #: stage) rather than the hardware — excluded from machine matching
+    DESIGN_HINT_KEYS = frozenset({"lockstep"})
+
+    def hardware_requirements(self) -> dict[str, Any]:
+        """The requirement dict used for machine matching."""
+        reqs = {
+            k: v for k, v in self.requirements.items() if k not in self.DESIGN_HINT_KEYS
+        }
+        reqs.setdefault("min_memory_mb", self.memory_mb)
+        if self.input_files:
+            reqs.setdefault("files", list(self.input_files))
+        return reqs

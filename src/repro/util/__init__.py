@@ -1,0 +1,41 @@
+"""Shared utilities for the VCE reproduction.
+
+This package holds the small, dependency-free building blocks used by every
+other subsystems: the exception hierarchy, deterministic id generation,
+seeded random-number streams, and the structured event log that all
+simulated components write to (and that the metrics layer reads from).
+"""
+
+from repro.util.errors import (
+    VCEError,
+    ConfigurationError,
+    AllocationError,
+    CompilationError,
+    MigrationError,
+    CommunicationError,
+    ScriptError,
+    TaskGraphError,
+    MembershipError,
+    SimulationError,
+)
+from repro.util.ids import IdGenerator, fresh_id
+from repro.util.rng import RngStreams
+from repro.util.eventlog import EventLog, LogRecord
+
+__all__ = [
+    "VCEError",
+    "ConfigurationError",
+    "AllocationError",
+    "CompilationError",
+    "MigrationError",
+    "CommunicationError",
+    "ScriptError",
+    "TaskGraphError",
+    "MembershipError",
+    "SimulationError",
+    "IdGenerator",
+    "fresh_id",
+    "RngStreams",
+    "EventLog",
+    "LogRecord",
+]

@@ -1,0 +1,106 @@
+"""Structured event log.
+
+Every interesting thing that happens in a simulation — a message send, a bid,
+a dispatch, a migration, a crash — is appended here as a :class:`LogRecord`.
+The metrics layer (``repro.metrics``) derives utilization, makespan, message
+counts, and wait-time statistics purely from this log, which keeps the
+instrumented components free of metrics logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One timestamped event.
+
+    Attributes:
+        time: simulation time (seconds) at which the event occurred.
+        category: dotted event kind, e.g. ``"sched.bid"`` or ``"task.done"``.
+        source: name of the emitting component (host, daemon, task id...).
+        data: free-form payload; keys are event-kind specific.
+    """
+
+    time: float
+    category: str
+    source: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class EventLog:
+    """An append-only list of :class:`LogRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._enabled = True
+
+    # -- writing -----------------------------------------------------------
+
+    def emit(self, time: float, category: str, source: str, **data: Any) -> None:
+        """Append a record (no-op when the log is disabled)."""
+        if self._enabled:
+            self._records.append(LogRecord(time, category, source, data))
+
+    def disable(self) -> None:
+        """Stop recording (used by throughput-focused benchmarks)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        category: str | None = None,
+        source: str | None = None,
+        predicate: Callable[[LogRecord], bool] | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[LogRecord]:
+        """Filtered view of the log.
+
+        ``category`` matches exactly, or as a prefix when it ends with
+        ``"."`` (so ``"sched."`` selects every scheduler event).
+        """
+        out: Iterable[LogRecord] = self._records
+        if category is not None:
+            if category.endswith("."):
+                out = (r for r in out if r.category.startswith(category))
+            else:
+                out = (r for r in out if r.category == category)
+        if source is not None:
+            out = (r for r in out if r.source == source)
+        if since is not None:
+            out = (r for r in out if r.time >= since)
+        if until is not None:
+            out = (r for r in out if r.time <= until)
+        if predicate is not None:
+            out = (r for r in out if predicate(r))
+        return list(out)
+
+    def count(self, category: str) -> int:
+        return len(self.records(category=category))
+
+    def first(self, category: str) -> LogRecord | None:
+        matches = self.records(category=category)
+        return matches[0] if matches else None
+
+    def last(self, category: str) -> LogRecord | None:
+        matches = self.records(category=category)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        self._records.clear()

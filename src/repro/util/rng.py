@@ -1,0 +1,48 @@
+"""Seeded random-number streams.
+
+Every source of randomness in a simulation draws from a named substream of a
+single root seed, so that (a) runs are exactly reproducible and (b) changing
+how one subsystem consumes randomness does not perturb the draws seen by any
+other subsystem. This is the standard "common random numbers" discipline for
+discrete-event simulation experiments: comparing two scheduler policies under
+the same root seed exposes both to identical background-load traces and
+network jitter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStreams:
+    """A factory of independent, deterministic ``random.Random`` streams.
+
+    Substreams are derived by hashing ``(root_seed, name)``; requesting the
+    same name twice returns the same stream object.
+
+    >>> streams = RngStreams(42)
+    >>> a = streams.stream("network.jitter")
+    >>> b = streams.stream("load.host-3")
+    >>> a is streams.stream("network.jitter")
+    True
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, random.Random] = {}
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.root_seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the substream called *name*."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(self._derive_seed(name))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child factory whose substreams are independent of the
+        parent's (used when a component internally needs many streams)."""
+        return RngStreams(self._derive_seed(f"spawn:{name}"))

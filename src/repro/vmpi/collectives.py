@@ -1,0 +1,153 @@
+"""MPI collectives as generator subroutines over Send/Recv.
+
+Each function is used with ``yield from`` inside a task program and
+composes only the two point-to-point syscalls, exactly as an MPI library
+layered on a channel transport would. Broadcast, reduce, and their
+composites use binomial trees, giving the O(log p) step counts a real MPI
+implementation shows (benchmark E12 measures this scaling).
+
+All collectives here are over a task's own communicator (its sibling
+instances); ``ctx`` supplies ``rank`` and ``size``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, TypeVar
+
+from repro.vmpi.api import Recv, Send
+
+T = TypeVar("T")
+
+_SysGen = Generator[Any, Any, Any]
+
+
+def bcast(ctx: Any, data: T = None, root: int = 0, size: int = 256) -> _SysGen:
+    """Binomial-tree broadcast; every rank returns root's *data*."""
+    p, me = ctx.size, ctx.rank
+    vrank = (me - root) % p  # virtual rank: root at 0
+    if vrank != 0:
+        src, got = yield Recv(tag="__bcast__")
+        data = got
+    mask = 1
+    while mask < p:
+        if vrank < mask:
+            child = vrank + mask
+            if child < p:
+                yield Send(dst=(child + root) % p, data=data, tag="__bcast__", size=size)
+        mask <<= 1
+    return data
+
+
+def reduce(
+    ctx: Any,
+    value: T,
+    op: Callable[[list[T]], T],
+    root: int = 0,
+    size: int = 256,
+) -> _SysGen:
+    """Binomial-tree reduction; *op* combines a list of partial values.
+
+    Returns the reduced value at *root*, None elsewhere.
+    """
+    p, me = ctx.size, ctx.rank
+    vrank = (me - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent = vrank - mask
+            yield Send(dst=(parent + root) % p, data=acc, tag="__reduce__", size=size)
+            return None
+        child = vrank + mask
+        if child < p:
+            _, got = yield Recv(tag="__reduce__")
+            acc = op([acc, got])
+        mask <<= 1
+    return acc if me == root else None
+
+
+def allreduce(ctx: Any, value: T, op: Callable[[list[T]], T], size: int = 256) -> _SysGen:
+    """reduce-to-0 then broadcast; every rank returns the reduced value."""
+    partial = yield from reduce(ctx, value, op, root=0, size=size)
+    total = yield from bcast(ctx, partial, root=0, size=size)
+    return total
+
+
+def barrier(ctx: Any) -> _SysGen:
+    """Dissemination-free simple barrier: reduce then broadcast a token."""
+    yield from allreduce(ctx, 0, op=lambda xs: 0, size=32)
+    return None
+
+
+def scatter(ctx: Any, items: list[T] | None, root: int = 0, size: int = 256) -> _SysGen:
+    """Root holds ``items`` (one per rank); every rank returns its element.
+
+    Linear scatter (root sends p-1 messages), matching simple MPI
+    implementations.
+    """
+    p, me = ctx.size, ctx.rank
+    if me == root:
+        assert items is not None and len(items) == p, "scatter needs one item per rank"
+        for r in range(p):
+            if r != root:
+                yield Send(dst=r, data=items[r], tag="__scatter__", size=size)
+        return items[root]
+    _, got = yield Recv(src=root, tag="__scatter__")
+    return got
+
+
+def gather(ctx: Any, value: T, root: int = 0, size: int = 256) -> _SysGen:
+    """Inverse of scatter: root returns the rank-indexed list, others None."""
+    p, me = ctx.size, ctx.rank
+    if me != root:
+        yield Send(dst=root, data=(me, value), tag="__gather__", size=size)
+        return None
+    out: list[Any] = [None] * p
+    out[root] = value
+    for _ in range(p - 1):
+        _, (rank, got) = yield Recv(tag="__gather__")
+        out[rank] = got
+    return out
+
+
+def allgather(ctx: Any, value: T, size: int = 256) -> _SysGen:
+    """gather-to-0 then broadcast of the full list."""
+    collected = yield from gather(ctx, value, root=0, size=size)
+    out = yield from bcast(ctx, collected, root=0, size=size)
+    return out
+
+
+def sendrecv(
+    ctx: Any,
+    dst: int,
+    send_value: T,
+    src: int,
+    tag: str = "__sendrecv__",
+    size: int = 256,
+) -> _SysGen:
+    """Combined send+receive — the deadlock-free neighbour-exchange
+    primitive (MPI_Sendrecv). Sends *send_value* to *dst* and returns the
+    value received from *src*."""
+    yield Send(dst=dst, data=send_value, tag=tag, size=size)
+    _, got = yield Recv(src=src, tag=tag)
+    return got
+
+
+def alltoall(ctx: Any, items: list[T], size: int = 256) -> _SysGen:
+    """Personalized all-to-all: rank *i* sends ``items[j]`` to rank *j* and
+    returns the list whose *j*-th element came from rank *j* — the global
+    transpose of the send matrix.
+
+    Linear implementation: p-1 sends then p-1 receives (self-exchange is
+    local)."""
+    p, me = ctx.size, ctx.rank
+    assert len(items) == p, "alltoall needs one item per rank"
+    out: list[Any] = [None] * p
+    out[me] = items[me]
+    for r in range(p):
+        if r != me:
+            yield Send(dst=r, data=(me, items[r]), tag="__alltoall__", size=size)
+    for _ in range(p - 1):
+        _, (sender, value) = yield Recv(tag="__alltoall__")
+        out[sender] = value
+    return out

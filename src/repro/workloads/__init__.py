@@ -1,0 +1,34 @@
+"""Synthetic workloads.
+
+The paper's programs (``/apps/snow/*.vce``) are not available, so each
+workload here is a synthetic application with the same *structure*: the §5
+weather-forecasting pipeline, the Monte Carlo farms and batch jobs the
+§4.4 literature review cites, generic pipelines, seeded random DAGs, and
+parameter sweeps.
+"""
+
+from repro.workloads.weather import (
+    WEATHER_SCRIPT,
+    build_weather_graph,
+    weather_class_map,
+    weather_programs,
+)
+from repro.workloads.montecarlo import build_monte_carlo_graph
+from repro.workloads.pipeline import build_diamond_graph, build_pipeline_graph
+from repro.workloads.randomdag import build_random_dag
+from repro.workloads.stencil import build_stencil_graph, heat_reference
+from repro.workloads.sweep import build_sweep_graph
+
+__all__ = [
+    "build_stencil_graph",
+    "heat_reference",
+    "WEATHER_SCRIPT",
+    "build_weather_graph",
+    "weather_programs",
+    "weather_class_map",
+    "build_monte_carlo_graph",
+    "build_pipeline_graph",
+    "build_diamond_graph",
+    "build_random_dag",
+    "build_sweep_graph",
+]

@@ -1,0 +1,71 @@
+"""Monte Carlo farm — the classic migratable workload.
+
+§4.4 notes that load-balancing work is usually validated on "tasks that
+are easily migrated (like parallel Monte Carlo simulations)". This farm
+estimates π: each worker draws its share of samples (modelled compute),
+then the ranks ``allreduce`` their hit counts.
+
+Each worker checkpoints between batches, so every §4.4 migration scheme
+applies to it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ExecutionHints, ProblemClass, TaskGraph
+from repro.vmpi.api import Checkpoint, Compute
+from repro.vmpi.collectives import allreduce
+
+
+def build_monte_carlo_graph(
+    workers: int = 4,
+    samples_per_worker: int = 100_000,
+    batches: int = 10,
+    work_per_batch: float = 2.0,
+    redundancy: int = 1,
+    seed: int = 0,
+    sync_every_batch: bool = False,
+    sync_size: int = 256,
+) -> TaskGraph:
+    """π-estimation farm: *workers* ranks, checkpointing every batch.
+
+    With ``sync_every_batch`` the ranks allreduce their running estimate
+    after every batch (periodic result combining) — the communication that
+    erodes parallel efficiency as the farm widens, exercised by the E7
+    free-parallelism benchmark.
+    """
+
+    def worker(ctx):
+        rng = random.Random(seed * 1_000_003 + ctx.rank)
+        state = ctx.restored_state or {"batch": 0, "hits": 0}
+        batch, hits = state["batch"], state["hits"]
+        per_batch = samples_per_worker // batches
+        while batch < batches:
+            yield Compute(work_per_batch)
+            hits += sum(
+                1
+                for _ in range(per_batch)
+                if rng.random() ** 2 + rng.random() ** 2 <= 1.0
+            )
+            batch += 1
+            yield Checkpoint({"batch": batch, "hits": hits}, size=64)
+            if sync_every_batch and ctx.size > 1:
+                yield from allreduce(ctx, hits, op=sum, size=sync_size)
+        total_hits = yield from allreduce(ctx, hits, op=sum)
+        return 4.0 * total_hits / (samples_per_worker // batches * batches * ctx.size)
+
+    spec = ProblemSpecification("montecarlo").task(
+        "worker",
+        "estimate pi by sampling",
+        work=work_per_batch * batches,
+        instances=workers,
+        hints=ExecutionHints(checkpointable=True, migratable=True, redundancy=redundancy),
+    )
+    graph = spec.build()
+    node = graph.task("worker")
+    node.problem_class = ProblemClass.LOOSELY_SYNCHRONOUS
+    node.language = "py"
+    node.program = worker
+    return graph

@@ -1,0 +1,68 @@
+"""Pipeline and diamond DAG workloads.
+
+Dependency-structured applications — the shape on which the §4.3 ripple
+effect bites: suspending one stage delays every downstream stage.
+"""
+
+from __future__ import annotations
+
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass, TaskGraph
+from repro.vmpi.api import Checkpoint, Compute
+
+
+def _stage_program(work: float, checkpoint_every: float = 5.0):
+    def program(ctx):
+        done = ctx.restored_state or 0.0
+        while done < work:
+            chunk = min(checkpoint_every, work - done)
+            yield Compute(chunk)
+            done += chunk
+            yield Checkpoint(done, size=1000)
+        return done
+
+    return program
+
+
+def build_pipeline_graph(
+    stages: int = 5,
+    stage_work: float = 10.0,
+    volume: int = 1_000_000,
+    name: str = "pipeline",
+) -> TaskGraph:
+    """A linear chain: s0 → s1 → ... → s(n-1) with DATA arcs."""
+    spec = ProblemSpecification(name)
+    for i in range(stages):
+        spec.task(f"s{i}", f"stage {i}", work=stage_work)
+    for i in range(stages - 1):
+        spec.flow(f"s{i}", f"s{i + 1}", volume=volume)
+    graph = spec.build()
+    for node in graph:
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+        node.program = _stage_program(stage_work)
+    return graph
+
+
+def build_diamond_graph(
+    width: int = 3,
+    source_work: float = 5.0,
+    branch_work: float = 20.0,
+    sink_work: float = 5.0,
+    name: str = "diamond",
+) -> TaskGraph:
+    """source → {b0..b(width-1)} → sink: fan-out/fan-in parallelism."""
+    spec = ProblemSpecification(name).task("source", work=source_work)
+    for i in range(width):
+        spec.task(f"b{i}", work=branch_work)
+        spec.flow("source", f"b{i}", volume=100_000)
+    spec.task("sink", work=sink_work)
+    for i in range(width):
+        spec.flow(f"b{i}", "sink", volume=100_000)
+    graph = spec.build()
+    works = {"source": source_work, "sink": sink_work}
+    for node in graph:
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+        node.program = _stage_program(works.get(node.name, branch_work))
+    return graph

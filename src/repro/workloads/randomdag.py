@@ -1,0 +1,52 @@
+"""Seeded random layered DAGs for scheduler stress tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass, TaskGraph
+from repro.vmpi.api import Compute
+
+
+def build_random_dag(
+    layers: int = 4,
+    width: int = 4,
+    seed: int = 0,
+    min_work: float = 2.0,
+    max_work: float = 20.0,
+    edge_prob: float = 0.4,
+    volume: int = 100_000,
+    name: str | None = None,
+) -> TaskGraph:
+    """A layered random DAG: every non-root task has at least one parent in
+    the previous layer; extra edges appear with *edge_prob*."""
+    rng = random.Random(seed)
+    spec = ProblemSpecification(name or f"rdag-{seed}")
+    grid: list[list[str]] = []
+    for layer in range(layers):
+        row = []
+        for i in range(rng.randint(1, width)):
+            task = f"L{layer}T{i}"
+            spec.task(task, work=rng.uniform(min_work, max_work))
+            row.append(task)
+        grid.append(row)
+    for layer in range(1, layers):
+        for task in grid[layer]:
+            parents = [p for p in grid[layer - 1] if rng.random() < edge_prob]
+            if not parents:
+                parents = [rng.choice(grid[layer - 1])]
+            for parent in parents:
+                spec.flow(parent, task, volume=volume)
+    graph = spec.build()
+    for node in graph:
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+        work = node.work
+
+        def program(ctx, w=work):
+            yield Compute(w)
+            return w
+
+        node.program = program
+    return graph

@@ -1,0 +1,37 @@
+"""Parameter sweeps: many independent single-task jobs.
+
+The free-parallelism workload (§4.5): independent work that soaks up any
+number of idle machines regardless of per-machine efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ExecutionHints, ProblemClass, TaskGraph
+from repro.vmpi.api import Compute
+
+
+def build_sweep_graph(
+    points: int = 8,
+    work_per_point: float = 10.0,
+    name: str = "sweep",
+) -> TaskGraph:
+    """One multi-instance task, one instance per sweep point."""
+
+    def program(ctx):
+        yield Compute(work_per_point)
+        return {"point": ctx.rank, "value": ctx.rank * 1.5}
+
+    spec = ProblemSpecification(name).task(
+        "point",
+        "evaluate one parameter point",
+        work=work_per_point,
+        instances=points,
+        hints=ExecutionHints(migratable=True, checkpointable=False),
+    )
+    graph = spec.build()
+    node = graph.task("point")
+    node.problem_class = ProblemClass.ASYNCHRONOUS
+    node.language = "py"
+    node.program = program
+    return graph

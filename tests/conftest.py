@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import ConstantLoad, Machine, MachineClass, MachineDatabase
+from repro.netsim import Network, Simulator
+from repro.runtime import Placement, RuntimeManager
+
+
+class Cluster:
+    """A small simulated cluster bundle used across tests."""
+
+    def __init__(self, sim, net, db, manager, hosts):
+        self.sim = sim
+        self.net = net
+        self.db = db
+        self.manager = manager
+        self.hosts = hosts
+
+    def run(self, until=None, **kw):
+        return self.sim.run(until=until, **kw)
+
+
+def make_cluster(
+    n_workstations=4,
+    seed=0,
+    speeds=None,
+    loads=None,
+    extra_machines=(),
+    binary_service=None,
+):
+    """Build a simulator + network + machines + runtime manager.
+
+    Args:
+        speeds: optional list of per-workstation speeds.
+        loads: optional list of per-workstation background LoadModels.
+        extra_machines: iterable of (name, MachineClass, speed) tuples for
+            non-workstation machines.
+    """
+    sim = Simulator(seed)
+    net = Network(sim)
+    db = MachineDatabase()
+    hosts = {}
+    for i in range(n_workstations):
+        name = f"ws{i}"
+        speed = speeds[i] if speeds else 1.0
+        host = net.add_host(name, speed=speed)
+        machine = Machine(
+            name,
+            MachineClass.WORKSTATION,
+            speed=speed,
+            memory_mb=256,
+            background_load=(loads[i] if loads else ConstantLoad(0.0)),
+        )
+        host.machine = machine
+        db.register(machine)
+        hosts[name] = host
+    for name, arch, speed in extra_machines:
+        host = net.add_host(name, speed=speed)
+        machine = Machine(name, arch, speed=speed, memory_mb=4096)
+        host.machine = machine
+        db.register(machine)
+        hosts[name] = host
+    manager = RuntimeManager(sim, net, binary_service=binary_service)
+    return Cluster(sim, net, db, manager, hosts)
+
+
+def place_all_on(graph, host_name):
+    """Placement putting every instance on one host."""
+    p = Placement()
+    for node in graph:
+        for rank in range(node.instances):
+            p.assign(node.name, rank, host_name)
+    return p
+
+
+def round_robin_placement(graph, host_names):
+    p = Placement()
+    i = 0
+    for node in graph:
+        for rank in range(node.instances):
+            p.assign(node.name, rank, host_names[i % len(host_names)])
+            i += 1
+    return p
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()

@@ -1,0 +1,115 @@
+"""Helpers to stand up a full VCE (daemons + directory + runtime) in tests
+and benchmarks."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.machines import ConstantLoad, Machine, MachineClass, MachineDatabase
+from repro.netsim import Network, Simulator
+from repro.runtime import RuntimeManager
+from repro.scheduler import DaemonConfig, GroupDirectory, SchedulerDaemon
+from repro.isis import IsisConfig
+
+
+class VCECluster:
+    """A booted VCE: hosts, machines, daemons, directory, runtime."""
+
+    def __init__(self, sim, net, db, directory, runtime, daemons, user_host):
+        self.sim = sim
+        self.net = net
+        self.db = db
+        self.directory = directory
+        self.runtime = runtime
+        self.daemons = daemons  # machine name -> SchedulerDaemon
+        self.user_host = user_host
+
+    def run(self, until=None, **kw):
+        return self.sim.run(until=until, **kw)
+
+    def daemon_on(self, machine_name):
+        return self.daemons[machine_name]
+
+    def leader_of(self, arch_class):
+        addr = self.directory.leader(arch_class)
+        return self.daemons[addr.host]
+
+
+def make_vce(
+    machines=None,
+    seed=0,
+    daemon_config=None,
+    isis_config=None,
+    settle=15.0,
+    binary_service=None,
+):
+    """Boot a VCE cluster.
+
+    Args:
+        machines: list of Machine objects (default: 4 idle workstations).
+        settle: simulation time allotted for group formation.
+    """
+    sim = Simulator(seed)
+    net = Network(sim)
+    db = MachineDatabase()
+    directory = GroupDirectory()
+    runtime = RuntimeManager(sim, net, binary_service=binary_service)
+    daemon_config = daemon_config or DaemonConfig()
+    isis_config = isis_config or IsisConfig()
+
+    if machines is None:
+        machines = [
+            Machine(f"ws{i}", MachineClass.WORKSTATION, background_load=ConstantLoad(0.0))
+            for i in range(4)
+        ]
+
+    daemons = {}
+    first_of_class = {}
+    for machine in machines:
+        host = net.add_host(machine.name, speed=machine.speed)
+        host.machine = machine
+        db.register(machine)
+        contacts = None
+        if machine.arch_class in first_of_class:
+            contacts = [first_of_class[machine.arch_class]]
+        daemon = SchedulerDaemon(
+            "vced", machine, directory, contacts, daemon_config, isis_config
+        )
+        host.spawn(daemon)
+        if machine.arch_class not in first_of_class:
+            first_of_class[machine.arch_class] = daemon.address
+        daemons[machine.name] = daemon
+
+    user_host = net.add_host("user")
+    user_host.machine = Machine("user", MachineClass.WORKSTATION)
+    # the user workstation is not registered as a biddable machine
+
+    sim.run(until=settle)
+    return VCECluster(sim, net, db, directory, runtime, daemons, user_host)
+
+
+def workstation_farm(n, loads=None, speeds=None):
+    """n workstation Machine objects with optional per-machine load/speed."""
+    out = []
+    for i in range(n):
+        out.append(
+            Machine(
+                f"ws{i}",
+                MachineClass.WORKSTATION,
+                speed=(speeds[i] if speeds else 1.0),
+                background_load=(loads[i] if loads else ConstantLoad(0.0)),
+                memory_mb=256,
+            )
+        )
+    return out
+
+
+def heterogeneous_site(n_ws=4, n_mimd=2, n_simd=1):
+    """The paper's 'typical heterogeneous environment': a workstation
+    group, a MIMD group and a SIMD group."""
+    machines = workstation_farm(n_ws)
+    for i in range(n_mimd):
+        machines.append(Machine(f"mimd{i}", MachineClass.MIMD, speed=10.0, memory_mb=2048))
+    for i in range(n_simd):
+        machines.append(Machine(f"simd{i}", MachineClass.SIMD, speed=40.0, memory_mb=4096))
+    return machines

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import WEATHER_SCRIPT
+
+
+@pytest.fixture
+def weather_file(tmp_path):
+    path = tmp_path / "snow.vce"
+    path.write_text(WEATHER_SCRIPT)
+    return str(path)
+
+
+class TestDescribe:
+    def test_weather_script(self, weather_file):
+        out = io.StringIO()
+        assert main(["describe", weather_file], out=out) == 0
+        text = out.getvalue()
+        assert "collector" in text and "predictor" in text
+        assert "SIMD" in text and "LOCAL" in text
+        assert "2..2" in text  # ASYNC 2
+
+    def test_with_channels_and_priority(self, tmp_path):
+        script = tmp_path / "app.vce"
+        script.write_text(
+            'ASYNC 1 "/a/src.vce"\nASYNC 1 "/a/dst.vce"\n'
+            'CHANNEL pipe FROM "/a/src.vce" TO "/a/dst.vce" VOLUME 9\nPRIORITY 3'
+        )
+        out = io.StringIO()
+        assert main(["describe", str(script)], out=out) == 0
+        assert "pipe" in out.getvalue()
+        assert "priority: 3" in out.getvalue()
+
+    def test_variables(self, tmp_path):
+        script = tmp_path / "cond.vce"
+        script.write_text(
+            'IF n >= 4 THEN ASYNC 4 "/a/w.vce" ELSE ASYNC 1 "/a/w.vce" ENDIF'
+        )
+        out = io.StringIO()
+        assert main(["describe", str(script), "--var", "n=5"], out=out) == 0
+        assert "4..4" in out.getvalue()
+
+    def test_missing_file(self):
+        assert main(["describe", "/nonexistent.vce"]) == 2
+
+    def test_bad_script(self, tmp_path):
+        script = tmp_path / "bad.vce"
+        script.write_text("FROB!!")
+        assert main(["describe", str(script)]) == 2
+
+
+class TestRun:
+    def test_weather_end_to_end(self, weather_file):
+        out = io.StringIO()
+        code = main(["run", weather_file, "--seed", "1"], out=out)
+        text = out.getvalue()
+        assert code == 0, text
+        assert "state: done" in text
+        assert "predictor[0]" in text and "simd0" in text
+        assert "makespan" in text
+
+    def test_run_ws_cluster_policy(self, tmp_path):
+        script = tmp_path / "batch.vce"
+        script.write_text('ASYNC 3 "/a/jobs.vce"')
+        out = io.StringIO()
+        code = main(
+            ["run", str(script), "--cluster", "ws:4", "--policy", "round-robin",
+             "--default-work", "2"],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        assert "jobs[2]" in out.getvalue()
+
+    def test_insufficient_cluster_fails_nonzero(self, tmp_path):
+        script = tmp_path / "big.vce"
+        script.write_text('ASYNC 5 "/a/jobs.vce"')
+        out = io.StringIO()
+        code = main(["run", str(script), "--cluster", "ws:2"], out=out)
+        assert code == 1
+        assert "state: failed" in out.getvalue()
+
+    def test_bad_cluster_spec(self, weather_file):
+        assert main(["run", weather_file, "--cluster", "quantum:3"]) == 2
+
+
+class TestDemo:
+    @pytest.mark.parametrize("workload", ["weather", "montecarlo", "stencil", "pipeline"])
+    def test_demos_complete(self, workload):
+        out = io.StringIO()
+        assert main(["demo", workload], out=out) == 0, out.getvalue()
+        assert "state: done" in out.getvalue()
+
+    def test_demo_prints_results(self):
+        out = io.StringIO()
+        main(["demo", "montecarlo"], out=out)
+        assert "result worker: 3.1" in out.getvalue()  # a pi estimate
+
+
+class TestGantt:
+    def test_gantt_printed(self, weather_file):
+        out = io.StringIO()
+        code = main(["run", weather_file, "--gantt"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "timeline" in text and "#" in text
+        assert "|" in text

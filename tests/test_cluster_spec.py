@@ -1,0 +1,123 @@
+"""Tests for JSON cluster specifications and the CLI integration."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import VCEConfig, VirtualComputingEnvironment, machines_from_spec, load_cluster_file
+from repro.cli import main
+from repro.machines import MachineClass
+from repro.util.errors import ConfigurationError
+from repro.workloads import WEATHER_SCRIPT
+
+SPEC = {
+    "machines": [
+        {"name": "a", "class": "WORKSTATION", "speed": 2.0, "memory_mb": 512,
+         "site": "syr", "files": ["obs.dat"]},
+        {"name": "b", "class": "simd", "speed": 40.0, "site": "syr"},
+        {"name": "c", "class": "WORKSTATION", "site": "cornell",
+         "load": {"type": "constant", "level": 0.3}},
+        {"name": "d", "class": "WORKSTATION",
+         "load": {"type": "trace", "points": [[5.0, 0.8]], "initial": 0.1}},
+        {"name": "e", "class": "WORKSTATION",
+         "load": {"type": "stochastic", "mean_idle": 10.0, "mean_busy": 5.0,
+                  "busy_level": 0.7}},
+    ],
+    "wan": {"base_latency": 0.08, "bandwidth": 100000.0},
+}
+
+
+class TestMachinesFromSpec:
+    def test_basic_fields(self):
+        machines, wan = machines_from_spec(SPEC)
+        by_name = {m.name: m for m in machines}
+        assert by_name["a"].speed == 2.0
+        assert by_name["a"].memory_mb == 512
+        assert by_name["a"].attributes["site"] == "syr"
+        assert "obs.dat" in by_name["a"].files
+        assert by_name["b"].arch_class is MachineClass.SIMD  # case-insensitive
+        assert wan is not None and wan.base_latency == 0.08
+
+    def test_load_models(self):
+        machines, _ = machines_from_spec(SPEC)
+        by_name = {m.name: m for m in machines}
+        assert by_name["c"].load_at(100.0) == 0.3
+        assert by_name["d"].load_at(0.0) == 0.1
+        assert by_name["d"].load_at(6.0) == 0.8
+        assert by_name["e"].load_at(0.0) in (0.0, 0.7)
+
+    def test_stochastic_deterministic_per_seed(self):
+        a, _ = machines_from_spec(SPEC, seed=1)
+        b, _ = machines_from_spec(SPEC, seed=1)
+        ea = next(m for m in a if m.name == "e")
+        eb = next(m for m in b if m.name == "e")
+        assert [ea.load_at(t) for t in range(0, 100, 7)] == [
+            eb.load_at(t) for t in range(0, 100, 7)
+        ]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="no machines"):
+            machines_from_spec({"machines": []})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing 'name'"):
+            machines_from_spec({"machines": [{"class": "SIMD"}]})
+
+    def test_unknown_load_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown load model"):
+            machines_from_spec(
+                {"machines": [{"name": "x", "load": {"type": "quantum"}}]}
+            )
+
+    def test_no_wan_key(self):
+        machines, wan = machines_from_spec({"machines": [{"name": "x"}]})
+        assert wan is None
+
+    def test_vce_boots_from_spec(self):
+        machines, wan = machines_from_spec(SPEC)
+        vce = VirtualComputingEnvironment(
+            machines, VCEConfig(wan_latency=wan)
+        ).boot()
+        assert vce.directory.has_group(MachineClass.WORKSTATION)
+        assert vce.directory.has_group(MachineClass.SIMD)
+        # cross-site pair uses the WAN model
+        assert vce.network.latency_between("a", "c").base_latency == 0.08
+        assert vce.network.latency_between("a", "b") is vce.network.latency
+
+
+class TestLoadClusterFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(SPEC))
+        machines, wan = load_cluster_file(str(path))
+        assert len(machines) == 5 and wan is not None
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            load_cluster_file(str(path))
+
+
+class TestCliClusterFile:
+    def test_run_with_cluster_file(self, tmp_path):
+        cluster = tmp_path / "cluster.json"
+        cluster.write_text(json.dumps({
+            "machines": [
+                {"name": f"ws{i}", "class": "WORKSTATION"} for i in range(3)
+            ] + [{"name": "simd0", "class": "SIMD", "speed": 40.0, "memory_mb": 4096}],
+        }))
+        script = tmp_path / "snow.vce"
+        script.write_text(WEATHER_SCRIPT)
+        out = io.StringIO()
+        code = main(
+            ["run", str(script), "--cluster-file", str(cluster)], out=out
+        )
+        assert code == 0, out.getvalue()
+        assert "simd0" in out.getvalue()
+
+    def test_bad_cluster_file_exit_code(self, tmp_path):
+        script = tmp_path / "s.vce"
+        script.write_text('LOCAL "/a/x.vce"')
+        assert main(["run", str(script), "--cluster-file", "/nope.json"]) == 2

@@ -1,0 +1,289 @@
+"""Tests for the compilation manager and anticipatory processing."""
+
+import pytest
+
+from repro.compilation import (
+    AnticipatoryEngine,
+    Binary,
+    CompilationManager,
+    Compiler,
+    CompilerRegistry,
+    candidate_classes,
+    default_registry,
+)
+from repro.machines import Machine, MachineClass, MachineDatabase, StochasticLoad, ConstantLoad
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.util.errors import CompilationError
+
+from tests.conftest import make_cluster, place_all_on
+
+
+def coded_graph(language="hpf", problem_class=ProblemClass.ASYNCHRONOUS, name="app"):
+    graph = ProblemSpecification(name).task("t", work=5).build()
+    node = graph.task("t")
+    node.problem_class = problem_class
+    node.language = language
+    node.program = lambda ctx: iter(())
+    return graph
+
+
+def db_with(*specs):
+    db = MachineDatabase()
+    for name, arch in specs:
+        db.register(Machine(name, arch, memory_mb=1024))
+    return db
+
+
+class TestClassMap:
+    def test_sync_prefers_simd(self):
+        assert candidate_classes(ProblemClass.SYNCHRONOUS)[0] is MachineClass.SIMD
+
+    def test_async_prefers_workstation(self):
+        assert candidate_classes(ProblemClass.ASYNCHRONOUS)[0] is MachineClass.WORKSTATION
+
+    def test_loose_prefers_mimd(self):
+        assert candidate_classes(ProblemClass.LOOSELY_SYNCHRONOUS)[0] is MachineClass.MIMD
+
+
+class TestCompilerRegistry:
+    def test_register_and_lookup(self):
+        reg = CompilerRegistry()
+        c = Compiler("c", MachineClass.WORKSTATION)
+        reg.register(c)
+        assert reg.lookup("c", MachineClass.WORKSTATION) is c
+        assert reg.lookup("c", MachineClass.SIMD) is None
+
+    def test_duplicate_rejected(self):
+        reg = CompilerRegistry()
+        reg.register(Compiler("c", MachineClass.WORKSTATION))
+        with pytest.raises(CompilationError):
+            reg.register(Compiler("c", MachineClass.WORKSTATION))
+
+    def test_targets_for(self):
+        reg = default_registry()
+        assert reg.targets_for("hpf") == set(MachineClass)
+        assert MachineClass.SIMD not in reg.targets_for("c")
+
+    def test_compile_time_model(self):
+        c = Compiler("c", MachineClass.MIMD, base_seconds=10, seconds_per_source_unit=0.01)
+        assert c.compile_time(1000) == pytest.approx(20.0)
+
+    def test_compile_produces_binary(self):
+        c = Compiler("c", MachineClass.MIMD)
+        b = c.compile("t", 100, now=3.0)
+        assert isinstance(b, Binary)
+        assert b.machine_class is MachineClass.MIMD and b.compiled_at == 3.0
+
+
+class TestCompilationManager:
+    def test_feasible_classes_intersects_three_constraints(self):
+        db = db_with(("ws", MachineClass.WORKSTATION), ("cm5", MachineClass.SIMD))
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="c", problem_class=ProblemClass.ASYNCHRONOUS)
+        # ASYNC prefers [WORKSTATION, MIMD]; db has WORKSTATION+SIMD; C
+        # compiles on WORKSTATION+MIMD => only WORKSTATION survives.
+        assert mgr.feasible_classes(graph.task("t")) == (MachineClass.WORKSTATION,)
+
+    def test_feasible_classes_requires_design_and_coding(self):
+        db = db_with(("ws", MachineClass.WORKSTATION))
+        mgr = CompilationManager(db)
+        graph = ProblemSpecification("a").task("t").build()
+        with pytest.raises(CompilationError, match="design"):
+            mgr.feasible_classes(graph.task("t"))
+        graph.task("t").problem_class = ProblemClass.ASYNCHRONOUS
+        with pytest.raises(CompilationError, match="language"):
+            mgr.feasible_classes(graph.task("t"))
+
+    def test_plan_prepares_all_feasible_classes(self):
+        db = db_with(
+            ("ws", MachineClass.WORKSTATION),
+            ("cube", MachineClass.MIMD),
+            ("cm5", MachineClass.SIMD),
+        )
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="hpf", problem_class=ProblemClass.LOOSELY_SYNCHRONOUS)
+        plan = mgr.plan(graph)
+        # LOOSESYNC prefers (MIMD, WORKSTATION, SIMD); all present, HPF everywhere
+        assert plan.candidates["t"] == (
+            MachineClass.MIMD,
+            MachineClass.WORKSTATION,
+            MachineClass.SIMD,
+        )
+        assert {j.target for j in plan.jobs} == {
+            MachineClass.MIMD,
+            MachineClass.WORKSTATION,
+            MachineClass.SIMD,
+        }
+        assert plan.total_compile_time > 0
+
+    def test_plan_fails_with_no_feasible_class(self):
+        db = db_with(("cm5", MachineClass.SIMD))
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="c", problem_class=ProblemClass.ASYNCHRONOUS)
+        with pytest.raises(CompilationError, match="no feasible machine class"):
+            mgr.plan(graph)
+
+    def test_plan_skips_cached_binaries(self):
+        db = db_with(("ws", MachineClass.WORKSTATION))
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="c")
+        plan1 = mgr.plan(graph)
+        mgr.compile_all(plan1)
+        plan2 = mgr.plan(graph)
+        assert plan2.jobs == []
+
+    def test_load_delay_prepared_vs_on_demand(self):
+        db = db_with(("ws", MachineClass.WORKSTATION))
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="c")
+        machine = db.get("ws")
+        node = graph.task("t")
+        on_demand = mgr.load_delay(node, machine, now=0.0)
+        assert on_demand > 1.0  # compiled on demand
+        assert mgr.on_demand_compiles == 1
+        # a second request while the compile is in flight waits out the
+        # remaining compile time instead of free-riding
+        in_flight = mgr.load_delay(node, machine, now=1.0)
+        assert in_flight == pytest.approx(on_demand - 1.0)
+        assert mgr.on_demand_compiles == 1  # no duplicate compile
+        # once the binary is ready, only the load cost remains
+        ready = mgr.load_delay(node, machine, now=on_demand + 1.0)
+        assert ready == CompilationManager.LOAD_SECONDS
+
+    def test_load_delay_impossible_raises(self):
+        db = db_with(("cm5", MachineClass.SIMD))
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="c")
+        with pytest.raises(CompilationError, match="no compiler"):
+            mgr.load_delay(graph.task("t"), db.get("cm5"), now=0.0)
+
+    def test_cache_classes_for(self):
+        db = db_with(("ws", MachineClass.WORKSTATION), ("cube", MachineClass.MIMD))
+        mgr = CompilationManager(db)
+        graph = coded_graph(language="c")
+        mgr.compile_all(mgr.plan(graph))
+        assert mgr.cache.classes_for("t") == {MachineClass.WORKSTATION, MachineClass.MIMD}
+
+
+class TestAnticipatoryEngine:
+    def _rig(self, loads=None):
+        cluster = make_cluster(3, loads=loads)
+        comp = CompilationManager(cluster.db)
+        engine = AnticipatoryEngine(cluster.sim, cluster.net, cluster.db, comp)
+        return cluster, comp, engine
+
+    def test_compile_ahead_fills_cache(self):
+        cluster, comp, engine = self._rig()
+        graph = coded_graph(language="py")
+        done = []
+        engine.compile_ahead(comp.plan(graph), on_all_done=lambda: done.append(cluster.sim.now))
+        cluster.run(until=100.0)
+        assert done, "anticipatory compilation never finished"
+        assert comp.cache.has("t", MachineClass.WORKSTATION)
+        assert engine.compiles_completed >= 1
+
+    def test_compile_ahead_uses_idle_machines_only(self):
+        # all machines busy: jobs wait until... never (loads constant 0.9)
+        cluster, comp, engine = self._rig(loads=[ConstantLoad(0.9)] * 3)
+        graph = coded_graph(language="py")
+        done = []
+        engine.compile_ahead(comp.plan(graph), on_all_done=lambda: done.append(1))
+        cluster.run(until=30.0)
+        assert not done
+        assert not comp.cache.has("t", MachineClass.WORKSTATION)
+
+    def test_replicate_files(self):
+        cluster, comp, engine = self._rig()
+        done = []
+        n = engine.replicate_files(
+            {"obs.dat": 1_250_000}, ["ws0", "ws1"], on_done=lambda: done.append(cluster.sim.now)
+        )
+        assert n == 2
+        cluster.run(until=60.0)
+        assert done and done[0] >= 1.0  # 1 MB+ at 1.25MB/s
+        assert "obs.dat" in cluster.db.get("ws0").files
+        assert "obs.dat" in cluster.db.get("ws1").files
+
+    def test_replicate_skips_existing(self):
+        cluster, comp, engine = self._rig()
+        cluster.db.get("ws0").files.add("obs.dat")
+        n = engine.replicate_files({"obs.dat": 100}, ["ws0"])
+        assert n == 0
+
+    def test_prepare_application_end_to_end(self):
+        cluster, comp, engine = self._rig()
+        graph = coded_graph(language="py")
+        graph.task("t").input_files.append("in.dat")
+        ready = []
+        engine.prepare_application(
+            graph, replicate_to=["ws0", "ws1"], on_ready=lambda: ready.append(cluster.sim.now)
+        )
+        cluster.run(until=100.0)
+        assert ready
+        assert comp.cache.has("t", MachineClass.WORKSTATION)
+        assert "in.dat" in cluster.db.get("ws1").files
+
+
+class TestRuntimeIntegrationWithBinaries:
+    def test_anticipatory_compilation_removes_startup_cost(self):
+        """The E8 effect in miniature: prepared binaries start ~immediately;
+        on-demand compilation delays the start by the compile time."""
+        from repro.vmpi import Compute
+
+        def program(ctx):
+            yield Compute(1.0)
+
+        def run(prepare: bool) -> float:
+            cluster = make_cluster(1)
+            comp = CompilationManager(cluster.db)
+            cluster.manager.binary_service = comp
+            graph = coded_graph(language="c")
+            graph.task("t").program = program
+            if prepare:
+                comp.compile_all(comp.plan(graph))
+            app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+            cluster.run()
+            return app.makespan
+
+        prepared = run(True)
+        on_demand = run(False)
+        assert prepared == pytest.approx(1.0 + CompilationManager.LOAD_SECONDS, abs=0.05)
+        assert on_demand > prepared + 5.0
+
+
+class TestProxyGeneration:
+    def test_compilation_manager_generates_proxies(self):
+        from repro.objects import parse_idl
+
+        db = db_with(("ws", MachineClass.WORKSTATION))
+        mgr = CompilationManager(db)
+        iface = parse_idl("interface Svc { f(x: int) -> int; }")["Svc"]
+        source = mgr.generate_proxy(iface, "objects", "server[0]")
+        assert "class SvcStub" in source
+        assert mgr.proxies_generated == 1
+        namespace = {}
+        exec(compile(source, "<proxy>", "exec"), namespace)
+        assert hasattr(namespace["SvcStub"], "f")
+
+
+class TestAnticipatoryBacklog:
+    def test_jobs_wait_for_capacity_then_run(self):
+        """All machines busy at first; anticipatory jobs queue and start
+        once owners leave."""
+        from repro.machines import TraceLoad
+
+        cluster = make_cluster(2, loads=[
+            TraceLoad([(30.0, 0.0)], initial=0.9),
+            TraceLoad([(30.0, 0.0)], initial=0.9),
+        ])
+        comp = CompilationManager(cluster.db)
+        engine = AnticipatoryEngine(cluster.sim, cluster.net, cluster.db, comp)
+        graph = coded_graph(language="py")
+        done = []
+        engine.compile_ahead(comp.plan(graph), on_all_done=lambda: done.append(cluster.sim.now))
+        cluster.run(until=20.0)
+        assert not done  # still waiting for an idle machine
+        cluster.run(until=120.0)
+        assert done and done[0] > 30.0
+        assert comp.cache.has("t", MachineClass.WORKSTATION)

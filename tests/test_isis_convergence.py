@@ -1,0 +1,94 @@
+"""Randomized membership convergence.
+
+A seeded adversary performs a random sequence of joins, graceful leaves,
+and crashes against a process group; after a quiescence period, every
+surviving member must agree on a single view containing exactly the
+survivors, with the oldest survivor as coordinator. Run across several
+seeds — a deterministic stand-in for stateful property testing of the
+membership protocol.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import views_converged
+from repro.isis import IsisConfig
+from repro.netsim import Network, Simulator
+
+from tests.test_isis_group import Recorder
+
+
+def adversarial_run(seed: int, operations: int = 12):
+    rng = random.Random(seed)
+    sim = Simulator(seed)
+    net = Network(sim)
+    members = []
+    counter = [0]
+
+    def spawn_member():
+        i = counter[0]
+        counter[0] += 1
+        host = net.add_host(f"h{i}")
+        contacts = None
+        alive = [m for m in members if m.joined and m.host.up]
+        if alive:
+            contacts = [m.address for m in rng.sample(alive, k=min(2, len(alive)))]
+        elif members:
+            contacts = [members[0].address]
+        member = Recorder(f"m{i}", contacts=contacts)
+        host.spawn(member)
+        members.append(member)
+        return member
+
+    spawn_member()
+    sim.run(until=5.0)
+
+    for _ in range(operations):
+        candidates = [m for m in members if m.joined and m.host.up]
+        op = rng.choice(["join", "join", "crash", "leave"])
+        if op == "join" or len(candidates) <= 2:
+            spawn_member()
+        elif op == "crash":
+            victim = rng.choice(candidates)
+            victim.host.crash()
+        else:
+            rng.choice(candidates).leave()
+        sim.run(until=sim.now + rng.uniform(1.0, 8.0))
+
+    # quiescence: generous time for detection + takeover chains
+    sim.run(until=sim.now + 120.0)
+    return sim, members
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 5, 8, 13, 21])
+def test_membership_converges_under_random_churn(seed):
+    sim, members = adversarial_run(seed)
+    live = [m for m in members if m.joined and m.host.up]
+    assert live, f"seed {seed}: everyone died (adversary too strong?)"
+    assert views_converged(live), (
+        f"seed {seed}: views diverged: "
+        + str({m.name: (m.view.view_id, [str(x) for x in m.view.members]) for m in live})
+    )
+    view = live[0].view
+    # the agreed view contains exactly the live members
+    assert {m.address for m in live} == set(view.members), (
+        f"seed {seed}: view {view} vs live {[m.name for m in live]}"
+    )
+    # exactly one coordinator, and it is the view's oldest member
+    coordinators = [m for m in live if m.is_coordinator]
+    assert len(coordinators) == 1
+    assert coordinators[0].address == view.coordinator
+
+
+@pytest.mark.parametrize("seed", [4, 9])
+def test_multicast_works_after_churn(seed):
+    sim, members = adversarial_run(seed)
+    live = [m for m in members if m.joined and m.host.up]
+    sender = live[-1]
+    sender.abcast("post-churn", seed)
+    sender.cbcast("post-churn-cb", seed)
+    sim.run(until=sim.now + 10.0)
+    for m in live:
+        assert ("post-churn" in [k for (_, k, _) in m.ab_deliveries])
+        assert ("post-churn-cb" in [k for (_, k, _) in m.cb_deliveries])

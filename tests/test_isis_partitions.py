@@ -1,0 +1,129 @@
+"""Partition behaviour: split-brain without quorum, safety with it.
+
+The paper's prototype ran on a single LAN and did not address partitions;
+the `require_majority` extension adds the standard quorum rule. These
+tests document both modes.
+"""
+
+import pytest
+
+from repro.isis import IsisConfig
+from repro.netsim import Address, Network, Simulator
+
+from tests.test_isis_group import Recorder
+
+
+def build_partitionable_group(n, seed=0, config=None, settle=10.0):
+    sim = Simulator(seed)
+    net = Network(sim)
+    members = []
+    founder = Address("h0", "m0")
+    for i in range(n):
+        host = net.add_host(f"h{i}")
+        member = Recorder(
+            f"m{i}", contacts=(None if i == 0 else [founder]), config=config
+        )
+        host.spawn(member)
+        members.append(member)
+    sim.run(until=settle)
+    assert all(m.joined for m in members)
+    return sim, net, members
+
+
+def seniority_ordered(members):
+    by_addr = {m.address: m for m in members}
+    return [by_addr[a] for a in members[0].view.members]
+
+
+class TestWithoutQuorum:
+    def test_partition_causes_split_brain(self):
+        """Documented limitation of the paper-faithful mode: both sides
+        evict each other and elect their own leaders."""
+        sim, net, members = build_partitionable_group(5)
+        ordered = seniority_ordered(members)
+        majority = {m.address.host for m in ordered[:3]}
+        minority = {m.address.host for m in ordered[3:]}
+        net.partition(majority, minority)
+        sim.run(until=sim.now + 60.0)
+        major_views = {m.view.members for m in ordered[:3]}
+        minor_views = {m.view.members for m in ordered[3:]}
+        assert len(major_views) == 1 and len(minor_views) == 1
+        # two disjoint groups, each with its own coordinator: split brain
+        assert major_views != minor_views
+        assert ordered[0].is_coordinator
+        assert ordered[3].is_coordinator
+
+
+class TestWithQuorum:
+    CFG = IsisConfig(require_majority=True)
+
+    def test_minority_side_stalls(self):
+        sim, net, members = build_partitionable_group(5, config=self.CFG)
+        ordered = seniority_ordered(members)
+        view_before = ordered[0].view
+        majority = {m.address.host for m in ordered[:3]}
+        minority = {m.address.host for m in ordered[3:]}
+        net.partition(majority, minority)
+        sim.run(until=sim.now + 60.0)
+        # majority side installed a 3-member view
+        for m in ordered[:3]:
+            assert len(m.view) == 3
+            assert m.view.coordinator == ordered[0].address
+        # minority side is blocked: it still holds the old 5-member view
+        for m in ordered[3:]:
+            assert m.view.view_id == view_before.view_id
+            assert len(m.view) == 5
+            assert not m.is_coordinator
+        blocked = sim.log.records(category="isis.quorum_blocked")
+        assert blocked, "minority never hit the quorum guard"
+
+    def test_heal_evicts_and_rejoins_minority(self):
+        sim, net, members = build_partitionable_group(5, config=self.CFG)
+        ordered = seniority_ordered(members)
+        majority = {m.address.host for m in ordered[:3]}
+        minority = {m.address.host for m in ordered[3:]}
+        net.partition(majority, minority)
+        sim.run(until=sim.now + 40.0)
+        net.heal()
+        sim.run(until=sim.now + 60.0)
+        # everyone converges on one 5-member view led by the original
+        # coordinator; the minority members rejoined after eviction
+        final_views = {m.view.members for m in members if m.joined}
+        assert len(final_views) == 1
+        assert len(members[0].view) == 5
+        assert members[0].view.coordinator == ordered[0].address
+        evictions = sim.log.records(category="isis.evicted")
+        assert len(evictions) >= 2  # both minority members rejoined
+
+    def test_group_request_still_works_after_heal(self):
+        sim, net, members = build_partitionable_group(5, config=self.CFG)
+        ordered = seniority_ordered(members)
+        net.partition(
+            {m.address.host for m in ordered[:3]},
+            {m.address.host for m in ordered[3:]},
+        )
+        sim.run(until=sim.now + 40.0)
+        net.heal()
+        sim.run(until=sim.now + 60.0)
+        results = {}
+        ordered[0].group_request(
+            "state?", on_done=lambda r, t: results.update(r=r, t=t)
+        )
+        sim.run(until=sim.now + 10.0)
+        assert results["t"] is False
+        assert len(results["r"]) == 5
+
+    def test_majority_side_keeps_multicasting_during_partition(self):
+        sim, net, members = build_partitionable_group(5, config=self.CFG)
+        ordered = seniority_ordered(members)
+        net.partition(
+            {m.address.host for m in ordered[:3]},
+            {m.address.host for m in ordered[3:]},
+        )
+        sim.run(until=sim.now + 40.0)
+        ordered[1].abcast("during-partition", "x")
+        sim.run(until=sim.now + 5.0)
+        for m in ordered[:3]:
+            assert ("during-partition" in [k for (_, k, _) in m.ab_deliveries])
+        for m in ordered[3:]:
+            assert "during-partition" not in [k for (_, k, _) in m.ab_deliveries]

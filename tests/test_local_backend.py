@@ -1,0 +1,188 @@
+"""Tests for the LocalBackend (real threaded execution)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import Placement
+from repro.runtime.local import (
+    LocalBackend,
+    LocalExecutionError,
+    round_robin_local_placement,
+)
+from repro.sdm import ProblemSpecification
+from repro.util.errors import ConfigurationError
+
+
+def simple_graph(instances=1):
+    spec = ProblemSpecification("local").task("t", instances=instances)
+    return spec.build()
+
+
+class TestLocalBackend:
+    def test_single_task_returns_result(self):
+        graph = simple_graph()
+        with LocalBackend(["m0"]) as backend:
+            results = backend.run(
+                graph,
+                round_robin_local_placement(graph, ["m0"]),
+                {"t": lambda ctx: 40 + 2},
+            )
+        assert results == {"t": [42]}
+
+    def test_ranks_get_distinct_contexts(self):
+        graph = simple_graph(instances=4)
+        with LocalBackend(["m0", "m1"]) as backend:
+            results = backend.run(
+                graph,
+                round_robin_local_placement(graph, ["m0", "m1"]),
+                {"t": lambda ctx: (ctx.rank, ctx.size, ctx.machine)},
+            )
+        assert [r[0] for r in results["t"]] == [0, 1, 2, 3]
+        assert all(r[1] == 4 for r in results["t"])
+        assert {r[2] for r in results["t"]} == {"m0", "m1"}
+
+    def test_precedence_and_inputs(self):
+        spec = (
+            ProblemSpecification("pipe")
+            .task("produce", instances=2)
+            .task("combine")
+            .flow("produce", "combine")
+        )
+        graph = spec.build()
+
+        def produce(ctx):
+            return (ctx.rank + 1) * 10
+
+        def combine(ctx):
+            return sum(ctx.inputs["produce"])
+
+        with LocalBackend(["m0", "m1"]) as backend:
+            results = backend.run(
+                graph,
+                round_robin_local_placement(graph, ["m0", "m1"]),
+                {"produce": produce, "combine": combine},
+            )
+        assert results["combine"] == [30]
+
+    def test_real_parallelism_across_machines(self):
+        """Two 0.2s sleeps on two machines overlap; on one machine they
+        serialize."""
+        graph = simple_graph(instances=2)
+
+        def nap(ctx):
+            time.sleep(0.2)
+            return ctx.rank
+
+        def run_on(machines):
+            with LocalBackend(machines) as backend:
+                t0 = time.perf_counter()
+                backend.run(
+                    graph,
+                    round_robin_local_placement(graph, machines),
+                    {"t": nap},
+                    timeout=5.0,
+                )
+                return time.perf_counter() - t0
+
+        parallel = run_on(["m0", "m1"])
+        serial = run_on(["m0"])
+        assert parallel < 0.35
+        assert serial > 0.35
+
+    def test_same_machine_serializes(self):
+        graph = simple_graph(instances=3)
+        order = []
+        lock = threading.Lock()
+
+        def record(ctx):
+            with lock:
+                order.append(("start", ctx.rank))
+            time.sleep(0.01)
+            with lock:
+                order.append(("end", ctx.rank))
+
+        with LocalBackend(["m0"]) as backend:
+            backend.run(
+                graph, round_robin_local_placement(graph, ["m0"]), {"t": record}
+            )
+        # strictly alternating start/end: no overlap on one machine
+        for i in range(0, len(order), 2):
+            assert order[i][0] == "start" and order[i + 1][0] == "end"
+            assert order[i][1] == order[i + 1][1]
+
+    def test_task_exception_raises(self):
+        graph = simple_graph()
+
+        def boom(ctx):
+            raise ValueError("kaput")
+
+        with LocalBackend(["m0"]) as backend:
+            with pytest.raises(LocalExecutionError) as info:
+                backend.run(
+                    graph, round_robin_local_placement(graph, ["m0"]), {"t": boom}
+                )
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_params_passed(self):
+        graph = simple_graph()
+        with LocalBackend(["m0"]) as backend:
+            results = backend.run(
+                graph,
+                round_robin_local_placement(graph, ["m0"]),
+                {"t": lambda ctx: ctx.params["x"] * 2},
+                params={"x": 21},
+            )
+        assert results["t"] == [42]
+
+    def test_validation_errors(self):
+        graph = simple_graph()
+        with pytest.raises(ConfigurationError):
+            LocalBackend([])
+        with pytest.raises(ConfigurationError):
+            LocalBackend(["a", "a"])
+        backend = LocalBackend(["m0"])
+        with pytest.raises(ConfigurationError, match="placement"):
+            backend.run(graph, Placement(), {"t": lambda ctx: 1})
+        with pytest.raises(ConfigurationError, match="no local programs"):
+            backend.run(
+                graph, round_robin_local_placement(graph, ["m0"]), {}
+            )
+        bad = Placement()
+        bad.assign("t", 0, "ghost")
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            backend.run(graph, bad, {"t": lambda ctx: 1})
+        backend.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            backend.run(graph, round_robin_local_placement(graph, ["m0"]), {"t": lambda c: 1})
+
+    def test_diamond_order(self):
+        spec = (
+            ProblemSpecification("d")
+            .task("a")
+            .task("b")
+            .task("c")
+            .task("d")
+        )
+        spec.flow("a", "b").flow("a", "c").flow("b", "d").flow("c", "d")
+        graph = spec.build()
+        seen = []
+        lock = threading.Lock()
+
+        def mk(name):
+            def fn(ctx):
+                with lock:
+                    seen.append(name)
+                return name
+
+            return fn
+
+        with LocalBackend(["m0", "m1"]) as backend:
+            backend.run(
+                graph,
+                round_robin_local_placement(graph, ["m0", "m1"]),
+                {n: mk(n) for n in "abcd"},
+            )
+        assert seen[0] == "a" and seen[-1] == "d"
+        assert set(seen[1:3]) == {"b", "c"}

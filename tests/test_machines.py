@@ -1,0 +1,197 @@
+"""Tests for machine classes, load models, Machine, and MachineDatabase."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machines import (
+    ConstantLoad,
+    Machine,
+    MachineClass,
+    MachineDatabase,
+    StochasticLoad,
+    TraceLoad,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStreams
+
+
+class TestMachineClass:
+    def test_parse_case_insensitive(self):
+        assert MachineClass.parse("simd") is MachineClass.SIMD
+        assert MachineClass.parse(" Workstation ") is MachineClass.WORKSTATION
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown machine class"):
+            MachineClass.parse("QUANTUM")
+
+    def test_str(self):
+        assert str(MachineClass.MIMD) == "MIMD"
+
+
+class TestLoadModels:
+    def test_constant(self):
+        assert ConstantLoad(0.3).load(999.0) == 0.3
+
+    def test_constant_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLoad(1.5)
+
+    def test_trace_steps(self):
+        trace = TraceLoad([(10.0, 0.8), (20.0, 0.2)], initial=0.0)
+        assert trace.load(5.0) == 0.0
+        assert trace.load(10.0) == 0.8
+        assert trace.load(15.0) == 0.8
+        assert trace.load(25.0) == 0.2
+
+    def test_trace_unsorted_input_ok(self):
+        trace = TraceLoad([(20.0, 0.2), (10.0, 0.8)])
+        assert trace.load(15.0) == 0.8
+
+    def test_stochastic_two_levels_only(self):
+        load = StochasticLoad(RngStreams(1), "m", mean_idle=5, mean_busy=5, busy_level=0.7)
+        values = {load.load(t * 3.0) for t in range(200)}
+        assert values <= {0.0, 0.7}
+        assert len(values) == 2  # both states visited over a long horizon
+
+    def test_stochastic_deterministic(self):
+        a = StochasticLoad(RngStreams(9), "m")
+        b = StochasticLoad(RngStreams(9), "m")
+        assert [a.load(t * 10.0) for t in range(50)] == [b.load(t * 10.0) for t in range(50)]
+
+    def test_stochastic_start_busy(self):
+        load = StochasticLoad(RngStreams(1), "m", start_busy=True, busy_level=0.9)
+        assert load.load(0.0) == 0.9
+
+    def test_stochastic_next_change_after(self):
+        load = StochasticLoad(RngStreams(1), "m")
+        t1 = load.next_change_after(0.0)
+        assert t1 > 0.0
+        before, after = load.load(t1 - 1e-9), load.load(t1)
+        assert before != after
+
+    def test_stochastic_validation(self):
+        with pytest.raises(ConfigurationError):
+            StochasticLoad(RngStreams(1), "m", mean_idle=0)
+
+    @given(st.floats(min_value=0, max_value=1e4))
+    def test_stochastic_load_in_range(self, t):
+        load = StochasticLoad(RngStreams(4), "p", busy_level=0.85)
+        assert load.load(t) in (0.0, 0.85)
+
+
+class TestMachine:
+    def test_defaults(self):
+        m = Machine("ws1", MachineClass.WORKSTATION)
+        assert m.object_code_format == "workstation-elf"
+        assert m.load_at(0.0) == 0.0
+        assert m.effective_speed(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Machine("bad", MachineClass.SIMD, speed=0)
+        with pytest.raises(ConfigurationError):
+            Machine("bad", MachineClass.SIMD, memory_mb=0)
+
+    def test_effective_speed_under_load(self):
+        m = Machine("ws", MachineClass.WORKSTATION, speed=2.0, background_load=ConstantLoad(0.25))
+        assert m.effective_speed(0.0) == pytest.approx(1.5)
+
+    def test_satisfies_arch_and_memory(self):
+        m = Machine("cm5", MachineClass.SIMD, memory_mb=1024)
+        assert m.satisfies({"arch_class": MachineClass.SIMD, "min_memory_mb": 512})
+        assert m.satisfies({"arch_class": "simd"})
+        assert not m.satisfies({"arch_class": MachineClass.MIMD})
+        assert not m.satisfies({"min_memory_mb": 2048})
+
+    def test_satisfies_files_and_attributes(self):
+        m = Machine(
+            "ws",
+            MachineClass.WORKSTATION,
+            files={"a.dat", "b.dat"},
+            attributes={"graphics": True},
+        )
+        assert m.satisfies({"files": ["a.dat"]})
+        assert not m.satisfies({"files": ["c.dat"]})
+        assert m.satisfies({"graphics": True})
+        assert not m.satisfies({"graphics": False})
+        assert not m.satisfies({"fpu": "vector"})
+
+    def test_satisfies_os(self):
+        m = Machine("ws", MachineClass.WORKSTATION, os="unix")
+        assert m.satisfies({"os": "unix"})
+        assert not m.satisfies({"os": "vms"})
+
+    def test_binary_compatibility(self):
+        a = Machine("a", MachineClass.WORKSTATION)
+        b = Machine("b", MachineClass.WORKSTATION)
+        c = Machine("c", MachineClass.SIMD)
+        assert a.binary_compatible_with(b)
+        assert not a.binary_compatible_with(c)
+
+    def test_custom_object_code_format(self):
+        a = Machine("a", MachineClass.WORKSTATION, object_code_format="sparc")
+        b = Machine("b", MachineClass.WORKSTATION, object_code_format="mips")
+        assert not a.binary_compatible_with(b)
+
+
+class TestMachineDatabase:
+    def _db(self):
+        db = MachineDatabase()
+        db.register(Machine("ws1", MachineClass.WORKSTATION, memory_mb=64))
+        db.register(Machine("ws2", MachineClass.WORKSTATION, memory_mb=256))
+        db.register(Machine("cm5", MachineClass.SIMD, speed=50, memory_mb=4096))
+        db.register(Machine("cube", MachineClass.MIMD, speed=20, memory_mb=2048))
+        return db
+
+    def test_register_and_lookup(self):
+        db = self._db()
+        assert len(db) == 4
+        assert "ws1" in db
+        assert db.get("cm5").speed == 50
+
+    def test_duplicate_rejected(self):
+        db = self._db()
+        with pytest.raises(ConfigurationError):
+            db.register(Machine("ws1", MachineClass.WORKSTATION))
+
+    def test_unknown_get(self):
+        with pytest.raises(ConfigurationError):
+            self._db().get("nope")
+
+    def test_machines_in_class(self):
+        db = self._db()
+        names = {m.name for m in db.machines_in_class(MachineClass.WORKSTATION)}
+        assert names == {"ws1", "ws2"}
+        assert db.machines_in_class(MachineClass.VECTOR) == []
+
+    def test_classes_present_and_counts(self):
+        db = self._db()
+        assert db.classes_present() == {
+            MachineClass.WORKSTATION,
+            MachineClass.SIMD,
+            MachineClass.MIMD,
+        }
+        assert db.class_counts()[MachineClass.WORKSTATION] == 2
+
+    def test_find_by_requirements(self):
+        db = self._db()
+        big = db.find({"min_memory_mb": 1024})
+        assert {m.name for m in big} == {"cm5", "cube"}
+
+    def test_feasible_classes(self):
+        db = self._db()
+        assert db.feasible_classes({"min_memory_mb": 1024}) == {
+            MachineClass.SIMD,
+            MachineClass.MIMD,
+        }
+        assert db.feasible_classes({"min_memory_mb": 10**6}) == set()
+
+    def test_unregister(self):
+        db = self._db()
+        db.unregister("ws1")
+        assert "ws1" not in db
+        assert {m.name for m in db.machines_in_class(MachineClass.WORKSTATION)} == {"ws2"}
+        db.unregister("ws1")  # idempotent
+
+    def test_iteration(self):
+        assert {m.name for m in self._db()} == {"ws1", "ws2", "cm5", "cube"}

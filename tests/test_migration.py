@@ -1,0 +1,341 @@
+"""Tests for the four migration schemes and the selector."""
+
+import pytest
+
+from repro.compilation import CompilationManager
+from repro.migration import (
+    CheckpointMigration,
+    DumpMigration,
+    MigrationContext,
+    MigrationSelector,
+    RecompileMigration,
+    RedundantExecutionManager,
+)
+from repro.runtime import AppStatus, InstanceState
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ExecutionHints, ProblemClass
+from repro.util.errors import MigrationError
+from repro.vmpi import Checkpoint, Compute
+
+from tests.conftest import make_cluster, place_all_on
+
+
+def checkpointing_program(total_steps=10, step_work=1.0, ckpt_size=1000):
+    """A cooperative task: checkpoints after every step and resumes from
+    ``ctx.restored_state``."""
+
+    def program(ctx):
+        step = ctx.restored_state or 0
+        while step < total_steps:
+            yield Compute(step_work)
+            step += 1
+            yield Checkpoint(step, size=ckpt_size)
+        return step
+
+    return program
+
+
+def plain_program(work=10.0):
+    def program(ctx):
+        yield Compute(work)
+        return "done"
+
+    return program
+
+
+def one_task_graph(program, name="app", memory_mb=1, hints=None, language="py"):
+    graph = ProblemSpecification(name).task("t", work=10, memory_mb=memory_mb).build()
+    node = graph.task("t")
+    node.problem_class = ProblemClass.ASYNCHRONOUS
+    node.language = language
+    node.program = program
+    if hints:
+        node.hints = hints
+    return graph
+
+
+def setup(n=3, **kw):
+    cluster = make_cluster(n, **kw)
+    context = MigrationContext(cluster.manager, cluster.net)
+    return cluster, context
+
+
+class TestDumpMigration:
+    def test_exact_migration_no_lost_work(self):
+        cluster, context = setup()
+        graph = one_task_graph(plain_program(10.0), memory_mb=1)
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=4.0)
+        dump = DumpMigration(context)
+        latencies = []
+        dump.migrate(app, app.record("t", 0), "ws1", on_done=latencies.append)
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert latencies and latencies[0] > 0.5  # 1 MB at 1.25 MB/s
+        # total = 10s compute + ~0.8s frozen transfer (no recompute)
+        assert app.makespan == pytest.approx(10.0 + latencies[0], abs=0.2)
+        assert app.record("t", 0).placements == ["ws0", "ws1"]
+
+    def test_requires_homogeneity(self):
+        from repro.machines import Machine, MachineClass
+
+        cluster, context = setup(2)
+        # give ws1 an alien object-code format
+        cluster.hosts["ws1"].machine.object_code_format = "alien"
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=2.0)
+        dump = DumpMigration(context)
+        ok, reason = dump.can_migrate(app, app.record("t", 0), "ws1")
+        assert not ok and "homogeneity" in reason
+        with pytest.raises(MigrationError):
+            dump.migrate(app, app.record("t", 0), "ws1")
+
+    def test_non_migratable_task_refused(self):
+        cluster, context = setup()
+        graph = one_task_graph(
+            plain_program(10.0), hints=ExecutionHints(migratable=False)
+        )
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=2.0)
+        ok, reason = DumpMigration(context).can_migrate(app, app.record("t", 0), "ws1")
+        assert not ok and "not migratable" in reason
+
+    def test_transfer_scales_with_memory(self):
+        def run(memory_mb):
+            cluster, context = setup()
+            graph = one_task_graph(plain_program(10.0), memory_mb=memory_mb)
+            app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+            cluster.run(until=2.0)
+            latencies = []
+            DumpMigration(context).migrate(
+                app, app.record("t", 0), "ws1", on_done=latencies.append
+            )
+            cluster.run()
+            return latencies[0]
+
+        assert run(10) > run(1) * 5
+
+    def test_dead_destination_thaws_in_place(self):
+        cluster, context = setup()
+        graph = one_task_graph(plain_program(10.0), memory_mb=10)
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=2.0)
+        DumpMigration(context).migrate(app, app.record("t", 0), "ws1")
+        cluster.hosts["ws1"].crash()  # dies while image is in flight
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.record("t", 0).host_name == "ws0"
+
+
+class TestCheckpointMigration:
+    def test_resumes_from_checkpoint(self):
+        cluster, context = setup()
+        graph = one_task_graph(checkpointing_program(total_steps=10))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=4.5)  # ~4 steps done and checkpointed
+        ck = CheckpointMigration(context)
+        latencies = []
+        ck.migrate(app, app.record("t", 0), "ws2", on_done=latencies.append)
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.results("t") == [10]
+        assert app.record("t", 0).host_name == "ws2"
+        # lost at most one step of work: total < 4.5 + 6 steps + slack
+        assert app.completed_at < 4.5 + 7.5
+
+    def test_without_checkpoint_restarts_from_scratch(self):
+        cluster, context = setup()
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=6.0)  # 6s of work that will be lost
+        CheckpointMigration(context).migrate(app, app.record("t", 0), "ws1")
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.completed_at == pytest.approx(16.0, abs=0.5)
+
+    def test_uncooperative_task_refused(self):
+        cluster, context = setup()
+        graph = one_task_graph(
+            plain_program(), hints=ExecutionHints(checkpointable=False)
+        )
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=1.0)
+        ok, reason = CheckpointMigration(context).can_migrate(
+            app, app.record("t", 0), "ws1"
+        )
+        assert not ok and "cooperate" in reason
+
+
+class TestRecompileMigration:
+    def _with_compilation(self):
+        cluster = make_cluster(2, extra_machines=[("mimd0", __import__("repro.machines", fromlist=["MachineClass"]).MachineClass.MIMD, 10.0)])
+        comp = CompilationManager(cluster.db)
+        context = MigrationContext(cluster.manager, cluster.net, comp)
+        return cluster, comp, context
+
+    def test_cross_class_migration(self):
+        cluster, comp, context = self._with_compilation()
+        graph = one_task_graph(checkpointing_program(total_steps=20), language="hpf")
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=5.0)
+        rec = RecompileMigration(context, use_checkpoint=True)
+        latencies = []
+        rec.migrate(app, app.record("t", 0), "mimd0", on_done=latencies.append)
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.record("t", 0).host_name == "mimd0"
+        assert latencies[0] > 15.0  # hpf compile is expensive (20s base)
+
+    def test_prepared_binary_makes_recompile_cheap(self):
+        cluster, comp, context = self._with_compilation()
+        graph = one_task_graph(checkpointing_program(total_steps=20), language="hpf")
+        comp.compile_all(comp.plan(graph))  # anticipatory compilation
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=5.0)
+        latencies = []
+        RecompileMigration(context, use_checkpoint=True).migrate(
+            app, app.record("t", 0), "mimd0", on_done=latencies.append
+        )
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert latencies[0] < 1.0
+
+    def test_no_compiler_refused(self):
+        cluster, comp, context = self._with_compilation()
+        # "c" has no SIMD compiler; fake a SIMD host by changing class
+        graph = one_task_graph(plain_program(), language="c")
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=1.0)
+        from repro.machines import MachineClass
+
+        cluster.db.get("mimd0").arch_class = MachineClass.SIMD
+        ok, reason = RecompileMigration(context).can_migrate(
+            app, app.record("t", 0), "mimd0"
+        )
+        assert not ok and "no compiler" in reason
+
+
+class TestRedundantExecution:
+    def test_first_finisher_wins(self):
+        cluster, context = setup(3, speeds=[1.0, 5.0, 1.0])
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(context)
+        cluster.run(until=0.5)
+        record = app.record("t", 0)
+        mgr.dispatch_redundant(app, record, ["ws1"])  # 5x faster host
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        # the fast copy finished first (~2.5s) and was promoted
+        assert record.host_name == "ws1"
+        assert app.makespan < 4.0
+
+    def test_evict_busy_primary_promotes_copy(self):
+        cluster, context = setup(3)
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(context)
+        cluster.run(until=1.0)
+        record = app.record("t", 0)
+        mgr.dispatch_redundant(app, record, ["ws1", "ws2"])
+        cluster.run(until=2.0)
+        mgr.evict(app, record, "ws0")  # primary's machine got busy
+        assert record.host_name in ("ws1", "ws2")
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert mgr.copies_killed >= 1
+
+    def test_migrate_api_zero_transfer(self):
+        cluster, context = setup(2)
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(context)
+        cluster.run(until=1.0)
+        record = app.record("t", 0)
+        mgr.dispatch_redundant(app, record, ["ws1"])
+        cluster.run(until=2.0)
+        latencies = []
+        mgr.migrate(app, record, "ws1", on_done=latencies.append)
+        assert latencies == [0.0]  # kill-and-adopt is instantaneous
+        cluster.run()
+        assert app.status is AppStatus.DONE
+
+    def test_no_copy_no_migration(self):
+        cluster, context = setup(2)
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=1.0)
+        mgr = RedundantExecutionManager(context)
+        ok, reason = mgr.can_migrate(app, app.record("t", 0), "ws1")
+        assert not ok and "no live redundant copy" in reason
+
+    def test_sibling_copies_killed_when_primary_finishes(self):
+        cluster, context = setup(3, speeds=[5.0, 1.0, 1.0])
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(context)
+        cluster.run(until=0.2)
+        record = app.record("t", 0)
+        copies = mgr.dispatch_redundant(app, record, ["ws1", "ws2"])
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert record.host_name == "ws0"  # fast primary won
+        for copy in copies:
+            assert copy.state in (InstanceState.KILLED, InstanceState.DONE)
+        assert all(copy.state is InstanceState.KILLED for copy in copies)
+
+
+class TestSelector:
+    def test_prefers_redundant_when_copy_exists(self):
+        cluster, context = setup(3)
+        graph = one_task_graph(plain_program(10.0))
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        selector = MigrationSelector(context)
+        cluster.run(until=1.0)
+        record = app.record("t", 0)
+        selector.redundant.dispatch_redundant(app, record, ["ws1"])
+        cluster.run(until=2.0)
+        assert selector.choose(app, record, "ws1").name == "redundant"
+
+    def test_prefers_dump_for_homogeneous_pair(self):
+        cluster, context = setup(3)
+        graph = one_task_graph(checkpointing_program())
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        selector = MigrationSelector(context)
+        cluster.run(until=1.0)
+        assert selector.choose(app, app.record("t", 0), "ws1").name == "dump"
+
+    def test_falls_back_to_checkpoint_across_formats(self):
+        cluster, context = setup(2)
+        cluster.hosts["ws1"].machine.object_code_format = "alien"
+        graph = one_task_graph(checkpointing_program())
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        selector = MigrationSelector(context)
+        cluster.run(until=2.5)
+        assert selector.choose(app, app.record("t", 0), "ws1").name == "checkpoint"
+
+    def test_raises_when_nothing_applies(self):
+        cluster, context = setup(2)
+        cluster.hosts["ws1"].machine.object_code_format = "alien"
+        graph = one_task_graph(
+            plain_program(),
+            hints=ExecutionHints(migratable=False, checkpointable=False),
+        )
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        selector = MigrationSelector(context)  # no compilation manager
+        cluster.run(until=1.0)
+        with pytest.raises(MigrationError, match="no scheme"):
+            selector.choose(app, app.record("t", 0), "ws1")
+
+    def test_migrate_runs_selected_scheme(self):
+        cluster, context = setup(3)
+        graph = one_task_graph(checkpointing_program())
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        selector = MigrationSelector(context)
+        cluster.run(until=1.0)
+        scheme = selector.migrate(app, app.record("t", 0), "ws2")
+        assert scheme.name == "dump"
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.record("t", 0).host_name == "ws2"

@@ -1,0 +1,140 @@
+"""Tests for multi-site (WAN) support: routes, clusters, site-packed
+placement."""
+
+import pytest
+
+from repro.core import VCEConfig, VirtualComputingEnvironment, multi_site_cluster
+from repro.machines import MachineClass
+from repro.netsim import Address, LatencyModel, Network, SimProcess, Simulator
+from repro.scheduler import MachineBid, site_packed_assignment
+from repro.scheduler.execution_program import RunState
+from repro.workloads import build_stencil_graph
+
+WAN = LatencyModel(base_latency=0.05, bandwidth=125_000, jitter=0.0)  # 1 Mb/s, 50ms
+
+
+class _Echo(SimProcess):
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = []
+
+    def on_message(self, src, payload):
+        self.got.append((self.now, payload))
+
+
+class TestRoutes:
+    def test_per_pair_latency_override(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base_latency=1e-3, jitter=0.0))
+        a, b, c = net.add_host("a"), net.add_host("b"), net.add_host("c")
+        net.set_route("a", "c", WAN)
+        sinks = {}
+        for host in (b, c):
+            sink = _Echo("sink")
+            host.spawn(sink)
+            sinks[host.name] = sink
+        sender = _Echo("sender")
+        a.spawn(sender)
+        sim.run()
+        sender.send(Address("b", "sink"), "lan", size=100)
+        sender.send(Address("c", "sink"), "wan", size=100)
+        sim.run()
+        lan_time = sinks["b"].got[0][0]
+        wan_time = sinks["c"].got[0][0]
+        assert wan_time > lan_time + 0.04  # the 50ms WAN base latency
+
+    def test_route_symmetric(self):
+        net = Network(Simulator())
+        net.add_host("a")
+        net.add_host("b")
+        net.set_route("a", "b", WAN)
+        assert net.latency_between("b", "a") is WAN
+        assert net.latency_between("a", "a") is net.latency
+
+
+class TestMultiSiteCluster:
+    def test_machines_carry_sites(self):
+        machines = multi_site_cluster({"syr": 3, "cornell": 2})
+        sites = [m.attributes["site"] for m in machines]
+        assert sites.count("syr") == 3 and sites.count("cornell") == 2
+        assert machines[0].name == "syr-ws0"
+
+    def test_vce_wires_wan_routes(self):
+        machines = multi_site_cluster({"syr": 2, "cornell": 2})
+        config = VCEConfig(wan_latency=WAN)
+        vce = VirtualComputingEnvironment(machines, config)
+        assert vce.network.latency_between("syr-ws0", "cornell-ws0") is WAN
+        assert vce.network.latency_between("syr-ws0", "syr-ws1") is vce.network.latency
+        # the user workstation joins the first site
+        assert vce.network.latency_between("user", "syr-ws0") is vce.network.latency
+        assert vce.network.latency_between("user", "cornell-ws1") is WAN
+
+    def test_no_wan_config_means_flat_lan(self):
+        machines = multi_site_cluster({"syr": 1, "cornell": 1})
+        vce = VirtualComputingEnvironment(machines)
+        assert (
+            vce.network.latency_between("syr-ws0", "cornell-ws0")
+            is vce.network.latency
+        )
+
+
+class TestSitePackedPolicy:
+    def _bids(self):
+        return [
+            MachineBid("syr-ws0", None, 0.3, 1.0, MachineClass.WORKSTATION, site="syr"),
+            MachineBid("syr-ws1", None, 0.3, 1.0, MachineClass.WORKSTATION, site="syr"),
+            MachineBid("cor-ws0", None, 0.0, 1.0, MachineClass.WORKSTATION, site="cor"),
+            MachineBid("cor-ws1", None, 0.0, 1.0, MachineClass.WORKSTATION, site="cor"),
+            MachineBid("cor-ws2", None, 0.0, 1.0, MachineClass.WORKSTATION, site="cor"),
+        ]
+
+    def test_packs_task_on_biggest_site(self):
+        all_machines = [b.machine for b in self._bids()]
+        needs = [("t", r, all_machines) for r in range(3)]
+        out = site_packed_assignment(needs, self._bids())
+        assert len(out) == 3
+        assert all(m.startswith("cor-") for m in out.values())
+
+    def test_spills_over_when_site_too_small(self):
+        all_machines = [b.machine for b in self._bids()]
+        needs = [("t", r, all_machines) for r in range(5)]
+        out = site_packed_assignment(needs, self._bids())
+        assert len(out) == 5
+        assert len(set(out.values())) == 5
+
+    def test_two_tasks_pack_independently(self):
+        all_machines = [b.machine for b in self._bids()]
+        needs = [("a", 0, all_machines), ("a", 1, all_machines),
+                 ("b", 0, all_machines), ("b", 1, all_machines)]
+        out = site_packed_assignment(needs, self._bids())
+        assert len(out) == 4
+        a_sites = {out[("a", 0)].split("-")[0], out[("a", 1)].split("-")[0]}
+        assert len(a_sites) == 1  # task a stayed on one site
+
+
+class TestEndToEndWan:
+    def _run(self, policy, seed=30):
+        machines = multi_site_cluster({"syr": 4, "cornell": 4})
+        config = VCEConfig(seed=seed, wan_latency=WAN)
+        vce = VirtualComputingEnvironment(machines, config).boot()
+        graph = build_stencil_graph(ranks=4, cells=32, iterations=20)
+        run = vce.submit(
+            graph, class_map={"grid": MachineClass.WORKSTATION}, policy=policy
+        )
+        vce.run_to_completion(run, timeout=3_000.0)
+        assert run.state is RunState.DONE, run.error
+        sites = {
+            run.placement.host_for("grid", r).split("-")[0] for r in range(4)
+        }
+        return run.app.makespan, sites
+
+    def test_site_packed_beats_load_sorted_for_stencil(self):
+        """Halo exchange every iteration: scattering ranks across the WAN
+        pays 2x50ms per iteration; packing them on one campus does not."""
+        from repro.scheduler import load_sorted_assignment
+
+        packed_ms, packed_sites = self._run(site_packed_assignment)
+        assert len(packed_sites) == 1  # all ranks on one campus
+        spread_ms, spread_sites = self._run(load_sorted_assignment)
+        if len(spread_sites) > 1:  # load-sorted happened to scatter
+            assert packed_ms < spread_ms / 2

@@ -1,0 +1,456 @@
+"""Tests for the discrete-event kernel, hosts, network, and processes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import Address, Host, LatencyModel, Network, SimProcess, Simulator
+from repro.util.errors import SimulationError
+
+
+class TestSimulator:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.5, 1.0]
+        assert sim.now == 1.0
+
+    def test_fifo_order_at_same_timestamp(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert sim.pending == 1
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_run_until_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=2.5)
+        assert sim.now == 2.5
+
+    def test_cancel_timer(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert timer.cancelled
+
+    def test_stop_when(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [0, 1]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.call_soon(loop)
+
+        sim.call_soon(loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=40))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class _Echo(SimProcess):
+    """Replies to every message with the same payload."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = []
+
+    def on_message(self, src, payload):
+        self.got.append(payload)
+        self.send(src, ("echo", payload))
+
+
+class _Caller(SimProcess):
+    def __init__(self, name, target: Address):
+        super().__init__(name)
+        self.target = target
+        self.replies = []
+
+    def on_start(self):
+        self.send(self.target, "hello", size=100)
+
+    def on_message(self, src, payload):
+        self.replies.append((self.now, payload))
+
+
+class TestNetwork:
+    def _pair(self, seed=0, latency=None):
+        sim = Simulator(seed)
+        net = Network(sim, latency)
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        return sim, net, h1, h2
+
+    def test_message_roundtrip(self):
+        sim, net, h1, h2 = self._pair()
+        echo = _Echo("echo")
+        h2.spawn(echo)
+        caller = _Caller("caller", Address("h2", "echo"))
+        h1.spawn(caller)
+        sim.run()
+        assert echo.got == ["hello"]
+        assert caller.replies and caller.replies[0][1] == ("echo", "hello")
+
+    def test_latency_model_applied(self):
+        model = LatencyModel(base_latency=0.01, bandwidth=1000, jitter=0.0)
+        sim, net, h1, h2 = self._pair(latency=model)
+        echo = _Echo("echo")
+        h2.spawn(echo)
+        caller = _Caller("caller", Address("h2", "echo"))
+        h1.spawn(caller)
+        sim.run()
+        # request: 0.01 + 100/1000 = 0.11 ; reply: 0.01 + 256/1000 = 0.266
+        assert caller.replies[0][0] == pytest.approx(0.11 + 0.266, rel=1e-6)
+
+    def test_local_delivery_cheap(self):
+        sim, net, h1, h2 = self._pair()
+        echo = _Echo("echo")
+        h1.spawn(echo)
+        caller = _Caller("caller", Address("h1", "echo"))
+        h1.spawn(caller)
+        sim.run()
+        assert caller.replies[0][0] <= 2 * net.latency.local_latency + 1e-12
+
+    def test_send_to_unknown_host_raises(self):
+        sim, net, h1, h2 = self._pair()
+        p = _Echo("p")
+        h1.spawn(p)
+        sim.run()
+        with pytest.raises(SimulationError):
+            net.send(p.address, Address("nope", "x"), "payload")
+
+    def test_crashed_host_drops_messages(self):
+        sim, net, h1, h2 = self._pair()
+        echo = _Echo("echo")
+        h2.spawn(echo)
+        caller = _Caller("caller", Address("h2", "echo"))
+        h2.crash()
+        h1.spawn(caller)
+        sim.run()
+        assert echo.got == []
+        assert caller.replies == []
+
+    def test_partition_blocks_and_heal_restores(self):
+        sim, net, h1, h2 = self._pair()
+        echo = _Echo("echo")
+        h2.spawn(echo)
+        net.partition({"h1"}, {"h2"})
+        caller = _Caller("caller", Address("h2", "echo"))
+        h1.spawn(caller)
+        sim.run()
+        assert echo.got == []
+        net.heal()
+        h1.process("caller").send(Address("h2", "echo"), "again")
+        sim.run()
+        assert echo.got == ["again"]
+
+    def test_drop_rate_one_drops_everything(self):
+        sim, net, h1, h2 = self._pair()
+        net.set_drop_rate(1.0)
+        echo = _Echo("echo")
+        h2.spawn(echo)
+        caller = _Caller("caller", Address("h2", "echo"))
+        h1.spawn(caller)
+        sim.run()
+        assert echo.got == []
+
+    def test_drop_rate_validation(self):
+        sim, net, *_ = self._pair()
+        with pytest.raises(SimulationError):
+            net.set_drop_rate(1.5)
+
+    def test_counters(self):
+        sim, net, h1, h2 = self._pair()
+        echo = _Echo("echo")
+        h2.spawn(echo)
+        caller = _Caller("caller", Address("h2", "echo"))
+        h1.spawn(caller)
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        assert net.bytes_sent == 100 + 256
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            sim = Simulator(seed)
+            net = Network(sim)
+            a, b = net.add_host("a"), net.add_host("b")
+            echo = _Echo("echo")
+            b.spawn(echo)
+            caller = _Caller("caller", Address("b", "echo"))
+            a.spawn(caller)
+            sim.run()
+            return caller.replies
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestHost:
+    def test_duplicate_process_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+        h.spawn(_Echo("p"))
+        with pytest.raises(SimulationError):
+            h.spawn(_Echo("p"))
+
+    def test_duplicate_host_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("h")
+        with pytest.raises(SimulationError):
+            net.add_host("h")
+
+    def test_bad_speed_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Host(sim, "h", speed=0)
+
+    def test_crash_stops_processes_and_cancels_timers(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+
+        class Ticker(SimProcess):
+            def __init__(self):
+                super().__init__("ticker")
+                self.ticks = 0
+                self.crashed = False
+
+            def on_start(self):
+                self.set_timer(1.0, "tick")
+
+            def on_timer(self, key):
+                self.ticks += 1
+                self.set_timer(1.0, "tick")
+
+            def on_crash(self):
+                self.crashed = True
+
+        t = Ticker()
+        h.spawn(t)
+        sim.schedule(2.5, h.crash)
+        sim.run(until=10.0)
+        assert t.ticks == 2
+        assert t.crashed
+        assert not t.alive
+
+    def test_recover_bumps_incarnation(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+        h.crash()
+        h.recover()
+        assert h.up and h.incarnation == 1
+
+    def test_kill_invokes_on_stop(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+
+        class P(SimProcess):
+            stopped = False
+
+            def on_stop(self):
+                self.stopped = True
+
+        p = P("p")
+        h.spawn(p)
+        sim.run()
+        h.kill("p")
+        assert p.stopped and not p.alive
+
+    def test_timer_rearm_replaces(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+
+        class P(SimProcess):
+            def __init__(self):
+                super().__init__("p")
+                self.fired = []
+
+            def on_start(self):
+                self.set_timer(5.0, "t")
+                self.set_timer(1.0, "t")  # re-arm replaces
+
+            def on_timer(self, key):
+                self.fired.append(self.now)
+
+        p = P()
+        h.spawn(p)
+        sim.run()
+        assert p.fired == [1.0]
+
+    def test_emit_goes_to_sim_log(self):
+        sim = Simulator()
+        net = Network(sim)
+        h = net.add_host("h")
+
+        class P(SimProcess):
+            def on_start(self):
+                self.emit("custom.event", value=42)
+
+        h.spawn(P("p"))
+        sim.run()
+        rec = sim.log.first("custom.event")
+        assert rec is not None and rec.get("value") == 42
+
+
+class TestDaemonEvents:
+    def test_run_stops_when_only_daemon_events_remain(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.schedule(3.5, lambda: None)  # one real event
+        sim.run()
+        # the loop processed daemon ticks only while real work remained
+        assert sim.now == pytest.approx(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_daemon_events_still_run_under_deadline(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.run(until=4.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cancel_accounting(self):
+        sim = Simulator()
+        timer = sim.schedule(5.0, lambda: None)
+        timer.cancel()
+        timer.cancel()  # double-cancel must not corrupt the counter
+        assert sim._live_nondaemon == 0
+        sim.schedule(1.0, lambda: None, daemon=True)
+        sim.run()  # returns immediately: only a daemon event remains
+        assert sim.now == 0.0
+
+    def test_daemon_spawning_real_work_keeps_running(self):
+        sim = Simulator()
+        done = []
+
+        def daemon_tick():
+            if sim.now >= 2.0 and not done:
+                sim.schedule(1.0, lambda: done.append(sim.now))  # real event
+            sim.schedule(1.0, daemon_tick, daemon=True)
+
+        sim.schedule(1.0, daemon_tick, daemon=True)
+        sim.schedule(2.5, lambda: None)  # keeps the loop alive until 2.5
+        sim.run()
+        assert done == [3.0]
+
+
+class TestEgressSerialization:
+    def _burst(self, serialize):
+        model = LatencyModel(base_latency=0.01, bandwidth=1000, jitter=0.0)
+        sim = Simulator()
+        net = Network(sim, model, egress_serialization=serialize)
+        src = net.add_host("src")
+        arrivals = []
+
+        class Sink(SimProcess):
+            def on_message(self, s, payload):
+                arrivals.append(self.now)
+
+        for i in range(4):
+            host = net.add_host(f"d{i}")
+            host.spawn(Sink("sink"))
+        sim.run()
+        sender = SimProcess("tx")
+        src.spawn(sender)
+        sim.run()
+        for i in range(4):
+            sender.send(Address(f"d{i}", "sink"), "x", size=100)  # 0.1s tx each
+        sim.run()
+        return sorted(arrivals)
+
+    def test_without_serialization_concurrent(self):
+        arrivals = self._burst(serialize=False)
+        # all four messages travel independently: identical arrival times
+        assert arrivals[-1] - arrivals[0] < 1e-9
+
+    def test_with_serialization_queued(self):
+        arrivals = self._burst(serialize=True)
+        # one NIC: transmissions are spaced by 100/1000 = 0.1s each
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(0.1, rel=1e-6)
+
+    def test_serialization_idle_nic_no_penalty(self):
+        model = LatencyModel(base_latency=0.01, bandwidth=1000, jitter=0.0)
+        for serialize in (False, True):
+            sim = Simulator()
+            net = Network(sim, model, egress_serialization=serialize)
+            src, dst = net.add_host("s"), net.add_host("d")
+            got = []
+
+            class Sink(SimProcess):
+                def on_message(self, s, payload):
+                    got.append(self.now)
+
+            dst.spawn(Sink("sink"))
+            p = SimProcess("tx")
+            src.spawn(p)
+            sim.run()
+            p.send(Address("d", "sink"), "x", size=100)
+            sim.run()
+            assert got[0] == pytest.approx(0.11, rel=1e-6)

@@ -1,0 +1,246 @@
+"""Tests for the IDL parser, marshalling model, and proxies (Figure 2)."""
+
+import pytest
+
+from repro.objects import (
+    ClientStub,
+    RemoteError,
+    conversion_seconds,
+    generate_stub_source,
+    parse_idl,
+    serve,
+    wire_size,
+)
+from repro.runtime import AppStatus, Placement
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.util.errors import CommunicationError
+
+from tests.conftest import make_cluster
+
+PREDICTOR_IDL = """
+// weather predictor service
+interface Predictor {
+    predict(region: string, hours: int) -> string;
+    accuracy() -> float;
+    reset();
+}
+"""
+
+
+class TestIDL:
+    def test_parse_interface(self):
+        ifaces = parse_idl(PREDICTOR_IDL)
+        assert set(ifaces) == {"Predictor"}
+        predictor = ifaces["Predictor"]
+        assert set(predictor.methods) == {"predict", "accuracy", "reset"}
+        predict = predictor.method("predict")
+        assert predict.arity == 2
+        assert predict.params[0].type == "string"
+        assert predict.returns == "string"
+        assert predictor.method("reset").returns == "void"
+
+    def test_multiple_interfaces(self):
+        ifaces = parse_idl("interface A { f(); } interface B { g() -> int; }")
+        assert set(ifaces) == {"A", "B"}
+
+    def test_duplicate_interface_rejected(self):
+        with pytest.raises(CommunicationError, match="duplicate interface"):
+            parse_idl("interface A { } interface A { }")
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(CommunicationError, match="duplicate method"):
+            parse_idl("interface A { f(); f(); }")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CommunicationError, match="unknown type"):
+            parse_idl("interface A { f(x: quaternion); }")
+
+    def test_check_call_arity(self):
+        iface = parse_idl(PREDICTOR_IDL)["Predictor"]
+        iface.check_call("predict", ("syracuse", 24))
+        with pytest.raises(CommunicationError, match="takes 2 arguments"):
+            iface.check_call("predict", ("syracuse",))
+        with pytest.raises(CommunicationError, match="no method"):
+            iface.check_call("ghost", ())
+
+    def test_tokenizer_error(self):
+        with pytest.raises(CommunicationError, match="tokenize"):
+            parse_idl("interface A { f(); } $$$")
+
+
+class TestMarshal:
+    def test_primitive_sizes(self):
+        assert wire_size(None) == 4
+        assert wire_size(True) == 4
+        assert wire_size(7) == 8
+        assert wire_size(3.14) == 8
+
+    def test_string_padded_to_units(self):
+        assert wire_size("") == 4
+        assert wire_size("a") == 8  # 4 header + 4 padded
+        assert wire_size("abcde") == 12
+
+    def test_containers_recursive(self):
+        assert wire_size([1, 2]) == 4 + 16
+        assert wire_size({"k": 1}) == 4 + wire_size("k") + 8
+
+    def test_conversion_seconds_linear(self):
+        assert conversion_seconds(1000, 1e-6) == pytest.approx(1e-3)
+
+
+class PredictorImpl:
+    """Test servant."""
+
+    def __init__(self):
+        self.resets = 0
+
+    def predict(self, region, hours):
+        return f"{region}: snow for {hours}h"
+
+    def accuracy(self):
+        return 0.75
+
+    def reset(self):
+        self.resets += 1
+
+    def boom(self):
+        raise ValueError("kaput")
+
+
+def rpc_app(client_program, server_program):
+    """Two-task app joined by a STREAM channel named 'objects'."""
+    spec = ProblemSpecification("rpc").task("client").task("server")
+    spec.stream("client", "server", channel="objects")
+    graph = spec.build()
+    for name, program in (("client", client_program), ("server", server_program)):
+        node = graph.task(name)
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+        node.program = program
+    return graph
+
+
+class TestProxies:
+    def _run(self, client_program, server_program, n_hosts=2):
+        cluster = make_cluster(n_hosts)
+        graph = rpc_app(client_program, server_program)
+        placement = Placement()
+        placement.assign("client", 0, "ws0")
+        placement.assign("server", 0, f"ws{n_hosts - 1}")
+        app = cluster.manager.submit(graph, placement)
+        cluster.run()
+        return cluster, app
+
+    def test_remote_method_invocation(self):
+        iface = parse_idl(PREDICTOR_IDL)["Predictor"]
+
+        def client(ctx):
+            stub = ClientStub(iface, "objects", "server[0]")
+            forecast = yield from stub.invoke(ctx, "predict", "syracuse", 24)
+            acc = yield from stub.invoke(ctx, "accuracy")
+            yield from stub.shutdown(ctx)
+            return (forecast, acc)
+
+        def server(ctx):
+            served = yield from serve(ctx, PredictorImpl(), iface, "objects")
+            return served
+
+        cluster, app = self._run(client, server)
+        assert app.status is AppStatus.DONE
+        assert app.results("client") == [("syracuse: snow for 24h", 0.75)]
+        assert app.results("server") == [2]
+
+    def test_servant_exception_crosses_wire(self):
+        iface = parse_idl("interface X { boom(); }")["X"]
+
+        def client(ctx):
+            stub = ClientStub(iface, "objects", "server[0]")
+            try:
+                yield from stub.invoke(ctx, "boom")
+            except RemoteError as err:
+                yield from stub.shutdown(ctx)
+                return f"caught: {err}"
+            return "no error?"
+
+        def server(ctx):
+            yield from serve(ctx, PredictorImpl(), iface, "objects")
+
+        cluster, app = self._run(client, server)
+        assert app.status is AppStatus.DONE
+        assert "caught" in app.results("client")[0]
+        assert "kaput" in app.results("client")[0]
+
+    def test_bad_arity_rejected_client_side(self):
+        iface = parse_idl(PREDICTOR_IDL)["Predictor"]
+
+        def client(ctx):
+            stub = ClientStub(iface, "objects", "server[0]")
+            yield from stub.invoke(ctx, "predict", "only-one-arg")
+
+        def server(ctx):
+            yield from serve(ctx, PredictorImpl(), iface, "objects", max_requests=1)
+
+        cluster, app = self._run(client, server)
+        # the client program raised before anything hit the wire
+        assert app.status is AppStatus.FAILED
+
+    def test_max_requests_bounds_server(self):
+        iface = parse_idl(PREDICTOR_IDL)["Predictor"]
+
+        def client(ctx):
+            stub = ClientStub(iface, "objects", "server[0]")
+            yield from stub.invoke(ctx, "reset")
+            yield from stub.invoke(ctx, "reset")
+            return "ok"
+
+        def server(ctx):
+            servant = PredictorImpl()
+            served = yield from serve(ctx, servant, iface, "objects", max_requests=2)
+            return (served, servant.resets)
+
+        cluster, app = self._run(client, server)
+        assert app.status is AppStatus.DONE
+        assert app.results("server") == [(2, 2)]
+
+    def test_rpc_through_conversion_interposer(self):
+        """Cross-architecture invocation: a data-conversion interposer on
+        the channel adds marshalling latency but preserves semantics."""
+        from repro.channels import DataConversionInterposer
+
+        iface = parse_idl(PREDICTOR_IDL)["Predictor"]
+
+        def client(ctx):
+            stub = ClientStub(iface, "objects", "server[0]")
+            result = yield from stub.invoke(ctx, "predict", "rome", 8)
+            yield from stub.shutdown(ctx)
+            return result
+
+        def server(ctx):
+            yield from serve(ctx, PredictorImpl(), iface, "objects")
+
+        cluster = make_cluster(3)
+        graph = rpc_app(client, server)
+        placement = Placement()
+        placement.assign("client", 0, "ws0")
+        placement.assign("server", 0, "ws1")
+        app = cluster.manager.submit(graph, placement)
+        conv = DataConversionInterposer("xdr", seconds_per_byte=1e-6)
+        cluster.hosts["ws2"].spawn(conv)
+        cluster.manager.channels.get("objects").split(conv)
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.results("client") == ["rome: snow for 8h"]
+        assert conv.processed >= 2  # request + reply + shutdown pass through
+
+
+class TestStubGeneration:
+    def test_generated_source_compiles_and_lists_methods(self):
+        iface = parse_idl(PREDICTOR_IDL)["Predictor"]
+        source = generate_stub_source(iface, "objects", "server[0]")
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        stub_cls = namespace["PredictorStub"]
+        for method in ("predict", "accuracy", "reset"):
+            assert hasattr(stub_cls, method)
+        assert "region: string" in source

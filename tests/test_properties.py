@@ -1,0 +1,261 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These complement the example-based suites: each property is an invariant
+the system must hold for *any* input in the strategy's domain.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.isis import VectorClock
+from repro.machines import MachineClass
+from repro.metrics.collector import _merge
+from repro.objects import wire_size
+from repro.scheduler import (
+    AgingQueue,
+    MachineBid,
+    ResourceRequest,
+    greedy_assignment,
+    load_sorted_assignment,
+    random_assignment,
+    round_robin_assignment,
+    utilization_first_assignment,
+)
+from repro.scheduler.messages import ModuleNeed
+from repro.taskgraph import TaskGraph, TaskNode
+from repro.util.rng import RngStreams
+
+
+# ---------------------------------------------------------------- intervals
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1000, allow_nan=False), st.floats(0, 1000, allow_nan=False)
+        ).map(lambda t: (min(t), max(t))),
+        max_size=30,
+    )
+)
+def test_merge_intervals_invariants(intervals):
+    merged = _merge(intervals)
+    # sorted, disjoint, non-touching
+    for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        assert e1 < s2
+    # total coverage preserved: every input point is inside some output
+    for s, e in intervals:
+        assert any(ms <= s and e <= me for ms, me in merged)
+    # merged length >= max single interval, <= sum of lengths
+    if intervals:
+        total = sum(e - s for s, e in merged)
+        assert total <= sum(e - s for s, e in intervals) + 1e-9
+        assert total >= max(e - s for s, e in intervals) - 1e-9
+
+
+# -------------------------------------------------------------- vector clocks
+
+
+@given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=40))
+def test_vector_clock_counts_increments(events):
+    vc = VectorClock()
+    for who in events:
+        vc.increment(who)
+    for who in "abcd":
+        assert vc.get(who) == events.count(who)
+
+
+@given(
+    st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 8)), max_size=6).map(dict),
+    st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 8)), max_size=6).map(dict),
+    st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 8)), max_size=6).map(dict),
+)
+def test_vector_clock_partial_order_transitive(d1, d2, d3):
+    a, b, c = VectorClock(d1), VectorClock(d2), VectorClock(d3)
+    if a <= b and b <= c:
+        assert a <= c
+    # antisymmetry
+    if a <= b and b <= a:
+        assert a == b
+
+
+# ------------------------------------------------------------------ marshal
+
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(-(2**40), 2**40),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=50),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.dictionaries(st.text(max_size=8), children, max_size=5),
+        ),
+        max_leaves=20,
+    )
+)
+def test_wire_size_positive_and_4_aligned_for_leaves(value):
+    size = wire_size(value)
+    assert size >= 4
+    assert isinstance(size, int)
+
+
+@given(st.text(max_size=200))
+def test_wire_size_string_monotone_in_length(s):
+    assert wire_size(s + "x") >= wire_size(s)
+
+
+# ------------------------------------------------------------------- graphs
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(2, 12))
+    graph = TaskGraph("prop")
+    for i in range(n):
+        graph.add_task(TaskNode(f"t{i}", work=draw(st.floats(0.1, 10))))
+    for j in range(1, n):
+        # edges only from lower to higher index: guaranteed acyclic
+        parents = draw(
+            st.lists(st.integers(0, j - 1), unique=True, max_size=min(3, j))
+        )
+        for p in parents:
+            graph.connect(f"t{p}", f"t{j}")
+    return graph
+
+
+@given(random_dags())
+def test_topological_order_respects_arcs(graph):
+    order = {name: i for i, name in enumerate(graph.topological_order())}
+    for arc in graph.arcs:
+        assert order[arc.src] < order[arc.dst]
+
+
+@given(random_dags())
+def test_critical_path_bounds(graph):
+    path, length = graph.critical_path()
+    assert length <= graph.total_work() + 1e-9
+    assert length >= max(t.work for t in graph) - 1e-9
+    # the path is a real chain in the graph
+    for a, b in zip(path, path[1:]):
+        assert b in graph.successors(a)
+    assert abs(sum(graph.task(p).work for p in path) - length) < 1e-9
+
+
+@given(random_dags())
+def test_levels_partition_and_respect_depth(graph):
+    levels = graph.levels()
+    flat = [n for level in levels for n in level]
+    assert sorted(flat) == sorted(t.name for t in graph)
+    index = {n: i for i, level in enumerate(levels) for n in level}
+    for arc in graph.arcs:
+        assert index[arc.src] < index[arc.dst]
+
+
+# ---------------------------------------------------------------- scheduler
+
+
+def _bids(names):
+    return [
+        MachineBid(m, None, load, 1.0, MachineClass.WORKSTATION)
+        for m, load in names
+    ]
+
+
+@st.composite
+def assignment_problems(draw):
+    n_machines = draw(st.integers(1, 8))
+    machines = [f"m{i}" for i in range(n_machines)]
+    bids = _bids(
+        [(m, draw(st.floats(0, 0.79, allow_nan=False))) for m in machines]
+    )
+    n_tasks = draw(st.integers(1, 8))
+    needs = []
+    for t in range(n_tasks):
+        candidates = draw(
+            st.lists(st.sampled_from(machines), unique=True, min_size=1)
+        )
+        needs.append((f"task{t}", 0, candidates))
+    return needs, bids
+
+
+@given(assignment_problems())
+@settings(suppress_health_check=[HealthCheck.too_slow])
+def test_policies_produce_feasible_injective_assignments(problem):
+    needs, bids = problem
+    for policy in (
+        load_sorted_assignment,
+        greedy_assignment,
+        utilization_first_assignment,
+        round_robin_assignment,
+        lambda n, b: random_assignment(n, b, random.Random(0)),
+    ):
+        out = policy(needs, bids)
+        # feasibility: every assignment is among the instance's candidates
+        candidates = {(t, r): set(c) for t, r, c in needs}
+        for key, machine in out.items():
+            assert machine in candidates[key]
+        # injectivity: one instance per machine
+        assert len(set(out.values())) == len(out)
+
+
+@given(assignment_problems())
+@settings(suppress_health_check=[HealthCheck.too_slow])
+def test_assignments_are_maximal_matchings(problem):
+    """Every policy yields a *maximal* matching: no unplaced instance could
+    still be put on a free feasible machine."""
+    needs, bids = problem
+    for policy in (greedy_assignment, utilization_first_assignment, load_sorted_assignment):
+        out = policy(needs, bids)
+        free = {b.machine for b in bids} - set(out.values())
+        for task, rank, candidates in needs:
+            if (task, rank) not in out:
+                assert not (set(candidates) & free), (
+                    f"{policy.__name__} left ({task},{rank}) unplaced though "
+                    f"{set(candidates) & free} was free"
+                )
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(0.01, 5.0),
+    st.floats(100, 1000),
+)
+def test_aging_queue_pop_order_matches_effective_priority(arrivals, rate, now):
+    queue = AgingQueue(aging_rate=rate)
+    for i, (enq, prio) in enumerate(arrivals):
+        request = ResourceRequest(
+            f"r{i}", "app", MachineClass.WORKSTATION,
+            (ModuleNeed("t"),), None, priority=prio,
+        )
+        queue.push(request, enq)
+    popped = []
+    while queue:
+        item = queue.pop(now)
+        popped.append(item.effective_priority(now, rate))
+    assert popped == sorted(popped, reverse=True)
+
+
+# --------------------------------------------------------------------- rng
+
+
+@given(st.integers(0, 2**31), st.text(min_size=1, max_size=10))
+def test_rng_streams_isolated(seed, name):
+    """Drawing from one stream never perturbs another."""
+    s1 = RngStreams(seed)
+    s2 = RngStreams(seed)
+    # consume heavily from an unrelated stream in s1 only
+    for _ in range(100):
+        s1.stream("noise").random()
+    assert [s1.stream(name).random() for _ in range(5)] == [
+        s2.stream(name).random() for _ in range(5)
+    ]

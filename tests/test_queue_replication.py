@@ -1,0 +1,183 @@
+"""Queued requests survive group-leader crashes (replicated AgingQueue)."""
+
+import pytest
+
+from repro.machines import MachineClass
+from repro.scheduler import DaemonConfig
+from repro.scheduler.execution_program import ExecutionProgram, RunState
+
+from tests.helpers_sched import make_vce, workstation_farm
+from tests.test_scheduler import annotated_graph, launch
+
+
+def saturated_vce(n=3, seed=17):
+    """A VCE whose single-machine-per-job capacity keeps requests queued."""
+    return make_vce(
+        workstation_farm(n),
+        seed=seed,
+        daemon_config=DaemonConfig(per_instance_load=0.9, retry_interval=1.0),
+    )
+
+
+class TestQueueReplication:
+    def test_queue_mirrored_to_all_members(self):
+        vce = saturated_vce()
+        # occupy all machines
+        blockers = []
+        for i in range(3):
+            g = annotated_graph(name=f"blk{i}", tasks=(("t", 1, 60.0),))
+            blockers.append(launch(vce, g))
+            vce.run(until=vce.sim.now + 3.0)
+        run, _ = launch(
+            vce, annotated_graph(name="queued", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 10.0)
+        # every daemon (not only the leader) holds the queued request
+        holders = [d for d in vce.daemons.values() if len(d.pending_queue) == 1]
+        assert len(holders) == len(vce.daemons)
+
+    def test_queued_request_served_after_leader_crash(self):
+        """The crux: the execution program's request is parked in the
+        leader's queue when the leader dies; the successor leader serves it
+        from its replica without the client retransmitting."""
+        vce = saturated_vce()
+        blockers = []
+        for i in range(3):
+            g = annotated_graph(name=f"blk{i}", tasks=(("t", 1, 40.0),))
+            blockers.append(launch(vce, g))
+            vce.run(until=vce.sim.now + 3.0)
+        run, _ = launch(
+            vce, annotated_graph(name="queued", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 5.0)
+        assert run.state is RunState.ALLOCATING  # parked in the queue
+
+        # silence the client's own retransmission so the replica alone
+        # must carry the request through the takeover
+        original_retries = ExecutionProgram.MAX_REQUEST_RETRIES
+        ExecutionProgram.MAX_REQUEST_RETRIES = 0
+        try:
+            leader = vce.leader_of(MachineClass.WORKSTATION)
+            vce.net.host(leader.machine.name).crash()
+            vce.run(until=vce.sim.now + 200.0)
+        finally:
+            ExecutionProgram.MAX_REQUEST_RETRIES = original_retries
+        assert run.state is RunState.DONE, run.error
+
+    def test_queue_entry_removed_everywhere_after_service(self):
+        vce = saturated_vce()
+        g = annotated_graph(name="blk", tasks=(("t", 1, 15.0),))
+        launch(vce, g)
+        vce.run(until=vce.sim.now + 3.0)
+        run, _ = launch(
+            vce, annotated_graph(name="queued", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 120.0)
+        assert run.state is RunState.DONE
+        for daemon in vce.daemons.values():
+            if daemon.alive:
+                assert len(daemon.pending_queue) == 0
+
+    def test_aging_preserved_across_takeover(self):
+        """The replicated entry carries its original enqueue time, so its
+        age (and thus effective priority) survives the leader change."""
+        vce = saturated_vce()
+        for i in range(3):
+            g = annotated_graph(name=f"blk{i}", tasks=(("t", 1, 300.0),))
+            launch(vce, g)
+            vce.run(until=vce.sim.now + 3.0)
+        run, _ = launch(
+            vce, annotated_graph(name="queued", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 5.0)
+        leader = vce.leader_of(MachineClass.WORKSTATION)
+        enqueue_times = {
+            d.machine.name: d.pending_queue._items[0].enqueued_at
+            for d in vce.daemons.values()
+            if d.pending_queue
+        }
+        assert len(set(enqueue_times.values())) == 1  # identical replicas
+        t0 = next(iter(enqueue_times.values()))
+        vce.net.host(leader.machine.name).crash()
+        vce.run(until=vce.sim.now + 40.0)
+        survivors = [
+            d for d in vce.daemons.values()
+            if d.alive and d.pending_queue
+        ]
+        assert survivors
+        for daemon in survivors:
+            assert daemon.pending_queue._items[0].enqueued_at == t0
+
+
+class TestRuntimePriorityChange:
+    """§4.3: "Authorized users will be able to modify the priorities of
+    particular applications" — applied to queued requests at runtime."""
+
+    def test_reprioritized_request_overtakes_queue(self):
+        from repro.netsim import SimProcess
+        from repro.scheduler import SetPriority
+
+        vce = saturated_vce()
+        # saturate all machines
+        for i in range(3):
+            g = annotated_graph(name=f"blk{i}", tasks=(("t", 1, 30.0),))
+            launch(vce, g)
+            vce.run(until=vce.sim.now + 3.0)
+        # two queued apps: "first" then "second" (equal priority, FIFO-aged)
+        r1, _ = launch(
+            vce, annotated_graph(name="first", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 2.0)
+        r2, _ = launch(
+            vce, annotated_graph(name="second", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 2.0)
+        leader = vce.leader_of(MachineClass.WORKSTATION)
+        assert len(leader.pending_queue) == 2
+        # the user escalates the *second* (younger) app's queued request
+        items = sorted(leader.pending_queue._items, key=lambda q: q.enqueued_at)
+        second_req = items[-1].request.req_id
+
+        class User(SimProcess):
+            def on_start(self):
+                self.send(leader.address, SetPriority(second_req, 100.0), size=64)
+
+        vce.user_host.spawn(User("authorized-user"))
+        vce.run(until=vce.sim.now + 300.0)
+        assert r1.state is RunState.DONE and r2.state is RunState.DONE
+        # the escalated request was served first
+        assert r2.completed_at < r1.completed_at
+        assert vce.sim.log.records(category="sched.reprioritized")
+
+    def test_reprioritize_replicated_to_members(self):
+        from repro.netsim import SimProcess
+        from repro.scheduler import SetPriority
+
+        vce = saturated_vce()
+        for i in range(3):
+            g = annotated_graph(name=f"blk{i}", tasks=(("t", 1, 200.0),))
+            launch(vce, g)
+            vce.run(until=vce.sim.now + 3.0)
+        run, _ = launch(
+            vce, annotated_graph(name="q", tasks=(("t", 1, 2.0),)),
+            queue_if_insufficient=True,
+        )
+        vce.run(until=vce.sim.now + 3.0)
+        leader = vce.leader_of(MachineClass.WORKSTATION)
+        req_id = leader.pending_queue._items[0].request.req_id
+
+        class User(SimProcess):
+            def on_start(self):
+                self.send(leader.address, SetPriority(req_id, 42.0), size=64)
+
+        vce.user_host.spawn(User("authorized-user"))
+        vce.run(until=vce.sim.now + 5.0)
+        for daemon in vce.daemons.values():
+            if daemon.alive and daemon.pending_queue:
+                assert daemon.pending_queue._items[0].request.priority == 42.0

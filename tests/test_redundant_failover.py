@@ -1,0 +1,194 @@
+"""Integration tests: redundant execution as a fault-tolerance handler."""
+
+import pytest
+
+from repro.migration import MigrationContext, RedundantExecutionManager
+from repro.runtime import AppStatus, InstanceState
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass
+from repro.vmpi import Compute
+
+from tests.conftest import make_cluster, place_all_on
+
+
+def job_graph(work=30.0, name="job-app"):
+    graph = ProblemSpecification(name).task("job", work=work).build()
+    node = graph.task("job")
+    node.problem_class = ProblemClass.ASYNCHRONOUS
+    node.language = "py"
+
+    def program(ctx):
+        yield Compute(work)
+        return "ok"
+
+    node.program = program
+    return graph
+
+
+class TestRedundantFailover:
+    def test_primary_host_crash_absorbed(self):
+        cluster = make_cluster(3)
+        graph = job_graph()
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(
+            MigrationContext(cluster.manager, cluster.net)
+        ).install()
+        cluster.run(until=1.0)
+        record = app.record("job", 0)
+        mgr.dispatch_redundant(app, record, ["ws1"])
+        cluster.run(until=5.0)
+        cluster.hosts["ws0"].crash()
+        cluster.run(until=100.0)
+        assert app.status is AppStatus.DONE
+        assert record.host_name == "ws1"
+        failovers = cluster.sim.log.records(category="migration.redundant_failover")
+        assert failovers and failovers[0].get("to") == "ws1"
+
+    def test_without_install_crash_fails_app(self):
+        cluster = make_cluster(3)
+        graph = job_graph()
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(MigrationContext(cluster.manager, cluster.net))
+        cluster.run(until=1.0)
+        mgr.dispatch_redundant(app, app.record("job", 0), ["ws1"])
+        cluster.run(until=5.0)
+        cluster.hosts["ws0"].crash()
+        cluster.run(until=100.0)
+        # copies exist but nobody promotes them on failure
+        assert app.status is AppStatus.FAILED
+
+    def test_no_live_copy_failure_propagates(self):
+        cluster = make_cluster(3)
+        graph = job_graph()
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        RedundantExecutionManager(
+            MigrationContext(cluster.manager, cluster.net)
+        ).install()
+        cluster.run(until=5.0)
+        cluster.hosts["ws0"].crash()  # no copies were ever dispatched
+        cluster.run(until=100.0)
+        assert app.status is AppStatus.FAILED
+
+    def test_double_crash_second_copy_takes_over(self):
+        cluster = make_cluster(3)
+        graph = job_graph(work=40.0)
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(
+            MigrationContext(cluster.manager, cluster.net)
+        ).install()
+        cluster.run(until=1.0)
+        record = app.record("job", 0)
+        mgr.dispatch_redundant(app, record, ["ws1", "ws2"])
+        cluster.run(until=5.0)
+        cluster.hosts["ws0"].crash()
+        cluster.run(until=10.0)
+        crashed_second = record.host_name
+        cluster.hosts[crashed_second].crash()
+        cluster.run(until=200.0)
+        assert app.status is AppStatus.DONE
+        assert record.host_name not in ("ws0", crashed_second)
+
+    def test_install_idempotent(self):
+        cluster = make_cluster(2)
+        mgr = RedundantExecutionManager(MigrationContext(cluster.manager, cluster.net))
+        mgr.install().install()
+        assert cluster.manager.failure_handlers.count(mgr._on_primary_failure) == 1
+
+    def test_failover_rebinding_keeps_result_path(self):
+        """The promoted copy's completion flows through the normal runtime
+        bookkeeping (results, makespan, checkpoint cleanup)."""
+        cluster = make_cluster(2)
+        graph = job_graph(work=20.0)
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        mgr = RedundantExecutionManager(
+            MigrationContext(cluster.manager, cluster.net)
+        ).install()
+        cluster.run(until=1.0)
+        record = app.record("job", 0)
+        mgr.dispatch_redundant(app, record, ["ws1"])
+        cluster.run(until=3.0)
+        cluster.hosts["ws0"].crash()
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        assert app.results("job") == ["ok"]
+        assert app.makespan is not None
+        assert record.state is InstanceState.DONE
+
+
+class TestAutoRedundancy:
+    """ExecutionHints.redundancy wired through the dispatch hook."""
+
+    def _vce(self, n=4):
+        from repro.core import VirtualComputingEnvironment, workstation_cluster
+
+        return VirtualComputingEnvironment(workstation_cluster(n)).boot()
+
+    def _redundant_graph(self, redundancy=2, work=25.0):
+        from repro.taskgraph import ExecutionHints
+
+        graph = ProblemSpecification("auto-red").task(
+            "job", work=work, hints=ExecutionHints(redundancy=redundancy)
+        ).build()
+        node = graph.task("job")
+        node.problem_class = ProblemClass.ASYNCHRONOUS
+        node.language = "py"
+
+        def program(ctx):
+            yield Compute(work)
+            return "ok"
+
+        node.program = program
+        return graph
+
+    def test_copies_launched_automatically(self):
+        vce = self._vce()
+        manager = vce.enable_redundancy()
+        run = vce.submit(self._redundant_graph(redundancy=3))
+        vce.run(until=vce.sim.now + 5.0)
+        record = run.app.record("job", 0)
+        assert len(record.redundant_copies) == 2
+        assert manager.copies_launched == 2
+        vce.run_to_completion(run)
+        from repro.scheduler.execution_program import RunState
+
+        assert run.state is RunState.DONE
+
+    def test_hinted_app_survives_primary_crash(self):
+        from repro.scheduler.execution_program import RunState
+
+        vce = self._vce()
+        vce.enable_redundancy()
+        run = vce.submit(self._redundant_graph(redundancy=2))
+        vce.run(until=vce.sim.now + 5.0)
+        primary_host = run.app.record("job", 0).host_name
+        vce.network.host(primary_host).crash()
+        vce.run_to_completion(run)
+        assert run.state is RunState.DONE
+        assert run.app.record("job", 0).host_name != primary_host
+
+    def test_redundancy_one_launches_nothing(self):
+        vce = self._vce()
+        manager = vce.enable_redundancy()
+        run = vce.submit(self._redundant_graph(redundancy=1))
+        vce.run_to_completion(run)
+        assert manager.copies_launched == 0
+
+    def test_migration_redispatch_does_not_duplicate_copies(self):
+        from repro.migration import CheckpointMigration
+
+        vce = self._vce()
+        manager = vce.enable_redundancy()
+        run = vce.submit(self._redundant_graph(redundancy=2, work=40.0))
+        vce.run(until=vce.sim.now + 5.0)
+        app = run.app
+        record = app.record("job", 0)
+        copies_before = manager.copies_launched
+        target = next(
+            n for n in vce.network.hosts
+            if n not in (record.host_name, "user")
+            and vce.network.hosts[n].machine is not None
+        )
+        CheckpointMigration(vce.migration.context).migrate(app, record, target)
+        vce.run(until=vce.sim.now + 5.0)
+        assert manager.copies_launched == copies_before  # no re-spawn
+        vce.run_to_completion(run)

@@ -1,0 +1,201 @@
+"""Tests for the application description language: lexer, parser, interp."""
+
+import pytest
+
+from repro.machines import MachineClass
+from repro.script import (
+    Environment,
+    interpret,
+    parse_script,
+    tokenize,
+)
+from repro.script.ast import ChannelStmt, Condition, Directive, PrioritySpec, SetVar
+from repro.script.interp import task_name_from_path
+from repro.script.lexer import TokenKind
+from repro.taskgraph import ProblemClass
+from repro.util.errors import ScriptError
+
+WEATHER = '''
+# the paper's weather forecasting application (§5)
+ASYNC 2 "/apps/snow/collector.vce"
+WORKSTATION 1 "/apps/snow/usercollect.vce"
+SYNC 1 "/apps/snow/predictor.vce"
+LOCAL "/apps/snow/display.vce"
+'''
+
+
+class TestLexer:
+    def test_weather_script_tokens(self):
+        tokens = tokenize(WEATHER)
+        kinds = [t.kind for t in tokens]
+        assert kinds.count(TokenKind.STRING) == 4
+        assert kinds.count(TokenKind.INT) == 3
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_comments_stripped(self):
+        tokens = tokenize("# only a comment\n")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+    def test_countspec_tokens(self):
+        tokens = tokenize('ASYNC 5- "x"')
+        assert [t.kind for t in tokens[:3]] == [TokenKind.WORD, TokenKind.INT, TokenKind.DASH]
+
+    def test_compare_tokens(self):
+        tokens = tokenize("IF a >= 3 THEN")
+        assert any(t.kind is TokenKind.COMPARE and t.text == ">=" for t in tokens)
+
+    def test_illegal_character_located(self):
+        with pytest.raises(ScriptError, match="line 2"):
+            tokenize('LOCAL "x"\n@')
+
+
+class TestParser:
+    def test_weather_script(self):
+        stmts = parse_script(WEATHER)
+        assert len(stmts) == 4
+        collector, usercollect, predictor, display = stmts
+        assert collector.problem_class is ProblemClass.ASYNCHRONOUS
+        assert collector.min_instances == collector.max_instances == 2
+        assert usercollect.machine_class is MachineClass.WORKSTATION
+        assert predictor.problem_class is ProblemClass.SYNCHRONOUS
+        assert display.local and display.path == "/apps/snow/display.vce"
+
+    def test_at_most_countspec(self):
+        (d,) = parse_script('ASYNC 5- "/a/t.vce"')
+        assert (d.min_instances, d.max_instances) == (1, 5)
+
+    def test_range_countspec(self):
+        (d,) = parse_script('SYNC 5,10 "/a/t.vce"')
+        assert (d.min_instances, d.max_instances) == (5, 10)
+
+    def test_default_count_is_one(self):
+        (d,) = parse_script('MIMD "/a/t.vce"')
+        assert (d.min_instances, d.max_instances) == (1, 1)
+        assert d.machine_class is MachineClass.MIMD
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ScriptError, match="inverted"):
+            parse_script('SYNC 10,5 "/a/t.vce"')
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ScriptError, match=">= 1"):
+            parse_script('ASYNC 0 "/a/t.vce"')
+
+    def test_channel_statement(self):
+        (c,) = parse_script('CHANNEL obs FROM "/a/src.vce" TO "/a/dst.vce" VOLUME 1000')
+        assert isinstance(c, ChannelStmt)
+        assert c.name == "obs" and c.volume == 1000
+
+    def test_channel_without_volume(self):
+        (c,) = parse_script('CHANNEL obs FROM "/a/s.vce" TO "/a/d.vce"')
+        assert c.volume == 0
+
+    def test_set_and_priority(self):
+        s, p = parse_script("SET n = 4\nPRIORITY 7")
+        assert isinstance(s, SetVar) and isinstance(p, PrioritySpec)
+        assert p.value == 7
+
+    def test_conditional(self):
+        (c,) = parse_script(
+            'IF AVAILABLE(WORKSTATION) >= 4 THEN ASYNC 4 "/a/w.vce" '
+            'ELSE ASYNC 1 "/a/w.vce" ENDIF'
+        )
+        assert isinstance(c, Condition)
+        assert len(c.then_body) == 1 and len(c.else_body) == 1
+
+    def test_nested_conditionals(self):
+        script = (
+            "IF a > 1 THEN "
+            "  IF b > 2 THEN LOCAL \"/x.vce\" ENDIF "
+            "ELSE PRIORITY 2 ENDIF"
+        )
+        (outer,) = parse_script(script)
+        assert isinstance(outer.then_body[0], Condition)
+
+    def test_missing_endif(self):
+        with pytest.raises(ScriptError, match="ENDIF"):
+            parse_script('IF a > 1 THEN LOCAL "/x.vce"')
+
+    def test_missing_path(self):
+        with pytest.raises(ScriptError, match="quoted program path"):
+            parse_script("ASYNC 2")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ScriptError):
+            parse_script('FROB 3 "/x.vce"')
+
+
+class TestInterpreter:
+    def test_weather_description(self):
+        desc = interpret(parse_script(WEATHER), name="snow")
+        assert [m.task for m in desc.modules] == [
+            "collector",
+            "usercollect",
+            "predictor",
+            "display",
+        ]
+        collector = desc.module("collector")
+        # ASYNC problem class resolves to the WORKSTATION machine class
+        assert collector.machine_class is MachineClass.WORKSTATION
+        assert collector.min_instances == 2
+        predictor = desc.module("predictor")
+        assert predictor.machine_class is MachineClass.SIMD  # SYNC -> SIMD
+        assert desc.module("display").machine_class is None
+        assert len(desc.local_modules) == 1 and len(desc.remote_modules) == 3
+
+    def test_task_name_from_path(self):
+        assert task_name_from_path("/apps/snow/collector.vce") == "collector"
+        assert task_name_from_path("plain") == "plain"
+
+    def test_channels_resolved_to_tasks(self):
+        script = (
+            'ASYNC 1 "/a/src.vce"\nASYNC 1 "/a/dst.vce"\n'
+            'CHANNEL pipe FROM "/a/src.vce" TO "/a/dst.vce" VOLUME 42'
+        )
+        desc = interpret(parse_script(script))
+        (chan,) = desc.channels
+        assert (chan.src_task, chan.dst_task, chan.volume) == ("src", "dst", 42)
+
+    def test_channel_to_undeclared_module(self):
+        script = 'ASYNC 1 "/a/src.vce"\nCHANNEL p FROM "/a/src.vce" TO "/a/ghost.vce"'
+        with pytest.raises(ScriptError, match="undeclared module"):
+            interpret(parse_script(script))
+
+    def test_conditional_on_availability(self):
+        script = (
+            'IF AVAILABLE(WORKSTATION) >= 4 THEN ASYNC 4 "/a/w.vce" '
+            'ELSE ASYNC 1 "/a/w.vce" ENDIF'
+        )
+        rich = interpret(
+            parse_script(script), Environment({MachineClass.WORKSTATION: 8})
+        )
+        poor = interpret(
+            parse_script(script), Environment({MachineClass.WORKSTATION: 2})
+        )
+        assert rich.module("w").min_instances == 4
+        assert poor.module("w").min_instances == 1
+
+    def test_set_variables_in_conditions(self):
+        script = 'SET n = 5\nIF n > 3 THEN PRIORITY 9 ENDIF\nLOCAL "/a/x.vce"'
+        desc = interpret(parse_script(script))
+        assert desc.priority == 9.0
+
+    def test_undefined_variable(self):
+        with pytest.raises(ScriptError, match="undefined variable"):
+            interpret(parse_script('IF ghost > 1 THEN LOCAL "/x.vce" ENDIF'))
+
+    def test_duplicate_module_rejected(self):
+        script = 'LOCAL "/a/x.vce"\nLOCAL "/b/x.vce"'
+        with pytest.raises(ScriptError, match="declared twice"):
+            interpret(parse_script(script))
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ScriptError, match="no modules"):
+            interpret(parse_script("PRIORITY 3"))
+
+    def test_available_with_problem_class_word(self):
+        script = 'IF AVAILABLE(SYNC) >= 1 THEN SYNC 1 "/a/p.vce" ELSE LOCAL "/a/p.vce" ENDIF'
+        has_simd = interpret(parse_script(script), Environment({MachineClass.SIMD: 1}))
+        assert has_simd.module("p").machine_class is MachineClass.SIMD
+        no_simd = interpret(parse_script(script), Environment({}))
+        assert no_simd.module("p").machine_class is None

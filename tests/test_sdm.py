@@ -1,0 +1,181 @@
+"""Tests for the three SDM layers and the module facade."""
+
+import pytest
+
+from repro.sdm import (
+    CodingLevel,
+    DesignStage,
+    ProblemSpecification,
+    SoftwareDevelopmentModule,
+    SourceModule,
+)
+from repro.taskgraph import ArcKind, ExecutionHints, ProblemClass, TaskNature
+from repro.util.errors import TaskGraphError
+
+
+def noop_program(ctx):
+    return iter(())
+
+
+class TestProblemSpecification:
+    def test_fluent_build(self):
+        graph = (
+            ProblemSpecification("app")
+            .task("a", "first", work=2)
+            .task("b", "second", work=3)
+            .flow("a", "b", volume=100)
+            .build()
+        )
+        assert len(graph) == 2
+        assert graph.arcs[0].kind is ArcKind.DATA
+        assert graph.predecessors("b") == ["a"]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(TaskGraphError, match="no tasks"):
+            ProblemSpecification("empty").build()
+
+    def test_after_is_pure_dependency(self):
+        graph = (
+            ProblemSpecification("app").task("a").task("b").after("a", "b").build()
+        )
+        assert graph.arcs[0].kind is ArcKind.DEPENDENCY
+
+    def test_stream_does_not_add_precedence(self):
+        graph = (
+            ProblemSpecification("app").task("a").task("b").stream("a", "b").build()
+        )
+        assert graph.predecessors("b") == []
+
+    def test_local_flag_and_requirements(self):
+        graph = (
+            ProblemSpecification("app")
+            .task("display", local=True, requirements={"graphics": True})
+            .build()
+        )
+        node = graph.task("display")
+        assert node.local and node.requirements["graphics"] is True
+
+
+class TestDesignStage:
+    def test_single_independent_task_is_async(self):
+        graph = ProblemSpecification("a").task("solo").build()
+        DesignStage().run(graph)
+        assert graph.task("solo").problem_class is ProblemClass.ASYNCHRONOUS
+
+    def test_wide_streaming_task_is_synchronous(self):
+        spec = ProblemSpecification("a").task("grid", instances=8).task("sink")
+        spec.stream("grid", "sink")
+        graph = spec.build()
+        DesignStage().run(graph)
+        assert graph.task("grid").problem_class is ProblemClass.SYNCHRONOUS
+
+    def test_lockstep_requirement_forces_synchronous(self):
+        graph = (
+            ProblemSpecification("a")
+            .task("stencil", requirements={"lockstep": True})
+            .build()
+        )
+        DesignStage().run(graph)
+        assert graph.task("stencil").problem_class is ProblemClass.SYNCHRONOUS
+
+    def test_phase_coupled_multiinstance_is_loosely_synchronous(self):
+        graph = (
+            ProblemSpecification("a")
+            .task("part", instances=3)
+            .task("combine")
+            .flow("part", "combine")
+            .build()
+        )
+        DesignStage().run(graph)
+        assert graph.task("part").problem_class is ProblemClass.LOOSELY_SYNCHRONOUS
+
+    def test_user_annotation_preserved(self):
+        graph = ProblemSpecification("a").task("t", instances=8).build()
+        graph.task("t").problem_class = ProblemClass.ASYNCHRONOUS
+        DesignStage().run(graph)
+        assert graph.task("t").problem_class is ProblemClass.ASYNCHRONOUS
+
+    def test_local_task_marked_interactive(self):
+        graph = ProblemSpecification("a").task("display", local=True).build()
+        DesignStage().run(graph)
+        assert TaskNature.INTERACTIVE in graph.task("display").nature
+
+    def test_compute_intensive_nature(self):
+        graph = ProblemSpecification("a").task("big", work=500).build()
+        DesignStage().run(graph)
+        assert TaskNature.COMPUTE_INTENSIVE in graph.task("big").nature
+
+    def test_io_intensive_nature(self):
+        spec = ProblemSpecification("a").task("mover", work=1).task("sink")
+        spec.flow("mover", "sink", volume=10_000)
+        DesignStage().run(spec.build())
+
+    def test_check_complete(self):
+        graph = ProblemSpecification("a").task("t").build()
+        with pytest.raises(TaskGraphError, match="unclassified"):
+            DesignStage.check_complete(graph)
+        DesignStage().run(graph)
+        DesignStage.check_complete(graph)
+
+    def test_default_class_override(self):
+        graph = ProblemSpecification("a").task("t").build()
+        DesignStage(default_class=ProblemClass.LOOSELY_SYNCHRONOUS).run(graph)
+        assert graph.task("t").problem_class is ProblemClass.LOOSELY_SYNCHRONOUS
+
+
+class TestCodingLevel:
+    def test_implement_attaches_language_and_program(self):
+        graph = ProblemSpecification("a").task("t").build()
+        coding = CodingLevel().implement("t", SourceModule("hpf", noop_program))
+        coding.run(graph)
+        node = graph.task("t")
+        assert node.language == "hpf" and node.program is noop_program
+
+    def test_unknown_task_rejected(self):
+        graph = ProblemSpecification("a").task("t").build()
+        coding = CodingLevel().implement("ghost", SourceModule("c", noop_program))
+        with pytest.raises(TaskGraphError, match="unknown tasks"):
+            coding.run(graph)
+
+    def test_hint_override(self):
+        graph = ProblemSpecification("a").task("t").build()
+        coding = (
+            CodingLevel()
+            .implement("t", SourceModule("c", noop_program))
+            .hint("t", ExecutionHints(runtime_weight=9.0, priority=2.0))
+        )
+        coding.run(graph)
+        assert graph.task("t").hints.runtime_weight == 9.0
+
+    def test_check_complete(self):
+        graph = ProblemSpecification("a").task("t").build()
+        with pytest.raises(TaskGraphError, match="unimplemented"):
+            CodingLevel.check_complete(graph)
+
+    def test_source_for(self):
+        module = SourceModule("c", noop_program)
+        coding = CodingLevel().implement("t", module)
+        assert coding.source_for("t") is module
+        assert coding.source_for("other") is None
+
+
+class TestSoftwareDevelopmentModule:
+    def test_full_pipeline(self):
+        sdm = SoftwareDevelopmentModule()
+        spec = (
+            sdm.specification("weather")
+            .task("collect", work=10, instances=2)
+            .task("predict", work=100)
+            .flow("collect", "predict")
+        )
+        sdm.coding.implement("collect", SourceModule("c", noop_program))
+        sdm.coding.implement("predict", SourceModule("hpf", noop_program))
+        graph = sdm.develop(spec)
+        for node in graph:
+            assert node.designed and node.coded
+
+    def test_develop_fails_without_implementations(self):
+        sdm = SoftwareDevelopmentModule()
+        spec = sdm.specification("x").task("t")
+        with pytest.raises(TaskGraphError, match="unimplemented"):
+            sdm.develop(spec)

@@ -1,0 +1,125 @@
+"""Soak test: a busy VCE under churn, migration, and owner activity.
+
+One long deterministic run combining most subsystems, with invariant
+checks over the complete event log. This is the failure-injection
+regression net: if a protocol interaction breaks (lost completions,
+double-finishes, migrations to dead hosts), it shows up here.
+"""
+
+import pytest
+
+from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
+from repro.loadbalance import MigrateOnLoadPolicy
+from repro.machines import MachineClass
+from repro.scheduler.execution_program import RunState
+from repro.workloads import (
+    build_monte_carlo_graph,
+    build_pipeline_graph,
+    build_sweep_graph,
+)
+
+
+def soak_run(seed=42):
+    machines = workstation_cluster(
+        10, stochastic_load=(45.0, 30.0, 0.9), seed=seed
+    )
+    vce = VirtualComputingEnvironment(machines, VCEConfig(seed=seed)).boot()
+    vce.enable_load_balancing(
+        MigrateOnLoadPolicy(vce.migration), busy_threshold=0.5, interval=1.0
+    )
+    # churn two machines (never the current leader)
+    leader_host = vce.directory.leader(MachineClass.WORKSTATION).host
+    churners = [n for n in ("ws8", "ws9") if n != leader_host][:2]
+    vce.faults.churn(churners, mean_up=90.0, mean_down=25.0, until=vce.sim.now + 500.0)
+
+    runs = []
+    for i in range(8):
+        if i % 3 == 0:
+            graph = build_pipeline_graph(stages=3, stage_work=20.0, name=f"pipe{i}")
+        elif i % 3 == 1:
+            graph = build_sweep_graph(points=3, work_per_point=30.0, name=f"sweep{i}")
+        else:
+            graph = build_monte_carlo_graph(
+                workers=3, samples_per_worker=9_000, batches=10,
+                work_per_batch=4.0, seed=i,
+            )
+            graph.name = f"mc{i}"
+        runs.append(vce.submit(graph, queue_if_insufficient=True))
+        vce.run(until=vce.sim.now + 10.0)
+    vce.run(until=vce.sim.now + 1_500.0)
+    return vce, runs
+
+
+@pytest.fixture(scope="module")
+def soak():
+    return soak_run()
+
+
+class TestSoak:
+    def test_every_run_reaches_a_terminal_state(self, soak):
+        vce, runs = soak
+        for i, run in enumerate(runs):
+            assert run.state in (RunState.DONE, RunState.FAILED), (
+                f"run {i} stuck in {run.state}: {run.error}"
+            )
+
+    def test_most_runs_complete(self, soak):
+        vce, runs = soak
+        done = sum(1 for r in runs if r.state is RunState.DONE)
+        assert done >= 5, [r.error for r in runs if r.state is not RunState.DONE]
+
+    def test_churn_and_migration_actually_happened(self, soak):
+        vce, runs = soak
+        assert vce.faults.crashes >= 2
+        assert len(vce.metrics().migrations()) >= 1
+
+    def test_no_instance_finishes_twice(self, soak):
+        vce, runs = soak
+        seen = {}
+        for record in vce.sim.log.records(category="app.done"):
+            assert record.source not in seen, f"app {record.source} done twice"
+            seen[record.source] = record.time
+
+    def test_no_task_started_on_downed_host(self, soak):
+        vce, runs = soak
+        # build up/down intervals per host from the fault log
+        down_at = {}
+        intervals = {name: [] for name in vce.network.hosts}
+        for record in vce.sim.log:
+            if record.category in ("fault.crash", "host.crash"):
+                down_at[record.source] = record.time
+            elif record.category in ("fault.recover", "host.recover"):
+                if record.source in down_at:
+                    intervals[record.source].append(
+                        (down_at.pop(record.source), record.time)
+                    )
+        horizon = vce.sim.now
+        for host, start in down_at.items():
+            intervals[host].append((start, horizon))
+        for record in vce.sim.log.records(category="task.start"):
+            host = record.get("host")
+            for lo, hi in intervals.get(host, []):
+                assert not (lo < record.time < hi), (
+                    f"task started on {host} at {record.time} while down ({lo},{hi})"
+                )
+
+    def test_makespans_are_sane(self, soak):
+        vce, runs = soak
+        for run in runs:
+            if run.state is RunState.DONE:
+                assert 0 < run.app.makespan < 1_500.0
+
+    def test_deterministic_repeat(self):
+        """The entire soak — churn, owner activity, migrations, queueing —
+        replays identically under one seed."""
+
+        def fingerprint(seed):
+            vce, runs = soak_run(seed)
+            return (
+                [(r.state.value, r.completed_at) for r in runs],
+                vce.faults.crashes,
+                len(vce.metrics().migrations()),
+                vce.network.messages_sent,
+            )
+
+        assert fingerprint(7) == fingerprint(7)

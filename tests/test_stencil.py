@@ -1,0 +1,76 @@
+"""Tests for the synchronous stencil workload (real numerics over vMPI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import VirtualComputingEnvironment, heterogeneous_cluster, workstation_cluster
+from repro.machines import MachineClass
+from repro.scheduler.execution_program import RunState
+from repro.workloads import build_stencil_graph, heat_reference
+
+from tests.conftest import make_cluster, round_robin_placement
+
+
+class TestStencilCorrectness:
+    def test_distributed_matches_reference(self):
+        cluster = make_cluster(4)
+        graph = build_stencil_graph(ranks=4, cells=64, iterations=10)
+        app = cluster.manager.submit(
+            graph, round_robin_placement(graph, [f"ws{i}" for i in range(4)])
+        )
+        cluster.run()
+        result = app.results("grid")[0]
+        ref = heat_reference(64, 10)
+        assert np.abs(result - ref).max() < 1e-12
+
+    def test_single_rank_degenerate(self):
+        cluster = make_cluster(1)
+        graph = build_stencil_graph(ranks=1, cells=16, iterations=5)
+        app = cluster.manager.submit(graph, round_robin_placement(graph, ["ws0"]))
+        cluster.run()
+        assert np.abs(app.results("grid")[0] - heat_reference(16, 5)).max() < 1e-12
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        ranks=st.sampled_from([2, 4, 8]),
+        iterations=st.integers(1, 12),
+    )
+    def test_rank_count_invariance(self, ranks, iterations):
+        """The physics must not depend on the decomposition width."""
+        cells = 32
+        cluster = make_cluster(ranks, seed=ranks * 100 + iterations)
+        graph = build_stencil_graph(ranks=ranks, cells=cells, iterations=iterations)
+        app = cluster.manager.submit(
+            graph, round_robin_placement(graph, [f"ws{i}" for i in range(ranks)])
+        )
+        cluster.run()
+        result = app.results("grid")[0]
+        assert np.abs(result - heat_reference(cells, iterations)).max() < 1e-10
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            build_stencil_graph(ranks=3, cells=64)
+
+    def test_heat_conserves_mass(self):
+        # fixed-boundary diffusion loses mass only through the walls; with a
+        # centred spike and few iterations nothing reaches the walls
+        ref = heat_reference(64, 10)
+        assert ref.sum() == pytest.approx(100.0)
+
+
+class TestStencilScheduling:
+    def test_classified_synchronous_routed_to_simd(self):
+        vce = VirtualComputingEnvironment(heterogeneous_cluster()).boot()
+        graph = build_stencil_graph(ranks=1, cells=32, iterations=4)
+        class_map = vce.default_class_map(graph)
+        assert class_map["grid"] is MachineClass.SIMD
+
+    def test_runs_through_full_vce(self):
+        vce = VirtualComputingEnvironment(workstation_cluster(4)).boot()
+        graph = build_stencil_graph(ranks=4, cells=32, iterations=6)
+        run = vce.submit(graph, class_map={"grid": MachineClass.WORKSTATION})
+        vce.run_to_completion(run)
+        assert run.state is RunState.DONE
+        result = run.app.results("grid")[0]
+        assert np.abs(result - heat_reference(32, 6)).max() < 1e-10

@@ -1,0 +1,133 @@
+"""Tests for repro.util: ids, rng streams, event log, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    AllocationError,
+    EventLog,
+    IdGenerator,
+    RngStreams,
+    ScriptError,
+    VCEError,
+)
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("task") == "task-0"
+        assert gen.next("task") == "task-1"
+        assert gen.next("chan") == "chan-0"
+
+    def test_next_int(self):
+        gen = IdGenerator()
+        assert gen.next_int("x") == 0
+        assert gen.next_int("x") == 1
+
+    def test_reset(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.reset()
+        assert gen.next("a") == "a-0"
+
+    def test_independent_generators(self):
+        a, b = IdGenerator(), IdGenerator()
+        a.next("t")
+        assert b.next("t") == "t-0"
+
+
+class TestRngStreams:
+    def test_same_name_same_stream(self):
+        streams = RngStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(7).stream("net").random()
+        b = RngStreams(7).stream("net").random()
+        assert a == b
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        xs = [streams.stream("a").random() for _ in range(5)]
+        ys = [streams.stream("b").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("s").random() != RngStreams(2).stream("s").random()
+
+    def test_spawn_independent_of_parent(self):
+        parent = RngStreams(3)
+        child = parent.spawn("sub")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    def test_derived_seed_stable(self, seed, name):
+        assert RngStreams(seed)._derive_seed(name) == RngStreams(seed)._derive_seed(name)
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(0.0, "sched.bid", "d1", load=0.5)
+        log.emit(1.0, "sched.alloc", "leader", n=3)
+        log.emit(2.0, "task.done", "t1")
+        assert len(log) == 3
+        assert log.count("sched.bid") == 1
+        assert [r.category for r in log.records(category="sched.")] == [
+            "sched.bid",
+            "sched.alloc",
+        ]
+
+    def test_time_window(self):
+        log = EventLog()
+        for t in range(5):
+            log.emit(float(t), "tick", "clock")
+        assert len(log.records(since=1.0, until=3.0)) == 3
+
+    def test_source_filter_and_predicate(self):
+        log = EventLog()
+        log.emit(0.0, "x", "a", v=1)
+        log.emit(0.0, "x", "b", v=2)
+        assert len(log.records(source="a")) == 1
+        assert len(log.records(predicate=lambda r: r.get("v", 0) > 1)) == 1
+
+    def test_first_last(self):
+        log = EventLog()
+        assert log.first("x") is None
+        log.emit(0.0, "x", "s", i=0)
+        log.emit(1.0, "x", "s", i=1)
+        assert log.first("x").get("i") == 0
+        assert log.last("x").get("i") == 1
+
+    def test_disable_enable(self):
+        log = EventLog()
+        log.disable()
+        log.emit(0.0, "x", "s")
+        assert len(log) == 0
+        log.enable()
+        log.emit(0.0, "x", "s")
+        assert len(log) == 1
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(0.0, "x", "s")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(AllocationError, VCEError)
+        assert issubclass(ScriptError, VCEError)
+
+    def test_allocation_error_fields(self):
+        err = AllocationError("too few", requested=5, available=2)
+        assert err.requested == 5 and err.available == 2
+
+    def test_script_error_location(self):
+        err = ScriptError("bad token", line=3, column=7)
+        assert "line 3" in str(err) and err.line == 3
+
+    def test_script_error_no_location(self):
+        assert str(ScriptError("oops")) == "oops"
