@@ -79,6 +79,18 @@ def main() -> None:
     totals = metrics.message_totals()
     print(f"network: {totals['sent']} messages, {totals['bytes']:,} bytes")
 
+    # --- 5. where did the makespan go? ------------------------------------
+    # Every record on the app's causal path is trace-tagged; rebuild the
+    # span tree and attribute the critical path (docs/OBSERVABILITY.md).
+    from repro.trace import TraceAssembler, critical_path
+
+    trace = TraceAssembler(vce.sim.log).assemble()[0]
+    path = critical_path(trace)
+    print("\ncritical path (sums to the makespan):")
+    for kind, seconds in sorted(path.by_kind().items(), key=lambda kv: -kv[1]):
+        print(f"  {kind:<11} {seconds:8.3f}s")
+    print(f"  {'total':<11} {path.total:8.3f}s")
+
 
 if __name__ == "__main__":
     main()

@@ -26,6 +26,7 @@ from repro.util.errors import CommunicationError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.channels.interpose import Interposer
     from repro.netsim.network import Network
+    from repro.trace.context import TraceContext
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,12 +123,17 @@ class Channel:
         data: Any,
         size: int = 256,
         to: str | None = None,
+        trace: "TraceContext | None" = None,
     ) -> None:
         """Send *data* into the channel.
 
         Without *to*, every receive port gets a copy (group delivery); with
         *to*, only the named port does. "Clients may be unaware of whether
         messages are being received by groups or individuals."
+
+        *trace* is the sender's span: traced sends are logged as
+        ``chan.send`` records so the trace assembler can follow an
+        application's data path hop by hop.
         """
         if isinstance(sender, Port):
             sender_addr, sender_port = sender.owner, sender.name
@@ -135,6 +141,15 @@ class Channel:
             sender_addr, sender_port = sender, str(sender)
         self.messages += 1
         self.bytes += size
+        if trace is not None:
+            self.network.sim.emit(
+                "chan.send",
+                str(sender_addr),
+                channel=self.name,
+                to=to,
+                size=size,
+                **trace.fields(),
+            )
         self._route(sender_addr, sender_port, data, size, to, stage=0)
 
     def _route(

@@ -16,6 +16,13 @@ Usage (also via ``python -m repro``):
     repro demo {weather,montecarlo,stencil,pipeline}
         Run a built-in workload end to end and print the results.
 
+    repro trace SCRIPT.vce [run options] [--export PATH]
+        Run a script exactly like ``repro run``, then reconstruct the
+        causal trace: per-application critical path with time attributed
+        to comms / queue-wait / compute / migration, plus the pre-submit
+        allocation phase. --export writes Chrome trace-event JSON
+        (load it in chrome://tracing or Perfetto).
+
 Cluster SPEC: ``ws:N`` for N workstations, or ``hetero:W,M,S`` for W
 workstations + M MIMD + S SIMD machines (default ``hetero:6,2,1``).
 """
@@ -157,6 +164,76 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     return 0 if run.state is RunState.DONE else 1
 
 
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    from repro.trace import TraceAssembler, critical_path, export_chrome_trace
+
+    text = open(args.script).read()
+    wan = None
+    if args.cluster_file:
+        from repro.core import load_cluster_file
+
+        machines, wan = load_cluster_file(args.cluster_file, seed=args.seed)
+    else:
+        machines = _parse_cluster(args.cluster)
+    vce = VirtualComputingEnvironment(
+        machines,
+        VCEConfig(seed=args.seed, anticipatory=args.anticipatory, wan_latency=wan),
+    ).boot()
+    description = vce.describe_script(text, variables=dict(args.var or {}))
+    programs = _program_registry([m.task for m in description.modules], args.default_work)
+    run = vce.run_script(
+        text,
+        programs,
+        works={m.task: args.default_work for m in description.modules},
+        policy=POLICIES[args.policy],
+        name=args.script,
+    )
+    vce.run_to_completion(run, timeout=args.timeout)
+    print(f"state: {run.state.value}", file=out)
+    if run.error:
+        print(f"error: {run.error}", file=out)
+
+    traces = TraceAssembler(vce.sim.log).assemble()
+    makespans = vce.metrics().app_makespans()
+    for trace in traces:
+        path = critical_path(trace)
+        if path is None:
+            continue
+        print(
+            f"\ntrace {trace.trace_id}: app {path.app}, "
+            f"makespan {path.makespan:.4f}s "
+            f"(collector: {makespans.get(path.app, float('nan')):.4f}s)",
+            file=out,
+        )
+        rows = [
+            [seg.kind, f"{seg.start:.4f}", f"{seg.end:.4f}", f"{seg.duration:.4f}", seg.span]
+            for seg in path.segments
+        ]
+        print(
+            format_table(
+                ["kind", "start", "end", "duration", "span"],
+                rows,
+                title="critical path",
+            ),
+            file=out,
+        )
+        totals = sorted(path.by_kind().items(), key=lambda kv: -kv[1])
+        summary = ", ".join(f"{kind} {secs:.4f}s" for kind, secs in totals)
+        print(f"attribution: {summary}", file=out)
+        print(f"path total: {path.total:.4f}s (= makespan)", file=out)
+        if path.allocation:
+            alloc = ", ".join(
+                f"{seg.kind} {seg.duration:.4f}s" for seg in path.allocation
+            )
+            print(f"allocation phase (pre-submit): {alloc}", file=out)
+    if not traces:
+        print("no traces recorded", file=out)
+    if args.export:
+        export_chrome_trace(traces, args.export)
+        print(f"\nwrote Chrome trace-event JSON to {args.export}", file=out)
+    return 0 if run.state is RunState.DONE else 1
+
+
 def cmd_demo(args: argparse.Namespace, out) -> int:
     vce = VirtualComputingEnvironment(
         heterogeneous_cluster(), VCEConfig(seed=args.seed)
@@ -198,6 +275,21 @@ def _kv(pair: str) -> tuple[str, int]:
     return key, int(value)
 
 
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("script")
+    parser.add_argument("--cluster", default="hetero:6,2,1")
+    parser.add_argument(
+        "--cluster-file",
+        help="JSON cluster specification (see repro.core.spec); overrides --cluster",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--default-work", type=float, default=10.0)
+    parser.add_argument("--anticipatory", action="store_true")
+    parser.add_argument("--policy", choices=sorted(POLICIES), default="load")
+    parser.add_argument("--timeout", type=float, default=10_000.0)
+    parser.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="The Virtual Computing Environment (HPDC 1994 reproduction)"
@@ -210,22 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
     describe.set_defaults(fn=cmd_describe)
 
     run = sub.add_parser("run", help="run a VCE script on a simulated cluster")
-    run.add_argument("script")
-    run.add_argument("--cluster", default="hetero:6,2,1")
-    run.add_argument(
-        "--cluster-file",
-        help="JSON cluster specification (see repro.core.spec); overrides --cluster",
-    )
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--default-work", type=float, default=10.0)
-    run.add_argument("--anticipatory", action="store_true")
-    run.add_argument("--policy", choices=sorted(POLICIES), default="load")
-    run.add_argument("--timeout", type=float, default=10_000.0)
-    run.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
+    _add_run_options(run)
     run.add_argument(
         "--gantt", action="store_true", help="print a per-host ASCII timeline"
     )
     run.set_defaults(fn=cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="run a script and print its causal critical path"
+    )
+    _add_run_options(trace)
+    trace.add_argument(
+        "--export", metavar="PATH", help="write Chrome trace-event JSON to PATH"
+    )
+    trace.set_defaults(fn=cmd_trace)
 
     demo = sub.add_parser("demo", help="run a built-in workload")
     demo.add_argument(

@@ -77,24 +77,34 @@ class MetricsCollector:
     # -------------------------------------------------------------- scheduler
 
     def allocation_latencies(self) -> list[float]:
-        """Per request: exec.request → exec.reply time."""
-        requested: dict[str, float] = {}
+        """Per request: exec.request → exec.reply time.
+
+        Single pass over the log: replies carrying a ``req_id`` pair with
+        their exact request; replies without one (older logs) pair FIFO
+        with the oldest outstanding request from the same source.
+        """
+        by_req_id: dict[str, float] = {}
+        pending: dict[str, list[tuple[str, float]]] = defaultdict(list)
         out = []
         for record in self.log:
             if record.category == "exec.request":
-                requested[record.get("req_id")] = record.time
+                req_id = record.get("req_id")
+                if req_id is not None:
+                    by_req_id[req_id] = record.time
+                pending[record.source].append((req_id, record.time))
             elif record.category == "exec.reply":
-                # replies don't carry req ids; pair in order per class
-                pass
-        # simpler robust pairing: first reply after each request per source
-        requests = self.log.records(category="exec.request")
-        replies = self.log.records(category="exec.reply")
-        for req in requests:
-            candidates = [
-                r for r in replies if r.source == req.source and r.time >= req.time
-            ]
-            if candidates:
-                out.append(candidates[0].time - req.time)
+                req_id = record.get("req_id")
+                if req_id is not None and req_id in by_req_id:
+                    out.append(record.time - by_req_id.pop(req_id))
+                    queue = pending[record.source]
+                    for i, (qid, _) in enumerate(queue):
+                        if qid == req_id:
+                            del queue[i]
+                            break
+                elif pending[record.source]:
+                    qid, requested_at = pending[record.source].pop(0)
+                    by_req_id.pop(qid, None)
+                    out.append(record.time - requested_at)
         return out
 
     def bid_counts(self) -> list[int]:

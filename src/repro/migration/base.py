@@ -85,6 +85,17 @@ class MigrationScheme(abc.ABC):
         src: str | None = None,
         **extra,
     ) -> None:
+        # the migration is its own span [now - latency, now] in the app's
+        # trace, parented beside the instance spans (under the app span)
+        trace = {}
+        instance = record.instance
+        if instance is not None and instance.ctx.trace is not None:
+            ctx = instance.ctx.trace
+            trace = {
+                "trace_id": ctx.trace_id,
+                "span_id": self.context.sim.ids.next("span"),
+                "parent_span_id": ctx.parent_span_id or ctx.span_id,
+            }
         self.context.sim.emit(
             "migration.done",
             f"{record.task}[{record.rank}]",
@@ -92,6 +103,9 @@ class MigrationScheme(abc.ABC):
             src=src if src is not None else record.host_name,
             dst=dst_host,
             latency=latency,
+            task=record.task,
+            rank=record.rank,
+            **trace,
             **extra,
         )
 

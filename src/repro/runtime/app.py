@@ -15,6 +15,7 @@ from repro.taskgraph import TaskGraph
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.host import Host
+    from repro.trace.context import TraceContext
 
 
 class AppStatus(enum.Enum):
@@ -59,6 +60,9 @@ class Application:
         self.status = AppStatus.PENDING
         self.submitted_at: float | None = None
         self.completed_at: float | None = None
+        #: span covering this application's submit → completion (set by the
+        #: runtime manager; every instance span is parented under it)
+        self.trace: "TraceContext | None" = None
         self.records: dict[tuple[str, int], InstanceRecord] = {}
         for node in graph:
             for rank in range(node.instances):

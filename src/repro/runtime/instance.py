@@ -61,13 +61,15 @@ def _host_compute_delta(host: Any, delta: int) -> None:
 
 
 class _Envelope:
-    """Tagged payload riding inside channel deliveries."""
+    """Tagged payload riding inside channel deliveries. Carries the
+    sender's trace context so the receiver can log the causal hop."""
 
-    __slots__ = ("tag", "data")
+    __slots__ = ("tag", "data", "trace")
 
-    def __init__(self, tag: str | None, data: Any) -> None:
+    def __init__(self, tag: str | None, data: Any, trace: Any = None) -> None:
         self.tag = tag
         self.data = data
+        self.trace = trace
 
 
 class TaskInstance(SimProcess):
@@ -127,6 +129,11 @@ class TaskInstance(SimProcess):
         self._compute_finish_at: float | None = None
         self._frozen_compute_remaining: float | None = None
 
+    def _trace_fields(self) -> dict[str, Any]:
+        """trace_id/span_id/parent_span_id of this incarnation's span."""
+        trace = self.ctx.trace
+        return trace.fields() if trace is not None else {}
+
     # ------------------------------------------------------------- lifecycle
 
     def on_start(self) -> None:
@@ -161,6 +168,7 @@ class TaskInstance(SimProcess):
             task=self.ctx.task,
             rank=self.ctx.rank,
             host=self.host.name if self.host else "?",
+            **self._trace_fields(),
         )
         self._gen = self.node.program(self.ctx)
         self._step(None)
@@ -204,7 +212,7 @@ class TaskInstance(SimProcess):
                     syscall.state, syscall.size, self.now,
                 )
                 self.emit("task.checkpoint", app=self.ctx.app, task=self.ctx.task,
-                          rank=self.ctx.rank, size=syscall.size)
+                          rank=self.ctx.rank, size=syscall.size, **self._trace_fields())
                 self.set_timer(cost, "resume")
                 return
             if isinstance(syscall, Sleep):
@@ -282,9 +290,10 @@ class TaskInstance(SimProcess):
             sender_port = f"{self.ctx.task}[{self.ctx.rank}]"
         channel.send(
             Port(sender_port, self.address, PortDirection.SEND),
-            _Envelope(syscall.tag, syscall.data),
+            _Envelope(syscall.tag, syscall.data, self.ctx.trace),
             size=syscall.size,
             to=to,
+            trace=self.ctx.trace,
         )
 
     def _match_mailbox(self, pattern: Recv) -> tuple[Any, Any] | None:
@@ -311,6 +320,16 @@ class TaskInstance(SimProcess):
         envelope = payload.data
         tag = envelope.tag if isinstance(envelope, _Envelope) else None
         data = envelope.data if isinstance(envelope, _Envelope) else envelope
+        sender_trace = envelope.trace if isinstance(envelope, _Envelope) else None
+        if sender_trace is not None and self.ctx.trace is not None:
+            # the causal hop: link the sender's span into our trace
+            self.emit(
+                "chan.recv",
+                channel=payload.channel,
+                from_span=sender_trace.span_id,
+                size=payload.size,
+                **self._trace_fields(),
+            )
         if self.mpi_channel is not None and payload.channel == self.mpi_channel.name:
             chan_key: str | None = None
             try:
@@ -339,7 +358,8 @@ class TaskInstance(SimProcess):
         fetch = syscall.size / network.latency.bandwidth + network.latency.base_latency
         machine.files.add(syscall.name)
         self.emit("task.file_fetch", app=self.ctx.app, task=self.ctx.task,
-                  rank=self.ctx.rank, file=syscall.name, size=syscall.size)
+                  rank=self.ctx.rank, file=syscall.name, size=syscall.size,
+                  **self._trace_fields())
         return local_cost + fetch
 
     # ----------------------------------------------------------------- control
@@ -357,7 +377,8 @@ class TaskInstance(SimProcess):
             self._computing = False
             _host_compute_delta(self.host, -1)
         self.state = InstanceState.SUSPENDED
-        self.emit("task.suspend", app=self.ctx.app, task=self.ctx.task, rank=self.ctx.rank)
+        self.emit("task.suspend", app=self.ctx.app, task=self.ctx.task,
+                  rank=self.ctx.rank, **self._trace_fields())
 
     def resume(self) -> None:
         """Undo :meth:`suspend`."""
@@ -365,7 +386,8 @@ class TaskInstance(SimProcess):
             return
         self._suspended = False
         self.state = InstanceState.BLOCKED if self._parked_recv else InstanceState.RUNNING
-        self.emit("task.resume", app=self.ctx.app, task=self.ctx.task, rank=self.ctx.rank)
+        self.emit("task.resume", app=self.ctx.app, task=self.ctx.task,
+                  rank=self.ctx.rank, **self._trace_fields())
         if self._frozen_compute_remaining is not None:
             remaining = self._frozen_compute_remaining
             self._frozen_compute_remaining = None
@@ -412,6 +434,7 @@ class TaskInstance(SimProcess):
             task=self.ctx.task,
             rank=self.ctx.rank,
             host=self.host.name if self.host else "?",
+            **self._trace_fields(),
         )
         if self.on_exit is not None:
             self.on_exit(self, state, outcome)
@@ -424,6 +447,7 @@ class TaskInstance(SimProcess):
             self.state = InstanceState.FAILED
             self.error = SimulationError(f"host {self.host.name} crashed")
             self.finished_at = self.now
-            self.emit("task.host_crashed", app=self.ctx.app, task=self.ctx.task, rank=self.ctx.rank)
+            self.emit("task.host_crashed", app=self.ctx.app, task=self.ctx.task,
+                      rank=self.ctx.rank, **self._trace_fields())
             if self.on_exit is not None:
                 self.on_exit(self, InstanceState.FAILED, self.error)

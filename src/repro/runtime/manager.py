@@ -27,6 +27,7 @@ from repro.runtime.app import Application, AppStatus, InstanceRecord
 from repro.runtime.checkpoints import CheckpointStore
 from repro.runtime.instance import InstanceState, TaskInstance
 from repro.taskgraph import ArcKind, TaskGraph
+from repro.trace.context import TraceContext, trace_fields
 from repro.util.errors import ConfigurationError
 from repro.vmpi.communicator import TaskContext
 
@@ -107,8 +108,15 @@ class RuntimeManager:
         placement: Placement,
         params: dict[str, Any] | None = None,
         app_id: str | None = None,
+        trace: TraceContext | None = None,
     ) -> Application:
-        """Start an application; returns its tracking object immediately."""
+        """Start an application; returns its tracking object immediately.
+
+        *trace*, when given, parents the application's span under the
+        caller's (the execution program passes its run-root span); a
+        direct submit mints a fresh root trace, so every application is
+        causally traceable either way.
+        """
         graph.validate()
         if not placement.covers(graph):
             raise ConfigurationError(f"placement does not cover graph {graph.name!r}")
@@ -117,8 +125,14 @@ class RuntimeManager:
         app.submitted_at = self.sim.now
         app.status = AppStatus.RUNNING
         app._placement = placement  # kept for successor dispatch
+        if trace is not None:
+            app.trace = trace.child(self.sim.ids.next("span"))
+        else:
+            app.trace = TraceContext(
+                self.sim.ids.next("trace"), self.sim.ids.next("span")
+            )
         self.apps[app_id] = app
-        self.sim.emit("app.submit", app_id, tasks=len(graph))
+        self.sim.emit("app.submit", app_id, tasks=len(graph), **app.trace.fields())
         for task in app.ready_tasks():
             self._dispatch_task(app, task)
         if not app.records:  # degenerate empty graph
@@ -136,7 +150,7 @@ class RuntimeManager:
                     copy.kill("app-terminated")
         app._mark_complete(AppStatus.TERMINATED, self.sim.now)
         self.checkpoints.drop_app(app.id)
-        self.sim.emit("app.terminate", app.id)
+        self.sim.emit("app.terminate", app.id, **trace_fields(app.trace))
 
     # -------------------------------------------------------------- dispatch
 
@@ -166,6 +180,20 @@ class RuntimeManager:
         self._incarnations[key] = incarnation + 1
         name = f"{app.id}.{record.task}.{record.rank}#{incarnation}"
 
+        # every incarnation gets its own span under the application span;
+        # `after` names the predecessor-instance spans whose completion
+        # released this dispatch (the causal edges of the critical path)
+        after = tuple(
+            r.instance.ctx.trace.span_id
+            for pred in app.graph.predecessors(record.task)
+            for r in app.task_records(pred)
+            if r.instance is not None and r.instance.ctx.trace is not None
+        )
+        span = (
+            app.trace.child(self.sim.ids.next("span"))
+            if app.trace is not None
+            else None
+        )
         ctx = TaskContext(
             app=app.id,
             task=record.task,
@@ -173,10 +201,12 @@ class RuntimeManager:
             size=node.instances,
             params=app.params,
             restored_state=restored_state,
+            trace=span,
         )
         mpi_channel, named = self._wire_channels(app, node, record.rank)
-        start_delay = self._stage_in_delay(app, node, host_name)
-        start_delay += self._binary_delay(node, host)
+        stage_in = self._stage_in_delay(app, node, host_name)
+        binary = self._binary_delay(node, host)
+        start_delay = stage_in + binary
 
         instance = TaskInstance(
             name=name,
@@ -208,7 +238,11 @@ class RuntimeManager:
             task=record.task,
             rank=record.rank,
             host=host_name,
-            stage_in=start_delay,
+            stage_in=stage_in,
+            binary=binary,
+            incarnation=incarnation,
+            after=after,
+            **trace_fields(span),
         )
         for hook in self.dispatch_hooks:
             hook(app, record)
@@ -282,7 +316,8 @@ class RuntimeManager:
             handled = any(h(app, record, instance) for h in self.failure_handlers)
             if not handled:
                 app._mark_complete(AppStatus.FAILED, self.sim.now)
-                self.sim.emit("app.failed", app.id, task=record.task, rank=record.rank)
+                self.sim.emit("app.failed", app.id, task=record.task, rank=record.rank,
+                              **trace_fields(app.trace))
         # KILLED incarnations are superseded deliberately; nothing to do.
 
     def _kill_redundant_copies(self, record: InstanceRecord, reason: str) -> None:
@@ -298,7 +333,8 @@ class RuntimeManager:
             return
         if app.all_done:
             app._mark_complete(AppStatus.DONE, self.sim.now)
-            self.sim.emit("app.done", app.id, makespan=app.makespan)
+            self.sim.emit("app.done", app.id, makespan=app.makespan,
+                          **trace_fields(app.trace))
             self.checkpoints.drop_app(app.id)
             return
         for task in app.ready_tasks():

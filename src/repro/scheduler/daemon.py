@@ -33,6 +33,7 @@ from repro.scheduler.messages import (
     TerminateNotice,
 )
 from repro.scheduler.queue import AgingQueue
+from repro.trace.context import TraceContext, trace_fields
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machines.machine import Machine
@@ -90,6 +91,7 @@ class SchedulerDaemon(IsisMember):
         self.pending_queue = AgingQueue(self.daemon_config.aging_rate)
         self._collecting: dict[str, ResourceRequest] = {}
         self._first_enqueued: dict[str, float] = {}
+        self._bid_spans: dict[str, TraceContext] = {}  # req_id -> bidding span
         self.bids_made = 0
         self.requests_led = 0
 
@@ -193,8 +195,15 @@ class SchedulerDaemon(IsisMember):
 
     def _start_bidding(self, request: ResourceRequest) -> None:
         self.requests_led += 1
+        # each bidding round is its own span under the requester's
+        # allocation span (queued requests get a fresh span per retry)
+        if request.trace is not None:
+            self._bid_spans[request.req_id] = request.trace.child(
+                self.sim.ids.next("span")
+            )
         self.emit("sched.request", app=request.app, req_id=request.req_id,
-                  needed=request.total_min)
+                  needed=request.total_min,
+                  **trace_fields(self._bid_spans.get(request.req_id)))
         self._collecting[request.req_id] = request
         self.group_request(
             ("disclose", request.req_id),
@@ -212,6 +221,7 @@ class SchedulerDaemon(IsisMember):
         timed_out: bool,
     ) -> None:
         self._collecting.pop(request.req_id, None)
+        bid_span = self._bid_spans.pop(request.req_id, None)
         if not self.alive or not self.is_coordinator:
             return
         bids = [b for (_, b) in replies if isinstance(b, MachineBid)]
@@ -226,6 +236,7 @@ class SchedulerDaemon(IsisMember):
                 requested=request.total_min,
                 available=len(bids),
                 queued=queued,
+                **trace_fields(bid_span),
             )
             self.send(
                 request.reply_to,
@@ -244,7 +255,8 @@ class SchedulerDaemon(IsisMember):
         self._first_enqueued.pop(request.req_id, None)
         if request.req_id in self.pending_queue:
             self.cbcast("queue_remove", request.req_id, size=128)
-        self.emit("sched.alloc", app=request.app, req_id=request.req_id, bids=len(bids))
+        self.emit("sched.alloc", app=request.app, req_id=request.req_id, bids=len(bids),
+                  **trace_fields(bid_span))
         self.send(request.reply_to, AllocationReply(request.req_id, tuple(bids)), size=1024)
         if self.pending_queue:
             self.set_timer(self.daemon_config.retry_interval, "retry-queue")
@@ -310,5 +322,6 @@ class SchedulerDaemon(IsisMember):
             attempts=item.attempts,
             waited=self.now - item.enqueued_at,
             effective_priority=item.effective_priority(self.now, self.pending_queue.aging_rate),
+            **trace_fields(item.request.trace),
         )
         self._start_bidding(item.request)

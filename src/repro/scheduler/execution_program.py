@@ -37,6 +37,7 @@ from repro.scheduler.messages import (
     TerminateNotice,
 )
 from repro.scheduler.policies import PlacementPolicy, load_sorted_assignment
+from repro.trace.context import TraceContext, trace_fields
 from repro.util.errors import AllocationError, VCEError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -127,14 +128,19 @@ class ExecutionProgram(SimProcess):
         self.on_finished = on_finished
         self.run_handle = AppRun()
         self.app_id: str | None = None
+        #: root span of this run's trace (minted in on_start)
+        self.trace: TraceContext | None = None
         self._pending: dict[str, MachineClass] = {}  # req_id -> class
         self._replies: dict[MachineClass, tuple[MachineBid, ...]] = {}
         self._retries: dict[str, int] = {}
+        self._req_spans: dict[str, TraceContext] = {}  # req_id -> alloc span
 
     # ---------------------------------------------------------------- start
 
     def on_start(self) -> None:
         self.app_id = self.sim.ids.next("app")
+        self.trace = TraceContext(self.sim.ids.next("trace"), self.sim.ids.next("span"))
+        self.emit("exec.submit", app=self.app_id, **self.trace.fields())
         self.run_handle.requested_at = self.now
         missing = [t for t in self.class_map if t not in {n.name for n in self.graph}]
         if missing:
@@ -164,6 +170,9 @@ class ExecutionProgram(SimProcess):
                 ModuleNeed(task, lo, hi, node.hardware_requirements(), self.priority)
             )
         req_id = self.sim.ids.next(f"rr.{self.name}")
+        assert self.trace is not None
+        req_span = self.trace.child(self.sim.ids.next("span"))
+        self._req_spans[req_id] = req_span
         request = ResourceRequest(
             req_id=req_id,
             app=self.app_id or "?",
@@ -172,10 +181,11 @@ class ExecutionProgram(SimProcess):
             reply_to=self.address,
             priority=self.priority,
             queue_if_insufficient=self.queue_if_insufficient,
+            trace=req_span,
         )
         self._pending[req_id] = cls
         self.emit("exec.request", app=self.app_id, cls=cls.value, req_id=req_id,
-                  needed=request.total_min)
+                  needed=request.total_min, **req_span.fields())
         self.send(self.directory.leader(cls), request, size=512)
         self.set_timer(self.REQUEST_TIMEOUT, f"reqto:{req_id}")
         self._request_cache = getattr(self, "_request_cache", {})
@@ -190,7 +200,9 @@ class ExecutionProgram(SimProcess):
                 return
             self.cancel_timer(f"reqto:{payload.req_id}")
             self._replies[cls] = payload.bids
-            self.emit("exec.reply", app=self.app_id, cls=cls.value, bids=len(payload.bids))
+            self.emit("exec.reply", app=self.app_id, cls=cls.value, bids=len(payload.bids),
+                      req_id=payload.req_id,
+                      **trace_fields(self._req_spans.get(payload.req_id)))
             if not self._pending and self.run_handle.state is RunState.ALLOCATING:
                 self._allocate_and_go()
         elif isinstance(payload, AllocationError_):
@@ -201,7 +213,8 @@ class ExecutionProgram(SimProcess):
                 # the leader holds the request in its aging queue; a later
                 # AllocationReply will arrive when capacity frees up
                 self.cancel_timer(f"reqto:{payload.req_id}")
-                self.emit("exec.queued", app=self.app_id, cls=cls.value)
+                self.emit("exec.queued", app=self.app_id, cls=cls.value,
+                          **trace_fields(self._req_spans.get(payload.req_id)))
                 return
             self._pending.pop(payload.req_id, None)
             self._fail(
@@ -226,7 +239,8 @@ class ExecutionProgram(SimProcess):
         if request is None or not self.directory.has_group(cls):
             self._fail(f"no {cls} group is on line")
             return
-        self.emit("exec.retry_request", app=self.app_id, cls=cls.value, attempt=retries)
+        self.emit("exec.retry_request", app=self.app_id, cls=cls.value, attempt=retries,
+                  **trace_fields(self._req_spans.get(req_id)))
         self.send(self.directory.leader(cls), request, size=512)
         self.set_timer(self.REQUEST_TIMEOUT, key)
 
@@ -256,7 +270,8 @@ class ExecutionProgram(SimProcess):
         self.run_handle.state = RunState.RUNNING
         try:
             app = self.runtime.submit(
-                self.graph, placement, self.params, app_id=self.app_id
+                self.graph, placement, self.params, app_id=self.app_id,
+                trace=self.trace,
             )
         except VCEError as err:
             # e.g. dispatch found no compiler for a chosen machine: surface
@@ -264,7 +279,8 @@ class ExecutionProgram(SimProcess):
             self._fail(f"dispatch failed: {err}")
             return
         self.run_handle.app = app
-        self.emit("exec.start", app=app.id, instances=len(placement.assignments))
+        self.emit("exec.start", app=app.id, instances=len(placement.assignments),
+                  **trace_fields(self.trace))
         # WaitForApplicationTermination()
         app.on_complete(self._app_finished)
 
@@ -339,7 +355,8 @@ class ExecutionProgram(SimProcess):
         )
         if self.run_handle.state is RunState.FAILED:
             self.run_handle.error = "application failed"
-        self.emit("exec.finished", app=app.id, state=self.run_handle.state.value)
+        self.emit("exec.finished", app=app.id, state=self.run_handle.state.value,
+                  **trace_fields(self.trace))
         if self.on_finished is not None:
             self.on_finished(self.run_handle)
 
@@ -348,6 +365,7 @@ class ExecutionProgram(SimProcess):
             return
         self.run_handle.state = RunState.FAILED
         self.run_handle.error = reason
-        self.emit("exec.failed", app=self.app_id, reason=reason)
+        self.emit("exec.failed", app=self.app_id, reason=reason,
+                  **trace_fields(self.trace))
         if self.on_finished is not None:
             self.on_finished(self.run_handle)

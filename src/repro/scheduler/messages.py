@@ -7,6 +7,7 @@ from typing import Any
 
 from repro.machines.archclass import MachineClass
 from repro.netsim.host import Address
+from repro.trace.context import TraceContext
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +38,10 @@ class ResourceRequest:
     reply_to: Address
     priority: float = 0.0
     queue_if_insufficient: bool = False
+    #: causal context of the requesting execution program's allocation span;
+    #: the leader parents its bidding-round span under it (None when the
+    #: request was built outside a traced flow).
+    trace: TraceContext | None = None
 
     @property
     def total_min(self) -> int:

@@ -1,0 +1,251 @@
+"""Critical-path extraction over an assembled trace.
+
+The critical path of an application is the longest causal chain from
+``app.submit`` to ``app.done``: the sequence of instance spans in which
+each dispatch was released by the previous span's completion (precedence
+edges come from the ``after`` field the runtime manager records at
+dispatch; migration re-dispatches chain to the superseded incarnation).
+
+The path is returned as a *contiguous* sequence of
+:class:`PathSegment`\\ s covering exactly ``[submit, done]``, each
+attributed to one of:
+
+- ``comms`` — data stage-in (DATA-arc transfer before the program runs);
+- ``queue-wait`` — binary load / compile-on-demand wait before start;
+- ``compute`` — the program advancing on its host;
+- ``suspended`` — Stealth-style suspension windows (§4.3 ripple effect);
+- ``migration`` — moving an incarnation between hosts;
+- ``dispatch`` — runtime bookkeeping between a trigger and the next
+  dispatch (usually ~0);
+- ``wait`` — any residual hole the chain cannot explain.
+
+Because the segments tile the interval, their durations always sum to the
+application makespan — the property the ``repro trace`` CLI (and the
+acceptance test) checks against ``MetricsCollector.app_makespans``.
+
+The allocation phase (resource request → bids → placement) happens
+*before* ``app.submit`` and therefore outside the makespan; it is
+attributed separately (``bid`` for leader bidding rounds, ``alloc`` for
+request/queue/reply time) in :attr:`CriticalPath.allocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.assemble import Span, Trace
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """One attributed interval on the critical path."""
+
+    kind: str
+    start: float
+    end: float
+    span: str  # name of the span the interval belongs to
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The attributed critical path of one application."""
+
+    app: str
+    trace_id: str
+    start: float  # app.submit time
+    end: float  # app completion time
+    segments: list[PathSegment]  # contiguous over [start, end]
+    allocation: list[PathSegment] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total(self) -> float:
+        """Sum of segment durations — equals :attr:`makespan` by
+        construction (the tiling invariant)."""
+        return sum(seg.duration for seg in self.segments)
+
+    def by_kind(self) -> dict[str, float]:
+        """kind → total attributed seconds (path segments only)."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0.0) + seg.duration
+        return out
+
+
+def critical_path(trace: Trace, app_span: Span | None = None) -> CriticalPath | None:
+    """Extract the critical path of *trace*'s application (None when the
+    trace contains no app span)."""
+    if app_span is None:
+        app_span = trace.app_span()
+    if app_span is None or app_span.end is None:
+        return None
+
+    instances = [
+        s for s in trace.spans.values()
+        if s.category == "task" and s.parent_span_id == app_span.span_id
+    ]
+    chain = _walk_back(trace, instances)
+    raw = _attribute(chain)
+    segments = _tile(raw, app_span.start, app_span.end)
+    return CriticalPath(
+        app=app_span.attrs.get("app", app_span.name),
+        trace_id=trace.trace_id,
+        start=app_span.start,
+        end=app_span.end,
+        segments=segments,
+        allocation=_allocation_segments(trace, app_span),
+    )
+
+
+# --------------------------------------------------------------- back-walk
+
+
+def _walk_back(trace: Trace, instances: list[Span]) -> list[tuple[Span, str]]:
+    """Chain of (span, edge-kind-before-it) from first to last, where the
+    edge kind labels the gap between the trigger's end and the span's
+    dispatch."""
+    if not instances:
+        return []
+    span = max(instances, key=lambda s: (s.end, s.start, s.span_id))
+    order: list[Span] = []
+    edges: dict[str, str] = {}  # span_id -> kind of the gap before it
+    seen: set[str] = set()
+    while span is not None and span.span_id not in seen:
+        seen.add(span.span_id)
+        order.append(span)
+        trigger, edges[span.span_id] = _trigger_of(trace, instances, span)
+        span = trigger
+    order.reverse()
+    return [(s, edges[s.span_id]) for s in order]
+
+
+def _trigger_of(
+    trace: Trace, instances: list[Span], span: Span
+) -> tuple[Span | None, str]:
+    """The span whose completion released *span*'s dispatch."""
+    after = span.attrs.get("after") or ()
+    candidates = [
+        trace.spans[a]
+        for a in after
+        if a in trace.spans and trace.spans[a].end is not None
+        and trace.spans[a].end <= span.start + _EPS
+    ]
+    best: Span | None = None
+    kind = "dispatch"
+    if candidates:
+        best = max(candidates, key=lambda c: (c.end, c.start, c.span_id))
+    incarnation = span.attrs.get("incarnation", 0)
+    if incarnation:
+        # a re-dispatch chains to the incarnation it superseded — the
+        # latest-ending trigger wins (the migration is usually it)
+        previous = [
+            c for c in instances
+            if c.attrs.get("task") == span.attrs.get("task")
+            and c.attrs.get("rank") == span.attrs.get("rank")
+            and c.attrs.get("incarnation") == incarnation - 1
+            and c.end is not None and c.end <= span.start + _EPS
+        ]
+        if previous and (best is None or previous[0].end >= best.end):
+            best, kind = previous[0], "migration"
+    return best, kind
+
+
+# ------------------------------------------------------------- attribution
+
+
+def _attribute(chain: Iterable[tuple[Span, str]]) -> list[tuple[str, float, float, str]]:
+    """(kind, start, end, span-name) intervals, chronological, possibly
+    with holes (the tiler fills those)."""
+    raw: list[tuple[str, float, float, str]] = []
+    previous_end: float | None = None
+    for span, edge in chain:
+        if previous_end is not None and span.start > previous_end + _EPS:
+            raw.append((edge, previous_end, span.start, span.name))
+        stage_in = float(span.attrs.get("stage_in", 0.0) or 0.0)
+        started = min(
+            max(float(span.attrs.get("started", span.start + stage_in)), span.start),
+            span.end,
+        )
+        stage_split = min(span.start + stage_in, started)
+        if stage_split > span.start:
+            raw.append(("comms", span.start, stage_split, span.name))
+        if started > stage_split:
+            raw.append(("queue-wait", stage_split, started, span.name))
+        raw.extend(_compute_segments(span, started))
+        previous_end = span.end
+    return raw
+
+
+def _compute_segments(
+    span: Span, started: float
+) -> list[tuple[str, float, float, str]]:
+    """[started, end] split into compute / suspended intervals."""
+    out: list[tuple[str, float, float, str]] = []
+    cursor = started
+    for suspended_at, resumed_at in sorted(span.attrs.get("suspends", [])):
+        a, b = max(suspended_at, cursor), min(resumed_at, span.end)
+        if a > cursor:
+            out.append(("compute", cursor, a, span.name))
+        if b > a:
+            out.append(("suspended", a, b, span.name))
+        cursor = max(cursor, b)
+    if span.end > cursor:
+        out.append(("compute", cursor, span.end, span.name))
+    return out
+
+
+def _tile(
+    raw: list[tuple[str, float, float, str]], start: float, end: float
+) -> list[PathSegment]:
+    """Clip *raw* into a contiguous tiling of [start, end]; holes become
+    ``wait`` segments, so durations always sum to ``end - start``."""
+    out: list[PathSegment] = []
+    cursor = start
+    for kind, s0, e0, name in raw:
+        s0, e0 = max(s0, cursor), min(e0, end)
+        if s0 > cursor:
+            out.append(PathSegment("wait", cursor, s0, name))
+            cursor = s0
+        if e0 > s0:
+            out.append(PathSegment(kind, s0, e0, name))
+            cursor = e0
+    if end > cursor:
+        out.append(PathSegment("wait", cursor, end, "app"))
+    return out
+
+
+# -------------------------------------------------------------- allocation
+
+
+def _allocation_segments(trace: Trace, app_span: Span) -> list[PathSegment]:
+    """Attribute the pre-submit allocation phase: the longest alloc span
+    (request → reply) with its bidding rounds marked ``bid`` and the
+    remainder ``alloc``."""
+    exec_spans = trace.by_category("exec")
+    allocs = trace.by_category("alloc")
+    allocs = [a for a in allocs if a.end is not None and a.start <= app_span.start]
+    if not exec_spans or not allocs:
+        return []
+    phase_start = min(exec_spans, key=lambda s: s.start).start
+    path = max(allocs, key=lambda a: (a.end, a.start, a.span_id))
+    raw: list[tuple[str, float, float, str]] = []
+    for bid in sorted(path.children, key=lambda s: s.start):
+        if bid.category == "sched":
+            raw.append(("bid", bid.start, bid.end, bid.name))
+    # everything else inside the alloc span (request transit, queueing,
+    # reply transit) is charged to the allocation machinery
+    tiled = _tile(raw, phase_start, min(path.end, app_span.start))
+    return [
+        seg if seg.kind != "wait" else PathSegment("alloc", seg.start, seg.end, path.name)
+        for seg in tiled
+    ]

@@ -1,0 +1,78 @@
+"""Chrome trace-event JSON export.
+
+Produces the `trace event format`_ consumed by ``chrome://tracing`` and
+Perfetto: one complete ("ph": "X") event per span, grouped one process
+per trace and one thread lane per span name, with metadata events naming
+both. Timestamps are microseconds (simulation seconds × 1e6).
+
+.. _trace event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.trace.assemble import Span, Trace
+
+_US = 1e6  # seconds -> microseconds
+
+
+def chrome_trace(traces: Iterable[Trace]) -> dict[str, Any]:
+    """Assembled traces → a Chrome trace-event document (a JSON-ready
+    dict with a ``traceEvents`` list)."""
+    events: list[dict[str, Any]] = []
+    for pid, trace in enumerate(traces):
+        events.append(_meta(pid, 0, "process_name", name=f"trace {trace.trace_id}"))
+        lanes: dict[str, int] = {}
+        for span in sorted(trace.spans.values(), key=lambda s: (s.start, s.span_id)):
+            tid = lanes.setdefault(span.name, len(lanes))
+            args: dict[str, Any] = {
+                "span_id": span.span_id,
+                "parent_span_id": span.parent_span_id,
+            }
+            for key, value in span.attrs.items():
+                args[key] = value if isinstance(value, (int, float, str, bool)) else str(value)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start * _US,
+                    "dur": span.duration * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for time, category, data in span.events:
+                events.append(
+                    {
+                        "name": category,
+                        "cat": "event",
+                        "ph": "i",
+                        "s": "t",  # thread-scoped instant
+                        "ts": time * _US,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {
+                            k: v if isinstance(v, (int, float, str, bool)) else str(v)
+                            for k, v in data.items()
+                        },
+                    }
+                )
+        for name, tid in lanes.items():
+            events.append(_meta(pid, tid, "thread_name", name=name))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _meta(pid: int, tid: int, event: str, **args: Any) -> dict[str, Any]:
+    return {"name": event, "ph": "M", "pid": pid, "tid": tid, "args": args}
+
+
+def export_chrome_trace(traces: Iterable[Trace], path: str) -> str:
+    """Write :func:`chrome_trace` output to *path*; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(traces), fh, indent=1)
+    return path

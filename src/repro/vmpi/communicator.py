@@ -17,6 +17,7 @@ from repro.util.errors import CommunicationError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.channels.channel import Channel
     from repro.netsim.host import Address
+    from repro.trace.context import TraceContext
 
 
 class Communicator:
@@ -63,6 +64,9 @@ class TaskContext:
     size: int = 1
     params: dict[str, Any] = field(default_factory=dict)
     restored_state: Any = None
+    #: this incarnation's span in the application's trace; rides every
+    #: channel send so receivers can log the causal sender
+    trace: "TraceContext | None" = None
 
     @property
     def instance_name(self) -> str:

@@ -58,6 +58,11 @@ class TestCollector:
         latencies = vce.metrics().allocation_latencies()
         assert latencies and all(0 < l < 10 for l in latencies)
 
+    def test_allocation_latency_matches_trace_alloc_span(self):
+        vce, run = self._run_vce()
+        latencies = vce.metrics().allocation_latencies()
+        assert run.allocation_latency in [pytest.approx(l) for l in latencies]
+
     def test_bid_counts(self):
         vce, run = self._run_vce()
         counts = vce.metrics().bid_counts()
@@ -66,6 +71,43 @@ class TestCollector:
     def test_throughput(self):
         vce, run = self._run_vce()
         assert vce.metrics().throughput(vce.sim.now) > 0
+
+    def test_allocation_pairs_by_req_id_out_of_order(self):
+        log = EventLog()
+        log.emit(0.0, "exec.request", "exec-1", req_id="r1")
+        log.emit(1.0, "exec.request", "exec-1", req_id="r2")
+        log.emit(2.0, "exec.reply", "exec-1", req_id="r2")
+        log.emit(5.0, "exec.reply", "exec-1", req_id="r1")
+        assert MetricsCollector(log).allocation_latencies() == [1.0, 5.0]
+
+    def test_allocation_one_reply_answers_only_one_request(self):
+        # the old quadratic pairing matched one reply to every earlier
+        # request from the same source, double-counting latencies
+        log = EventLog()
+        log.emit(0.0, "exec.request", "exec-1", req_id="r1")
+        log.emit(1.0, "exec.request", "exec-1", req_id="r2")
+        log.emit(2.0, "exec.reply", "exec-1", req_id="r1")
+        assert MetricsCollector(log).allocation_latencies() == [2.0]
+
+    def test_allocation_fifo_fallback_without_req_ids(self):
+        log = EventLog()
+        log.emit(0.0, "exec.request", "exec-1")
+        log.emit(1.0, "exec.request", "exec-1")
+        log.emit(2.0, "exec.reply", "exec-1")
+        log.emit(3.0, "exec.reply", "exec-1")
+        assert MetricsCollector(log).allocation_latencies() == [2.0, 2.0]
+
+    def test_allocation_sources_do_not_cross_pair(self):
+        log = EventLog()
+        log.emit(0.0, "exec.request", "exec-1", req_id="a")
+        log.emit(0.0, "exec.request", "exec-2", req_id="b")
+        log.emit(1.0, "exec.reply", "exec-2", req_id="b")
+        assert MetricsCollector(log).allocation_latencies() == [1.0]
+
+    def test_allocation_reply_without_request_ignored(self):
+        log = EventLog()
+        log.emit(1.0, "exec.reply", "exec-1", req_id="ghost")
+        assert MetricsCollector(log).allocation_latencies() == []
 
     def test_suspension_spans(self):
         log = EventLog()

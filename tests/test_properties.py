@@ -7,7 +7,7 @@ the system must hold for *any* input in the strategy's domain.
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.isis import VectorClock
 from repro.machines import MachineClass
@@ -243,6 +243,115 @@ def test_aging_queue_pop_order_matches_effective_priority(arrivals, rate, now):
         item = queue.pop(now)
         popped.append(item.effective_priority(now, rate))
     assert popped == sorted(popped, reverse=True)
+
+
+@given(
+    st.floats(0.01, 2.0),
+    st.floats(0.1, 10.0),
+    st.floats(0.1, 5.0),
+)
+def test_aging_queue_never_starves(rate, high_priority, dt):
+    """§4.3 no-starvation: with aging_rate > 0 a zero-priority request is
+    eventually popped even under a steady stream of fresh high-priority
+    arrivals (one arrival + one pop per dt)."""
+    queue = AgingQueue(aging_rate=rate)
+    victim = ResourceRequest(
+        "victim", "app", MachineClass.WORKSTATION, (ModuleNeed("t"),), None,
+        priority=0.0,
+    )
+    queue.push(victim, 0.0)
+    # fresh arrivals enqueued after t = high/rate lose to the aged victim,
+    # so it must surface within ceil(high / (rate*dt)) + 2 service steps
+    bound = int(high_priority / (rate * dt)) + 3
+    assume(bound <= 2000)  # keep the worst case fast; the bound still holds
+    now = 0.0
+    for k in range(bound):
+        now += dt
+        fresh = ResourceRequest(
+            f"fresh-{k}", "app", MachineClass.WORKSTATION, (ModuleNeed("t"),),
+            None, priority=high_priority,
+        )
+        queue.push(fresh, now)
+        item = queue.pop(now)
+        if item.request.req_id == "victim":
+            return
+    pytest.fail(f"victim starved for {bound} service steps")
+
+
+# ------------------------------------------------------------------- traces
+
+
+@st.composite
+def traced_logs(draw):
+    """A synthetic trace-tagged event log: an app span plus nested task
+    spans whose intervals are contained in their parents'."""
+    from repro.util.eventlog import EventLog
+
+    n = draw(st.integers(0, 6))
+    root_start = draw(st.floats(0, 10, allow_nan=False))
+    root_end = root_start + draw(st.floats(1, 100, allow_nan=False))
+    spans = [("sp-0", None, root_start, root_end)]
+    records = [
+        (root_start, "app.submit", "app-0", {"trace_id": "tr", "span_id": "sp-0", "tasks": n}),
+        (root_end, "app.done", "app-0", {"trace_id": "tr", "span_id": "sp-0"}),
+    ]
+    for i in range(1, n + 1):
+        parent_id, _, ps, pe = spans[draw(st.integers(0, len(spans) - 1))]
+        start = draw(st.floats(ps, pe, allow_nan=False))
+        end = draw(st.floats(start, pe, allow_nan=False))
+        spans.append((f"sp-{i}", parent_id, start, end))
+        tag = {"trace_id": "tr", "span_id": f"sp-{i}", "parent_span_id": parent_id}
+        records.append(
+            (start, "runtime.dispatch", f"t{i}[0]",
+             dict(tag, task=f"t{i}", rank=0, host="ws0", incarnation=0))
+        )
+        started = draw(st.floats(start, end, allow_nan=False))
+        records.append((started, "task.start", f"t{i}[0]", dict(tag, host="ws0")))
+        records.append((end, "task.done", f"t{i}[0]", dict(tag)))
+    log = EventLog()
+    for time, category, source, data in sorted(records, key=lambda r: r[0]):
+        log.emit(time, category, source, **data)
+    return log, spans
+
+
+@given(traced_logs())
+def test_span_trees_well_formed(case):
+    """Assembled span trees: one root per trace, every span reachable
+    exactly once (no cycles), child intervals contained in parents'."""
+    from repro.trace import TraceAssembler
+
+    log, spans = case
+    traces = TraceAssembler(log).assemble()
+    assert len(traces) == 1
+    trace = traces[0]
+    assert len(trace.roots) == 1
+    assert len(trace.spans) == len(spans)
+    walked = list(trace.root.tree())
+    assert len(walked) == len(trace.spans)
+    assert len({s.span_id for s in walked}) == len(walked)
+    for span in walked:
+        for child in span.children:
+            assert child.start >= span.start - 1e-9
+            assert child.end <= span.end + 1e-9
+
+
+@given(traced_logs())
+def test_critical_path_always_tiles_makespan(case):
+    """For any well-formed trace the critical path is a contiguous tiling
+    of [submit, done]: segment durations sum exactly to the makespan."""
+    from repro.trace import TraceAssembler, critical_path
+
+    log, _spans = case
+    trace = TraceAssembler(log).assemble()[0]
+    path = critical_path(trace)
+    assert path is not None
+    assert path.total == pytest.approx(path.makespan, rel=1e-9, abs=1e-9)
+    cursor = path.start
+    for seg in path.segments:
+        assert seg.start == pytest.approx(cursor, abs=1e-9)
+        assert seg.end >= seg.start - 1e-12
+        cursor = seg.end
+    assert cursor == pytest.approx(path.end, abs=1e-9)
 
 
 # --------------------------------------------------------------------- rng

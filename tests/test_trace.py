@@ -1,0 +1,383 @@
+"""Tests for the causal tracing subsystem (repro.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
+from repro.metrics import MetricsCollector
+from repro.migration import DumpMigration, MigrationContext
+from repro.runtime import AppStatus
+from repro.scheduler.execution_program import RunState
+from repro.trace import (
+    TraceAssembler,
+    TraceContext,
+    assert_deterministic,
+    chrome_trace,
+    critical_path,
+    event_log_digest,
+    export_chrome_trace,
+    trace_fields,
+)
+from repro.util.eventlog import EventLog
+from repro.workloads import WEATHER_SCRIPT, build_pipeline_graph, weather_programs
+
+from tests.conftest import make_cluster, place_all_on
+from tests.test_migration import one_task_graph, plain_program
+
+
+# ----------------------------------------------------------------- context
+
+
+class TestTraceContext:
+    def test_child_keeps_trace_and_links_parent(self):
+        root = TraceContext("t-1", "s-1")
+        child = root.child("s-2")
+        assert child.trace_id == "t-1"
+        assert child.span_id == "s-2"
+        assert child.parent_span_id == "s-1"
+
+    def test_fields_omit_missing_parent(self):
+        assert TraceContext("t", "s").fields() == {"trace_id": "t", "span_id": "s"}
+        assert TraceContext("t", "s", "p").fields() == {
+            "trace_id": "t",
+            "span_id": "s",
+            "parent_span_id": "p",
+        }
+
+    def test_trace_fields_of_none_is_empty(self):
+        assert trace_fields(None) == {}
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TraceContext("t", "s").span_id = "other"
+
+
+# ----------------------------------------------------------- shared fixtures
+
+
+def _pipeline_vce(seed=0):
+    vce = VirtualComputingEnvironment(
+        workstation_cluster(6), VCEConfig(seed=seed)
+    ).boot()
+    run = vce.submit(build_pipeline_graph(stages=3))
+    vce.run_to_completion(run)
+    assert run.state is RunState.DONE
+    return vce, run
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return _pipeline_vce()
+
+
+@pytest.fixture(scope="module")
+def pipeline_traces(pipeline):
+    vce, _run = pipeline
+    return TraceAssembler(vce.sim.log).assemble()
+
+
+# ---------------------------------------------------------------- assembler
+
+
+class TestAssembler:
+    def test_one_trace_one_root(self, pipeline_traces):
+        assert len(pipeline_traces) == 1
+        trace = pipeline_traces[0]
+        assert len(trace.roots) == 1
+        assert trace.root.category == "exec"
+
+    def test_span_tree_reaches_every_span(self, pipeline_traces):
+        trace = pipeline_traces[0]
+        reachable = {s.span_id for root in trace.roots for s in root.tree()}
+        assert reachable == set(trace.spans)
+
+    def test_app_span_under_exec_root(self, pipeline_traces):
+        trace = pipeline_traces[0]
+        app = trace.app_span()
+        assert app is not None
+        assert app.parent_span_id == trace.root.span_id
+        assert app.attrs["outcome"] == "app.done"
+
+    def test_task_spans_carry_dispatch_attrs(self, pipeline_traces):
+        tasks = pipeline_traces[0].by_category("task")
+        assert len(tasks) == 3  # three pipeline stages
+        for span in tasks:
+            assert span.end is not None and span.end > span.start
+            assert "host" in span.attrs
+            assert "started" in span.attrs  # task.start annotation
+            assert span.attrs["outcome"] == "task.done"
+
+    def test_after_edges_reference_real_spans(self, pipeline_traces):
+        trace = pipeline_traces[0]
+        for span in trace.by_category("task"):
+            for predecessor in span.attrs.get("after", ()):
+                assert predecessor in trace.spans
+
+    def test_orphan_closer_becomes_zero_length_span(self):
+        log = EventLog()
+        log.emit(3.0, "task.done", "t[0]", trace_id="tr", span_id="sp")
+        traces = TraceAssembler(log).assemble()
+        assert len(traces) == 1
+        span = traces[0].spans["sp"]
+        assert span.start == span.end == 3.0
+
+    def test_untagged_records_ignored(self):
+        log = EventLog()
+        log.emit(1.0, "task.start", "t[0]", host="ws0")
+        assert TraceAssembler(log).assemble() == []
+
+    def test_suspend_windows_attached(self):
+        log = EventLog()
+        tag = {"trace_id": "tr", "span_id": "sp"}
+        log.emit(0.0, "runtime.dispatch", "t[0]", task="t", rank=0, **tag)
+        log.emit(2.0, "task.suspend", "t[0]", **tag)
+        log.emit(5.0, "task.resume", "t[0]", **tag)
+        log.emit(9.0, "task.done", "t[0]", **tag)
+        span = TraceAssembler(log).assemble()[0].spans["sp"]
+        assert span.attrs["suspends"] == [(2.0, 5.0)]
+
+
+# ------------------------------------------------------------ critical path
+
+
+class TestCriticalPath:
+    def test_segments_tile_the_makespan(self, pipeline_traces):
+        path = critical_path(pipeline_traces[0])
+        assert path is not None
+        assert path.total == pytest.approx(path.makespan, rel=1e-9)
+        cursor = path.start
+        for seg in path.segments:
+            assert seg.start == pytest.approx(cursor)
+            assert seg.end >= seg.start
+            cursor = seg.end
+        assert cursor == pytest.approx(path.end)
+
+    def test_total_matches_metrics_collector(self, pipeline, pipeline_traces):
+        vce, _run = pipeline
+        path = critical_path(pipeline_traces[0])
+        makespans = MetricsCollector(vce.sim.log).app_makespans()
+        assert path.total == pytest.approx(makespans[path.app], rel=1e-9)
+
+    def test_pipeline_walks_every_stage(self, pipeline_traces):
+        path = critical_path(pipeline_traces[0])
+        stages = {seg.span.split("[")[0] for seg in path.segments if seg.kind == "compute"}
+        assert stages == {"s0", "s1", "s2"}  # a pipeline's chain is every stage
+
+    def test_compute_dominates_pipeline(self, pipeline_traces):
+        by_kind = critical_path(pipeline_traces[0]).by_kind()
+        assert by_kind["compute"] == max(by_kind.values())
+
+    def test_allocation_phase_reported_separately(self, pipeline_traces):
+        path = critical_path(pipeline_traces[0])
+        assert path.allocation, "bidding happened before app.submit"
+        assert all(seg.end <= path.start + 1e-9 for seg in path.allocation)
+        assert {seg.kind for seg in path.allocation} <= {"bid", "alloc"}
+
+    def test_no_app_span_yields_none(self):
+        log = EventLog()
+        log.emit(0.0, "exec.submit", "exec-1", app="a", trace_id="tr", span_id="sp")
+        trace = TraceAssembler(log).assemble()[0]
+        assert critical_path(trace) is None
+
+
+# ------------------------------------------------------- trace propagation
+
+
+class TestPropagation:
+    def test_task_records_all_tagged(self, pipeline):
+        vce, _run = pipeline
+        for category in ("task.start", "task.done"):
+            records = list(vce.sim.log.records(category=category))
+            assert records
+            for record in records:
+                assert record.get("trace_id") and record.get("span_id")
+
+    @pytest.fixture(scope="class")
+    def stencil(self):
+        from repro.machines import MachineClass
+        from repro.workloads import build_stencil_graph
+
+        vce = VirtualComputingEnvironment(
+            workstation_cluster(4), VCEConfig(seed=0)
+        ).boot()
+        run = vce.submit(
+            build_stencil_graph(ranks=4, cells=32, iterations=2),
+            class_map={"grid": MachineClass.WORKSTATION},
+        )
+        vce.run_to_completion(run)
+        assert run.state is RunState.DONE
+        return vce
+
+    def test_channel_sends_tagged(self, stencil):
+        sends = list(stencil.sim.log.records(category="chan.send"))
+        assert sends
+        for record in sends:
+            assert record.get("trace_id") and record.get("span_id")
+
+    def test_recv_records_link_sender_span(self, stencil):
+        recvs = list(stencil.sim.log.records(category="chan.recv"))
+        assert recvs
+        send_spans = {
+            r.get("span_id") for r in stencil.sim.log.records(category="chan.send")
+        }
+        for record in recvs:
+            assert record.get("from_span") in send_spans
+
+    def test_migration_records_tagged(self):
+        cluster, _ = self._migrated_cluster()
+        records = list(cluster.sim.log.records(category="migration.done"))
+        assert records
+        for record in records:
+            assert record.get("trace_id") and record.get("span_id")
+            assert record.get("parent_span_id")
+
+    def test_migration_span_parented_under_app(self):
+        cluster, app = self._migrated_cluster()
+        traces = TraceAssembler(cluster.sim.log).assemble()
+        trace = next(t for t in traces if t.by_category("migration"))
+        migration = trace.by_category("migration")[0]
+        app_span = trace.app_span()
+        assert migration.parent_span_id == app_span.span_id
+        assert migration.duration > 0
+
+    @staticmethod
+    def _migrated_cluster():
+        cluster = make_cluster(3)
+        context = MigrationContext(cluster.manager, cluster.net)
+        graph = one_task_graph(plain_program(10.0), memory_mb=1)
+        app = cluster.manager.submit(graph, place_all_on(graph, "ws0"))
+        cluster.run(until=4.0)
+        DumpMigration(context).migrate(app, app.record("t", 0), "ws1")
+        cluster.run()
+        assert app.status is AppStatus.DONE
+        return cluster, app
+
+
+# ------------------------------------------------------------------ replay
+
+
+def _weather_log():
+    from repro.core import heterogeneous_cluster
+
+    vce = VirtualComputingEnvironment(
+        heterogeneous_cluster(), VCEConfig(seed=11)
+    ).boot()
+    run = vce.run_script(WEATHER_SCRIPT, weather_programs(), name="weather")
+    vce.run_to_completion(run)
+    assert run.state is RunState.DONE
+    return vce.sim.log
+
+
+def _pipeline_log():
+    vce, _run = _pipeline_vce(seed=3)
+    return vce.sim.log
+
+
+class TestDeterministicReplay:
+    def test_weather_replay_identical(self):
+        assert_deterministic(_weather_log)
+
+    def test_pipeline_replay_identical(self):
+        assert_deterministic(_pipeline_log)
+
+    def test_digest_covers_trace_fields(self):
+        log = EventLog()
+        log.emit(1.0, "task.start", "t[0]", trace_id="tr-A", span_id="sp")
+        other = EventLog()
+        other.emit(1.0, "task.start", "t[0]", trace_id="tr-B", span_id="sp")
+        assert event_log_digest(log) != event_log_digest(other)
+
+    def test_digest_stable_under_key_order(self):
+        log = EventLog()
+        log.emit(1.0, "x", "src", b=2, a=1)
+        other = EventLog()
+        other.emit(1.0, "x", "src", a=1, b=2)
+        assert event_log_digest(log) == event_log_digest(other)
+
+    def test_seed_changes_digest(self):
+        logs = [
+            _pipeline_vce(seed=s)[0].sim.log for s in (1, 2)
+        ]
+        assert event_log_digest(logs[0]) != event_log_digest(logs[1])
+
+    def test_divergence_reported_with_record(self):
+        logs = iter([_make_log(tag="A"), _make_log(tag="B")])
+        with pytest.raises(AssertionError, match="diverged at record"):
+            assert_deterministic(lambda: next(logs))
+
+
+def _make_log(tag):
+    log = EventLog()
+    log.emit(0.0, "x", "src", tag=tag)
+    return log
+
+
+# ------------------------------------------------------------------ export
+
+
+class TestChromeExport:
+    def test_document_shape(self, pipeline_traces):
+        doc = chrome_trace(pipeline_traces)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(pipeline_traces[0].spans)
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert {"name", "cat", "pid", "tid", "args"} <= set(event)
+            assert "span_id" in event["args"]
+
+    def test_round_trips_through_json(self, pipeline_traces, tmp_path):
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(pipeline_traces, path)
+        doc = json.load(open(path))
+        assert doc["traceEvents"]
+
+    def test_lanes_group_by_span_name(self, pipeline_traces):
+        doc = chrome_trace(pipeline_traces)
+        names = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                names.setdefault(event["name"], set()).add(event["tid"])
+        for name, tids in names.items():
+            assert len(tids) == 1, f"{name} spread over lanes {tids}"
+
+
+# --------------------------------------------------------------------- CLI
+
+
+class TestTraceCli:
+    @pytest.fixture
+    def weather_file(self, tmp_path):
+        path = tmp_path / "snow.vce"
+        path.write_text(WEATHER_SCRIPT)
+        return str(path)
+
+    def test_trace_subcommand(self, weather_file, tmp_path):
+        export = str(tmp_path / "chrome.json")
+        out = io.StringIO()
+        code = main(["trace", weather_file, "--seed", "1", "--export", export], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "critical path" in text
+        assert "compute" in text
+        assert "path total" in text
+        doc = json.load(open(export))
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_cli_total_equals_collector_makespan(self, weather_file):
+        out = io.StringIO()
+        assert main(["trace", weather_file, "--seed", "2"], out=out) == 0
+        # the header prints both numbers; they must agree
+        for line in out.getvalue().splitlines():
+            if line.startswith("trace "):
+                assert "makespan" in line and "collector" in line
+                numbers = [
+                    float(tok.rstrip("s)").rstrip("s"))
+                    for tok in line.replace(",", "").split()
+                    if tok.rstrip("s)").rstrip("s").replace(".", "", 1).isdigit()
+                ]
+                assert len(numbers) == 2
+                assert numbers[0] == pytest.approx(numbers[1], abs=1e-3)
