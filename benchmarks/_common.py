@@ -19,7 +19,6 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from repro.core import VCEConfig, VirtualComputingEnvironment  # noqa: E402
 from repro.machines import ConstantLoad, Machine, MachineClass  # noqa: E402
 from repro.scheduler.execution_program import RunState  # noqa: E402
-from repro.util.rng import RngStreams  # noqa: E402
 
 
 def fresh_vce(machines, seed=0, config=None, **config_kw):

@@ -11,7 +11,7 @@
    high and work lands on busy machines (slow makespans).
 """
 
-from benchmarks._common import finish, fresh_vce, once, workstations
+from benchmarks._common import fresh_vce, once, workstations
 from repro.machines import ConstantLoad
 from repro.metrics import format_table
 from repro.migration import CheckpointMigration, MigrationContext, RedundantExecutionManager

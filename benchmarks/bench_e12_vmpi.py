@@ -6,7 +6,6 @@ latency should grow ~logarithmically in the rank count (each doubling adds
 about one round-trip), not linearly.
 """
 
-import math
 
 from benchmarks._common import finish, fresh_vce, once, workstations
 from repro.metrics import format_series, format_table

@@ -15,7 +15,7 @@ and total throughput wins. Greedy gives A to the flexible task, stranding
 the constrained one.
 """
 
-from benchmarks._common import finish, fresh_vce, once
+from benchmarks._common import fresh_vce, once
 from repro.machines import Machine, MachineClass
 from repro.metrics import format_table
 from repro.scheduler import greedy_assignment, utilization_first_assignment

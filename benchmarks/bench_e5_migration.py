@@ -14,7 +14,7 @@ run). Expected shape, straight from the paper:
   — unless a binary was prepared anticipatorily.
 """
 
-from benchmarks._common import once, workstations
+from benchmarks._common import once
 from repro.compilation import CompilationManager
 from repro.machines import MachineClass
 from repro.metrics import format_table

@@ -12,7 +12,6 @@ start time shows the ripple; migration contains it.
 """
 
 from benchmarks._common import fresh_vce, once, workstations
-from repro.core import VCEConfig
 from repro.loadbalance import MigrateOnLoadPolicy, NoActionPolicy, SuspendResumePolicy
 from repro.machines import ConstantLoad, TraceLoad
 from repro.metrics import format_table

@@ -8,7 +8,6 @@ allocation adds milliseconds; execution dominates overall.
 """
 
 from benchmarks._common import finish, fresh_vce, once
-from repro.compilation import CompilationManager
 from repro.core import heterogeneous_cluster
 from repro.metrics import format_table
 from repro.sdm import CodingLevel, DesignStage, SoftwareDevelopmentModule, SourceModule

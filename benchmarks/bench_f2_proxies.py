@@ -12,7 +12,7 @@ dispatch); the conversion interposer adds per-byte cost and one extra
 network hop.
 """
 
-from benchmarks._common import finish, fresh_vce, once, workstations
+from benchmarks._common import fresh_vce, once, workstations
 from repro.channels import DataConversionInterposer
 from repro.metrics import format_table
 from repro.objects import ClientStub, parse_idl, serve

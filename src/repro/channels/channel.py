@@ -16,7 +16,7 @@ while the data path always pays wire costs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.channels.port import Port, PortDirection
@@ -60,6 +60,16 @@ class Channel:
         self.messages = 0
         self.bytes = 0
         self.dropped_no_receiver = 0
+        # live-telemetry handles, cached per channel (hot path)
+        tel = network.sim.telemetry
+        self._m_messages = (
+            tel.counter("chan_messages_total", "channel sends")
+            if tel is not None else None
+        )
+        self._m_bytes = (
+            tel.counter("chan_bytes_total", "channel payload bytes")
+            if tel is not None else None
+        )
 
     # -- attachment -----------------------------------------------------------
 
@@ -141,6 +151,9 @@ class Channel:
             sender_addr, sender_port = sender, str(sender)
         self.messages += 1
         self.bytes += size
+        if self._m_messages is not None:
+            self._m_messages.inc()
+            self._m_bytes.inc(size)
         if trace is not None:
             self.network.sim.emit(
                 "chan.send",

@@ -23,6 +23,15 @@ Usage (also via ``python -m repro``):
         allocation phase. --export writes Chrome trace-event JSON
         (load it in chrome://tracing or Perfetto).
 
+    repro top SCRIPT.vce [run options] [--snapshot] [--refresh S]
+                         [--frames N] [--json PATH] [--prom PATH]
+        Run a script and render live-telemetry frames: per-host load /
+        queue / in-flight gauges with sparkline histories, task duration
+        quantiles, scheduler and network totals, and active health
+        events. --snapshot prints one frame after completion; otherwise
+        a frame prints every --refresh simulated seconds. --json and
+        --prom export the final metrics registry.
+
 Cluster SPEC: ``ws:N`` for N workstations, or ``hetero:W,M,S`` for W
 workstations + M MIMD + S SIMD machines (default ``hetero:6,2,1``).
 """
@@ -31,7 +40,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Callable
+from typing import Callable
 
 from repro.core import VCEConfig, VirtualComputingEnvironment, heterogeneous_cluster, workstation_cluster
 from repro.metrics import format_table
@@ -131,8 +140,8 @@ def cmd_describe(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace, out) -> int:
-    text = open(args.script).read()
+def _boot_vce(args: argparse.Namespace) -> VirtualComputingEnvironment:
+    """Build and boot the simulated cluster a run-style subcommand asked for."""
     wan = None
     if args.cluster_file:
         from repro.core import load_cluster_file
@@ -140,19 +149,29 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         machines, wan = load_cluster_file(args.cluster_file, seed=args.seed)
     else:
         machines = _parse_cluster(args.cluster)
-    vce = VirtualComputingEnvironment(
+    return VirtualComputingEnvironment(
         machines,
         VCEConfig(seed=args.seed, anticipatory=args.anticipatory, wan_latency=wan),
     ).boot()
+
+
+def _launch_script(vce: VirtualComputingEnvironment, args: argparse.Namespace) -> AppRun:
+    """Parse args.script and submit it (built-in or generic programs)."""
+    text = open(args.script).read()
     description = vce.describe_script(text, variables=dict(args.var or {}))
     programs = _program_registry([m.task for m in description.modules], args.default_work)
-    run = vce.run_script(
+    return vce.run_script(
         text,
         programs,
         works={m.task: args.default_work for m in description.modules},
         policy=POLICIES[args.policy],
         name=args.script,
     )
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    vce = _boot_vce(args)
+    run = _launch_script(vce, args)
     vce.run_to_completion(run, timeout=args.timeout)
     _print_run(run, vce, out)
     if args.gantt:
@@ -167,27 +186,8 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 def cmd_trace(args: argparse.Namespace, out) -> int:
     from repro.trace import TraceAssembler, critical_path, export_chrome_trace
 
-    text = open(args.script).read()
-    wan = None
-    if args.cluster_file:
-        from repro.core import load_cluster_file
-
-        machines, wan = load_cluster_file(args.cluster_file, seed=args.seed)
-    else:
-        machines = _parse_cluster(args.cluster)
-    vce = VirtualComputingEnvironment(
-        machines,
-        VCEConfig(seed=args.seed, anticipatory=args.anticipatory, wan_latency=wan),
-    ).boot()
-    description = vce.describe_script(text, variables=dict(args.var or {}))
-    programs = _program_registry([m.task for m in description.modules], args.default_work)
-    run = vce.run_script(
-        text,
-        programs,
-        works={m.task: args.default_work for m in description.modules},
-        policy=POLICIES[args.policy],
-        name=args.script,
-    )
+    vce = _boot_vce(args)
+    run = _launch_script(vce, args)
     vce.run_to_completion(run, timeout=args.timeout)
     print(f"state: {run.state.value}", file=out)
     if run.error:
@@ -231,6 +231,44 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     if args.export:
         export_chrome_trace(traces, args.export)
         print(f"\nwrote Chrome trace-event JSON to {args.export}", file=out)
+    return 0 if run.state is RunState.DONE else 1
+
+
+def cmd_top(args: argparse.Namespace, out) -> int:
+    from repro.telemetry import write_json, write_prometheus
+
+    vce = _boot_vce(args)
+    telemetry = vce.telemetry
+    assert telemetry is not None  # VCEConfig.telemetry defaults on
+    run = _launch_script(vce, args)
+    terminal = (RunState.DONE, RunState.FAILED)
+    if args.snapshot:
+        vce.run_to_completion(run, timeout=args.timeout)
+        print(telemetry.render(), file=out)
+    else:
+        deadline = vce.sim.now + args.timeout
+        frame = 0
+        while True:
+            vce.sim.run(
+                until=min(vce.sim.now + args.refresh, deadline),
+                stop_when=lambda: run.state in terminal,
+            )
+            frame += 1
+            print(telemetry.render(title=f"repro top [frame {frame}]"), file=out)
+            print(file=out)
+            if (
+                run.state in terminal
+                or vce.sim.now >= deadline
+                or (args.frames and frame >= args.frames)
+            ):
+                break
+    if args.json:
+        write_json(telemetry.registry, args.json, time=vce.sim.now)
+        print(f"wrote JSON snapshot to {args.json}", file=out)
+    if args.prom:
+        write_prometheus(telemetry.registry, args.prom)
+        print(f"wrote Prometheus text to {args.prom}", file=out)
+    print(f"state: {run.state.value}", file=out)
     return 0 if run.state is RunState.DONE else 1
 
 
@@ -316,6 +354,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", metavar="PATH", help="write Chrome trace-event JSON to PATH"
     )
     trace.set_defaults(fn=cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="run a script and show live telemetry frames"
+    )
+    _add_run_options(top)
+    top.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="run to completion and print one final frame",
+    )
+    top.add_argument(
+        "--refresh",
+        type=float,
+        default=5.0,
+        help="simulated seconds between frames (interactive mode)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=0, help="stop after N frames (0 = until done)"
+    )
+    top.add_argument("--json", metavar="PATH", help="write a JSON metrics snapshot")
+    top.add_argument(
+        "--prom", metavar="PATH", help="write Prometheus text exposition"
+    )
+    top.set_defaults(fn=cmd_top)
 
     demo = sub.add_parser("demo", help="run a built-in workload")
     demo.add_argument(

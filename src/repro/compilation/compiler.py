@@ -9,8 +9,7 @@ plausibly existed in 1994.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.machines.archclass import MachineClass
 from repro.util.errors import CompilationError

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.compilation.classes import DEFAULT_CLASS_MAP, candidate_classes
-from repro.compilation.compiler import Binary, Compiler, CompilerRegistry, default_registry
+from repro.compilation.compiler import Binary, CompilerRegistry, default_registry
 from repro.machines.archclass import MachineClass
 from repro.machines.database import MachineDatabase
 from repro.taskgraph import TaskGraph

@@ -30,6 +30,12 @@ class VCEConfig:
             first machine's site).
         egress_serialization: model one NIC per host (concurrent sends
             queue for the wire); see repro.netsim.Network.
+        telemetry: maintain the live metrics registry and run the cluster
+            sampler + health watchdog (see repro.telemetry). On by
+            default; turn off for throughput-focused benchmarks.
+        telemetry_interval: simulated seconds between cluster samples.
+        telemetry_series_capacity: ring-buffer length of each sampled
+            time series.
     """
 
     seed: int = 0
@@ -42,3 +48,6 @@ class VCEConfig:
     wan_latency: LatencyModel | None = None
     user_site: str = ""
     egress_serialization: bool = False
+    telemetry: bool = True
+    telemetry_interval: float = 4.0
+    telemetry_series_capacity: int = 600

@@ -29,9 +29,9 @@ from repro.script.interp import Environment, interpret
 from repro.script.parser import parse_script
 from repro.sdm.problemspec import ProblemSpecification
 from repro.taskgraph import ArcKind, TaskGraph
+from repro.telemetry.service import Telemetry
 from repro.util.errors import ConfigurationError, ScriptError
 
-from repro.compilation.classes import candidate_classes
 
 
 class VirtualComputingEnvironment:
@@ -49,6 +49,12 @@ class VirtualComputingEnvironment:
             raise ConfigurationError("a VCE needs at least one machine")
         self.config = config or VCEConfig()
         self.sim = Simulator(self.config.seed)
+        if self.config.telemetry:
+            # published before any component is built, so hot paths
+            # (runtime manager, channels) can cache metric handles
+            from repro.telemetry.registry import MetricsRegistry
+
+            self.sim.telemetry = MetricsRegistry()
         self.network = Network(
             self.sim,
             self.config.latency,
@@ -100,6 +106,17 @@ class VirtualComputingEnvironment:
             attributes={"site": user_site} if user_site else {},
         )
         self._wire_wan_routes()
+
+        self.telemetry: Telemetry | None = None
+        if self.config.telemetry:
+            self.telemetry = Telemetry(
+                self.sim,
+                self.runtime,
+                self.daemons,
+                interval=self.config.telemetry_interval,
+                series_capacity=self.config.telemetry_series_capacity,
+            )
+            self.telemetry.install(self.user_host)
 
     def _wire_wan_routes(self) -> None:
         """Install the WAN latency model between hosts at different sites."""

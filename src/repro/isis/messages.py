@@ -7,7 +7,7 @@ from superseded views.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.isis.vclock import VectorClock

@@ -14,7 +14,6 @@ tasks then effectively compute at ``speed * (1 - load(t))``.
 from __future__ import annotations
 
 import bisect
-import math
 from typing import Protocol, Sequence
 
 from repro.util.errors import ConfigurationError

@@ -120,6 +120,14 @@ class MigrationScheme(abc.ABC):
     ) -> None:
         self.migrations += 1
         latency = self.context.sim.now - started
+        tel = self.context.sim.telemetry
+        if tel is not None:
+            tel.counter("migrations_total", "completed migrations", labels=("scheme",)) \
+                .labels(self.name).inc()
+            tel.histogram(
+                "migration_latency_seconds", "suspend to running-at-destination",
+                labels=("scheme",),
+            ).labels(self.name).observe(latency)
         self._emit(record, dst_host, latency, src=src, **extra)
         if on_done is not None:
             on_done(latency)

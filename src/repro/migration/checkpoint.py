@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.migration.base import MigrationContext, MigrationScheme
+from repro.migration.base import MigrationScheme
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.app import Application, InstanceRecord

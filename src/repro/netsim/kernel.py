@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.registry import MetricsRegistry
 from repro.util.eventlog import EventLog
 from repro.util.ids import IdGenerator
 from repro.util.rng import RngStreams
@@ -77,6 +80,9 @@ class Simulator:
         self.log = EventLog()
         self.ids = IdGenerator()
         self.rng = RngStreams(seed)
+        #: live metrics registry, installed by the telemetry service; None
+        #: when telemetry is off — instrumented components must None-check
+        self.telemetry: "MetricsRegistry | None" = None
 
     # -- time --------------------------------------------------------------
 

@@ -12,7 +12,7 @@ distinguishes local procedure calls from remote messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.netsim.host import Address, Host

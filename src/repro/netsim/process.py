@@ -98,11 +98,17 @@ class SimProcess:
             return
         self.host.network.send(self.address, dst, payload, size)
 
-    def set_timer(self, delay: float, key: str) -> None:
+    def set_timer(self, delay: float, key: str, daemon: bool = False) -> None:
         """Arm (or re-arm) the named timer; ``on_timer(key)`` fires once after
-        *delay* seconds unless cancelled."""
+        *delay* seconds unless cancelled.
+
+        A *daemon* timer (periodic samplers, monitors) never keeps the
+        simulation alive — same contract as :meth:`Simulator.schedule`.
+        """
         self.cancel_timer(key)
-        self._timers[key] = self.sim.schedule(delay, lambda: self._fire(key))
+        self._timers[key] = self.sim.schedule(
+            delay, lambda: self._fire(key), daemon=daemon
+        )
 
     def cancel_timer(self, key: str) -> None:
         timer = self._timers.pop(key, None)

@@ -14,7 +14,6 @@ from repro.runtime.instance import InstanceState, TaskInstance
 from repro.taskgraph import TaskGraph
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.netsim.host import Host
     from repro.trace.context import TraceContext
 
 

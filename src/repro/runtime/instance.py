@@ -128,6 +128,8 @@ class TaskInstance(SimProcess):
         self._computing = False
         self._compute_finish_at: float | None = None
         self._frozen_compute_remaining: float | None = None
+        self._m_sends = None  # vMPI telemetry handles, cached at _begin
+        self._m_compute = None
 
     def _trace_fields(self) -> dict[str, Any]:
         """trace_id/span_id/parent_span_id of this incarnation's span."""
@@ -162,6 +164,12 @@ class TaskInstance(SimProcess):
             raise SimulationError(f"task {self.node.name!r} has no program attached")
         self.state = InstanceState.RUNNING
         self.started_at = self.now
+        tel = self.sim.telemetry
+        if tel is not None:
+            self._m_sends = tel.counter("vmpi_sends_total", "vMPI Send syscalls")
+            self._m_compute = tel.histogram(
+                "compute_burst_seconds", "simulated duration of Compute bursts"
+            )
         self.emit(
             "task.start",
             app=self.ctx.app,
@@ -257,6 +265,8 @@ class TaskInstance(SimProcess):
         contenders = _host_compute_count(self.host) + 1
         speed = base / contenders
         duration = work / speed
+        if self._m_compute is not None:
+            self._m_compute.observe(duration)
         self._computing = True
         _host_compute_delta(self.host, +1)
         self.work_done += work
@@ -282,6 +292,8 @@ class TaskInstance(SimProcess):
 
     def _do_send(self, syscall: Send) -> None:
         channel = self._channel_for(syscall.channel)
+        if self._m_sends is not None:
+            self._m_sends.inc()
         if isinstance(syscall.dst, int):
             to = str(syscall.dst)
             sender_port = str(self.ctx.rank)

@@ -99,6 +99,30 @@ class RuntimeManager:
         #: services hook here (e.g. to launch redundant copies)
         self.dispatch_hooks: list[Callable[[Application, InstanceRecord], None]] = []
         self._incarnations: dict[tuple[str, str, int], int] = {}
+        # live-telemetry handles, cached once (None when telemetry is off)
+        tel = sim.telemetry
+        self._m_dispatches = (
+            tel.counter("runtime_dispatches_total", "instance dispatches")
+            if tel is not None else None
+        )
+        self._m_task_duration = (
+            tel.histogram(
+                "task_duration_seconds", "dispatch to exit", labels=("task",)
+            )
+            if tel is not None else None
+        )
+        self._m_task_exits = (
+            tel.counter("tasks_exited_total", "instance exits", labels=("state",))
+            if tel is not None else None
+        )
+        self._m_makespan = (
+            tel.histogram("app_makespan_seconds", "submit to done")
+            if tel is not None else None
+        )
+        self._m_apps = (
+            tel.counter("apps_finished_total", "application completions", labels=("status",))
+            if tel is not None else None
+        )
 
     # ---------------------------------------------------------------- submit
 
@@ -232,6 +256,8 @@ class RuntimeManager:
         record.host_name = host_name
         record.dispatched_at = self.sim.now
         record.placements.append(host_name)
+        if self._m_dispatches is not None:
+            self._m_dispatches.inc()
         self.sim.emit(
             "runtime.dispatch",
             app.id,
@@ -306,6 +332,12 @@ class RuntimeManager:
             return
         record.state = state
         record.finished_at = self.sim.now
+        if self._m_task_exits is not None:
+            self._m_task_exits.labels(state.value).inc()
+            if state is InstanceState.DONE and record.dispatched_at is not None:
+                self._m_task_duration.labels(record.task).observe(
+                    self.sim.now - record.dispatched_at
+                )
         if state is InstanceState.DONE:
             record.result = instance.result
             self._kill_redundant_copies(record, "primary-done")
@@ -316,6 +348,8 @@ class RuntimeManager:
             handled = any(h(app, record, instance) for h in self.failure_handlers)
             if not handled:
                 app._mark_complete(AppStatus.FAILED, self.sim.now)
+                if self._m_apps is not None:
+                    self._m_apps.labels(AppStatus.FAILED.value).inc()
                 self.sim.emit("app.failed", app.id, task=record.task, rank=record.rank,
                               **trace_fields(app.trace))
         # KILLED incarnations are superseded deliberately; nothing to do.
@@ -333,6 +367,10 @@ class RuntimeManager:
             return
         if app.all_done:
             app._mark_complete(AppStatus.DONE, self.sim.now)
+            if self._m_apps is not None:
+                self._m_apps.labels(AppStatus.DONE.value).inc()
+                if app.makespan is not None:
+                    self._m_makespan.observe(app.makespan)
             self.sim.emit("app.done", app.id, makespan=app.makespan,
                           **trace_fields(app.trace))
             self.checkpoints.drop_app(app.id)

@@ -95,6 +95,12 @@ class SchedulerDaemon(IsisMember):
         self.bids_made = 0
         self.requests_led = 0
 
+    def _tel(self):
+        """The live metrics registry, or None when telemetry is off. Looked
+        up per call: the daemon is constructed before it is bound to a
+        host (and hence before it can reach the simulator)."""
+        return self.sim.telemetry if self.host is not None else None
+
     # ------------------------------------------------------------------ load
 
     def hosted_instances(self) -> int:
@@ -195,6 +201,9 @@ class SchedulerDaemon(IsisMember):
 
     def _start_bidding(self, request: ResourceRequest) -> None:
         self.requests_led += 1
+        tel = self._tel()
+        if tel is not None:
+            tel.counter("sched_requests_total", "bidding rounds led").inc()
         # each bidding round is its own span under the requester's
         # allocation span (queued requests get a fresh span per retry)
         if request.trace is not None:
@@ -227,7 +236,16 @@ class SchedulerDaemon(IsisMember):
         bids = [b for (_, b) in replies if isinstance(b, MachineBid)]
         # sortBidsByLoad(); ties broken by speed (faster first), then name
         bids.sort(key=lambda b: (b.load, -b.speed, b.machine))
+        tel = self._tel()
+        if tel is not None:
+            tel.histogram(
+                "sched_bid_count", "bids collected per round", start=1.0, factor=2.0, count=10
+            ).observe(float(len(bids)))
         if len(bids) < request.total_min:
+            if tel is not None:
+                tel.counter(
+                    "sched_alloc_errors_total", "bidding rounds with too few bids"
+                ).inc()
             queued = request.queue_if_insufficient
             self.emit(
                 "sched.alloc_error",
@@ -255,6 +273,8 @@ class SchedulerDaemon(IsisMember):
         self._first_enqueued.pop(request.req_id, None)
         if request.req_id in self.pending_queue:
             self.cbcast("queue_remove", request.req_id, size=128)
+        if tel is not None:
+            tel.counter("sched_allocs_total", "successful allocations").inc()
         self.emit("sched.alloc", app=request.app, req_id=request.req_id, bids=len(bids),
                   **trace_fields(bid_span))
         self.send(request.reply_to, AllocationReply(request.req_id, tuple(bids)), size=1024)
@@ -289,10 +309,17 @@ class SchedulerDaemon(IsisMember):
 
     def on_group_request(self, requester: Address, body: Any, reply: Callable[[Any], None]) -> None:
         if isinstance(body, tuple) and body and body[0] == "disclose":
+            tel = self._tel()
             if self.can_bid():
                 self.bids_made += 1
+                if tel is not None:
+                    tel.counter("sched_bids_total", "bids offered").inc()
                 reply(self.make_bid())
             else:
+                if tel is not None:
+                    tel.counter(
+                        "sched_declines_total", "disclosures declined (too loaded)"
+                    ).inc()
                 self.emit("sched.decline", load=self.current_load())
             return
 
@@ -316,6 +343,12 @@ class SchedulerDaemon(IsisMember):
         if item is None or item.request.req_id in self._collecting:
             return
         item.attempts += 1
+        tel = self._tel()
+        if tel is not None:
+            tel.counter("sched_retries_total", "queued-request retries").inc()
+            tel.histogram(
+                "sched_queue_wait_seconds", "wait before a queued retry"
+            ).observe(self.now - item.enqueued_at)
         self.emit(
             "sched.retry",
             req_id=item.request.req_id,

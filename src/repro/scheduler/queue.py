@@ -13,7 +13,7 @@ strict base-priority order, which is what benchmark E4 contrasts against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover

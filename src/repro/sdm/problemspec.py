@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.taskgraph import Arc, ArcKind, ExecutionHints, TaskGraph, TaskNode
+from repro.taskgraph import ArcKind, ExecutionHints, TaskGraph, TaskNode
 from repro.util.errors import TaskGraphError
 
 

@@ -1,0 +1,69 @@
+"""Live telemetry: online metrics, cluster sampling, health watchdog.
+
+Where :mod:`repro.metrics` answers questions *after* a run by re-scanning
+the event log, this package maintains the answers *during* the run — the
+sensor substrate the runtime manager's "pick the best machines from
+current load" decisions (and every load-aware policy built on them) need:
+
+- :class:`MetricsRegistry` — counters, gauges, exponential-bucket
+  histograms, and P² quantile sketches, fed directly from emission points
+  in the scheduler daemon, runtime manager, channels, vMPI interpreter,
+  and migration engine. No per-sample storage.
+- :class:`ClusterSampler` — a periodic netsim process snapshotting per-host
+  load, queue depth, in-flight instances, and network counters into
+  bounded ring-buffer time series.
+- :class:`HealthWatchdog` — rules over those series (stragglers, queue
+  saturation, bid starvation, repeated allocation errors) raising
+  edge-triggered ``health.*`` events.
+- Exporters — Prometheus text exposition and JSON snapshots — plus the
+  ``repro top`` renderer.
+"""
+
+from repro.telemetry.export import (
+    registry_from_snapshot,
+    snapshot,
+    to_prometheus,
+    write_json,
+    write_prometheus,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    exponential_bounds,
+)
+from repro.telemetry.sampler import ClusterSampler
+from repro.telemetry.series import RingSeries, SeriesStore
+from repro.telemetry.service import Telemetry
+from repro.telemetry.top import render_top
+from repro.telemetry.watchdog import (
+    HealthEvent,
+    HealthWatchdog,
+    WatchdogConfig,
+    straggler_severity,
+)
+
+__all__ = [
+    "ClusterSampler",
+    "Counter",
+    "Gauge",
+    "HealthEvent",
+    "HealthWatchdog",
+    "Histogram",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "RingSeries",
+    "SeriesStore",
+    "Telemetry",
+    "WatchdogConfig",
+    "exponential_bounds",
+    "registry_from_snapshot",
+    "render_top",
+    "snapshot",
+    "straggler_severity",
+    "to_prometheus",
+    "write_json",
+    "write_prometheus",
+]

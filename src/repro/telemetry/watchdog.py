@@ -1,0 +1,263 @@
+"""The health watchdog: rules over sampled telemetry.
+
+Evaluated once per sampler tick, each rule inspects live state (never the
+event log) and raises a :class:`HealthEvent` when its condition holds.
+Events are edge-triggered — one ``health.<rule>`` record when a condition
+becomes active, one ``health.cleared`` when it goes away — so a stuck
+cluster does not flood the log at every tick.
+
+Rules:
+
+- **straggler** — a dispatched instance has been in flight more than
+  ``straggler_factor`` x the (histogram-estimated) median duration of
+  completed instances of the same task.
+- **queue_saturation** — a daemon's pending-request queue has held
+  ``queue_depth_threshold`` or more entries for ``queue_depth_ticks``
+  consecutive samples.
+- **bid_starvation** — a queued request has been waiting longer than
+  ``starvation_wait`` seconds without winning an allocation.
+- **alloc_errors** — ``sched_alloc_errors_total`` grew by at least
+  ``alloc_error_threshold`` over the last ``alloc_error_window`` samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.manager import RuntimeManager
+    from repro.scheduler.daemon import SchedulerDaemon
+    from repro.telemetry.registry import Histogram, MetricsRegistry
+    from repro.telemetry.series import SeriesStore
+
+INFO = "info"
+WARNING = "warning"
+CRITICAL = "critical"
+
+#: signature of the event sink: (category, severity, detail-fields)
+EmitFn = Callable[..., None]
+
+
+@dataclass
+class WatchdogConfig:
+    """Rule thresholds (see module docstring)."""
+
+    straggler_factor: float = 3.0
+    straggler_min_completed: int = 3
+    straggler_min_elapsed: float = 1.0
+    queue_depth_threshold: int = 4
+    queue_depth_ticks: int = 3
+    starvation_wait: float = 30.0
+    alloc_error_window: int = 10
+    alloc_error_threshold: int = 5
+
+
+@dataclass(frozen=True, slots=True)
+class HealthEvent:
+    """One raised (or cleared) condition."""
+
+    time: float
+    rule: str
+    key: str
+    severity: str
+    detail: dict = field(default_factory=dict)
+
+
+def straggler_severity(
+    elapsed: float, completed: "Histogram", config: WatchdogConfig
+) -> str | None:
+    """The straggler verdict for one in-flight instance, given the
+    completed-duration histogram of its task. Pure — property-tested
+    directly: on a uniform workload (all durations within the histogram's
+    bucket growth factor of each other) it never fires, because an
+    in-flight instance cannot outlive ``factor x`` the estimated median
+    while its siblings finish on time."""
+    if completed.count < config.straggler_min_completed:
+        return None
+    if elapsed < config.straggler_min_elapsed:
+        return None
+    median = completed.quantile(0.5)
+    if median <= 0:
+        return None
+    if elapsed > 2 * config.straggler_factor * median:
+        return CRITICAL
+    if elapsed > config.straggler_factor * median:
+        return WARNING
+    return None
+
+
+class HealthWatchdog:
+    """See module docstring.
+
+    Args:
+        registry: live metrics registry (histograms feed the straggler
+            baseline; ``health_events_total`` is incremented per event).
+        runtime: runtime manager, or None to skip the straggler rule.
+        daemons: host -> scheduler daemon (queue rules), may be empty.
+        emit: event sink called as ``emit(category, severity=..., **detail)``
+            — the VCE wires this to ``sim.emit(category, "watchdog", ...)``.
+        config: rule thresholds.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        runtime: "RuntimeManager | None",
+        daemons: dict[str, "SchedulerDaemon"],
+        emit: EmitFn | None = None,
+        config: WatchdogConfig | None = None,
+    ) -> None:
+        self.registry = registry
+        self.runtime = runtime
+        self.daemons = daemons
+        self.config = config or WatchdogConfig()
+        self._emit = emit or (lambda category, **data: None)
+        self._active: dict[tuple[str, str], HealthEvent] = {}
+        self.events: list[HealthEvent] = []
+        self.max_events = 200
+        self._m_events = registry.counter(
+            "health_events_total", "watchdog conditions raised", labels=("rule", "severity")
+        )
+        self._m_durations = registry.histogram(
+            "task_duration_seconds", "dispatch to exit", labels=("task",)
+        )
+        # the daemon set is fixed for the life of the VCE; sort it once
+        self._daemon_order = sorted(self.daemons.items())
+        self._depth_series: dict[str, Any] = {}
+        self._depth_store: Any = None
+
+    # ------------------------------------------------------------- evaluation
+
+    def evaluate(self, now: float, store: "SeriesStore") -> list[HealthEvent]:
+        """Run every rule; returns the events newly raised this tick."""
+        seen: set[tuple[str, str]] = set()
+        raised: list[HealthEvent] = []
+
+        for rule, key, severity, detail in self._conditions(now, store):
+            seen.add((rule, key))
+            if (rule, key) in self._active:
+                continue
+            event = HealthEvent(now, rule, key, severity, detail)
+            self._active[(rule, key)] = event
+            raised.append(event)
+            self._record(event)
+            self._emit(f"health.{rule}", severity=severity, key=key, **detail)
+
+        for rule, key in [k for k in self._active if k not in seen]:
+            self._active.pop((rule, key))
+            cleared = HealthEvent(now, "cleared", key, INFO, {"rule": rule})
+            self._record(cleared)
+            self._emit("health.cleared", severity=INFO, key=key, rule=rule)
+        return raised
+
+    def _record(self, event: HealthEvent) -> None:
+        self.events.append(event)
+        if len(self.events) > self.max_events:
+            del self.events[: len(self.events) - self.max_events]
+        self._m_events.labels(event.rule, event.severity).inc()
+
+    def active(self) -> list[HealthEvent]:
+        """Currently-raised conditions, oldest first."""
+        return sorted(self._active.values(), key=lambda e: e.time)
+
+    # ----------------------------------------------------------------- rules
+
+    def _conditions(self, now: float, store: "SeriesStore"):
+        yield from self._check_stragglers(now)
+        yield from self._check_queue_saturation(store)
+        yield from self._check_bid_starvation(now)
+        yield from self._check_alloc_errors(store)
+
+    def _check_stragglers(self, now: float):
+        if self.runtime is None or not self.runtime.apps:
+            return
+        durations = self._m_durations
+        for app in self.runtime.apps.values():
+            if app.status.terminal:
+                continue
+            for record in app.records.values():
+                inst = record.instance
+                if inst is None or inst.state.terminal or record.dispatched_at is None:
+                    continue
+                elapsed = now - record.dispatched_at
+                completed = durations.labels(record.task)
+                severity = straggler_severity(elapsed, completed, self.config)
+                if severity is not None:
+                    key = f"{app.id}.{record.task}[{record.rank}]"
+                    yield (
+                        "straggler",
+                        key,
+                        severity,
+                        {
+                            "app": app.id,
+                            "task": record.task,
+                            "rank": record.rank,
+                            "host": record.host_name,
+                            "elapsed": elapsed,
+                            "median": completed.quantile(0.5),
+                        },
+                    )
+
+    def _check_queue_saturation(self, store: "SeriesStore"):
+        cfg = self.config
+        if store is not self._depth_store:
+            self._depth_store = store
+            self._depth_series.clear()
+        for host_name, _daemon in self._daemon_order:
+            series = self._depth_series.get(host_name)
+            if series is None:
+                series = store.series("daemon_queue_depth", host_name)
+                self._depth_series[host_name] = series
+            # fast path: the latest sample is almost always below threshold
+            latest = series.latest()
+            if latest is None or latest < cfg.queue_depth_threshold:
+                continue
+            depths = series.tail(cfg.queue_depth_ticks)
+            if len(depths) < cfg.queue_depth_ticks:
+                continue
+            if all(d >= cfg.queue_depth_threshold for d in depths):
+                severity = (
+                    CRITICAL
+                    if depths[-1] >= 2 * cfg.queue_depth_threshold
+                    else WARNING
+                )
+                yield (
+                    "queue_saturation",
+                    host_name,
+                    severity,
+                    {"host": host_name, "depth": depths[-1]},
+                )
+
+    def _check_bid_starvation(self, now: float):
+        cfg = self.config
+        for host_name, daemon in self._daemon_order:
+            if not daemon.pending_queue._items or not daemon.is_coordinator:
+                continue
+            for item in daemon.pending_queue._items:
+                waited = now - item.enqueued_at
+                if waited > cfg.starvation_wait:
+                    yield (
+                        "bid_starvation",
+                        item.request.req_id,
+                        WARNING,
+                        {
+                            "req_id": item.request.req_id,
+                            "app": item.request.app,
+                            "leader": host_name,
+                            "waited": waited,
+                            "attempts": item.attempts,
+                        },
+                    )
+
+    def _check_alloc_errors(self, store: "SeriesStore"):
+        cfg = self.config
+        series = store.series("sched_alloc_errors_total", "")
+        delta = series.delta(cfg.alloc_error_window)
+        if delta >= cfg.alloc_error_threshold:
+            yield (
+                "alloc_errors",
+                "cluster",
+                CRITICAL,
+                {"errors_in_window": delta, "window_ticks": cfg.alloc_error_window},
+            )

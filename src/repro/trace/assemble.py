@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.util.eventlog import EventLog, LogRecord
+from repro.util.eventlog import EventLog
 
 
 @dataclass

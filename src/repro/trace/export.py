@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable
 
-from repro.trace.assemble import Span, Trace
+from repro.trace.assemble import Trace
 
 _US = 1e6  # seconds -> microseconds
 

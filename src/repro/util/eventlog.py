@@ -5,10 +5,27 @@ a dispatch, a migration, a crash — is appended here as a :class:`LogRecord`.
 The metrics layer (``repro.metrics``) derives utilization, makespan, message
 counts, and wait-time statistics purely from this log, which keeps the
 instrumented components free of metrics logic.
+
+Two properties matter at scale:
+
+- **Query cost.** ``records(category=...)``, ``count``, ``first``, and
+  ``last`` are served from a per-category index maintained on ``emit``, so
+  re-deriving metrics on a long run no longer rescans the whole log per
+  query. Prefix queries (``"sched."``) merge the per-category position
+  lists of the matching categories.
+- **Bounded memory.** ``set_bounded(n)`` switches the log to a ring buffer
+  of the last *n* records while per-category counters and first/last
+  records stay exact for the whole run — throughput benchmarks keep their
+  memory flat without blinding the metrics and telemetry layers. The old
+  ``disable()`` (drop everything) is deprecated and now means
+  ``set_bounded(0)``.
 """
 
 from __future__ import annotations
 
+import heapq
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -34,33 +51,127 @@ class LogRecord:
 
 
 class EventLog:
-    """An append-only list of :class:`LogRecord` with query helpers."""
+    """An append-only list of :class:`LogRecord` with query helpers.
 
-    def __init__(self) -> None:
+    Args:
+        capacity: None (default) stores every record; an integer keeps only
+            the last *capacity* records (see :meth:`set_bounded`).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
         self._records: list[LogRecord] = []
-        self._enabled = True
+        self._ring: deque[LogRecord] | None = None
+        # always-exact per-category state, maintained in every mode:
+        self._counts: dict[str, int] = {}
+        self._first: dict[str, LogRecord] = {}
+        self._last: dict[str, LogRecord] = {}
+        # full-mode index: category -> positions in self._records
+        self._index: dict[str, list[int]] = {}
+        if capacity is not None:
+            self.set_bounded(capacity)
 
     # -- writing -----------------------------------------------------------
 
     def emit(self, time: float, category: str, source: str, **data: Any) -> None:
-        """Append a record (no-op when the log is disabled)."""
-        if self._enabled:
-            self._records.append(LogRecord(time, category, source, data))
+        """Append a record (kept whole, ring-buffered, or counted-only
+        depending on the mode — see module docstring)."""
+        record = LogRecord(time, category, source, data)
+        self._counts[category] = self._counts.get(category, 0) + 1
+        if category not in self._first:
+            self._first[category] = record
+        self._last[category] = record
+        if self._ring is not None:
+            if self._ring.maxlen != 0:
+                self._ring.append(record)
+            return
+        self._index.setdefault(category, []).append(len(self._records))
+        self._records.append(record)
+
+    def set_bounded(self, capacity: int) -> None:
+        """Keep only the last *capacity* records from now on.
+
+        Per-category counts and first/last records remain exact for the
+        whole run regardless of capacity (``capacity=0`` keeps counters
+        only). Already-stored records seed the ring.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        existing: Iterable[LogRecord] = (
+            self._ring if self._ring is not None else self._records
+        )
+        self._ring = deque(existing, maxlen=capacity)
+        self._records = []
+        self._index = {}
+
+    def set_unbounded(self) -> None:
+        """Return to storing every record (ring contents are kept and the
+        index is rebuilt over them)."""
+        if self._ring is None:
+            return
+        kept = list(self._ring)
+        self._ring = None
+        self._records = []
+        self._index = {}
+        for record in kept:
+            self._index.setdefault(record.category, []).append(len(self._records))
+            self._records.append(record)
+
+    @property
+    def bounded(self) -> bool:
+        return self._ring is not None
+
+    @property
+    def capacity(self) -> int | None:
+        return self._ring.maxlen if self._ring is not None else None
 
     def disable(self) -> None:
-        """Stop recording (used by throughput-focused benchmarks)."""
-        self._enabled = False
+        """Deprecated: equivalent to ``set_bounded(0)``. Counters and
+        first/last stay exact, so metrics are no longer blinded."""
+        warnings.warn(
+            "EventLog.disable() is deprecated; use set_bounded(n) for a ring "
+            "buffer of the last n records (0 keeps per-category counters only)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.set_bounded(0)
 
     def enable(self) -> None:
-        self._enabled = True
+        """Deprecated counterpart of :meth:`disable`; use
+        :meth:`set_unbounded`."""
+        self.set_unbounded()
 
     # -- reading -----------------------------------------------------------
 
+    def _stored(self) -> Iterable[LogRecord]:
+        return self._ring if self._ring is not None else self._records
+
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._ring) if self._ring is not None else len(self._records)
 
     def __iter__(self) -> Iterator[LogRecord]:
-        return iter(self._records)
+        return iter(self._stored())
+
+    def _category_records(self, category: str) -> Iterable[LogRecord]:
+        """Stored records matching *category* exactly, or as a prefix when
+        it ends with ``"."`` — via the index in full mode."""
+        if self._ring is not None:
+            if category.endswith("."):
+                return (r for r in self._ring if r.category.startswith(category))
+            return (r for r in self._ring if r.category == category)
+        if category.endswith("."):
+            lists = [
+                positions
+                for cat, positions in self._index.items()
+                if cat.startswith(category)
+            ]
+            if not lists:
+                return ()
+            if len(lists) == 1:
+                positions: Iterable[int] = lists[0]
+            else:
+                positions = heapq.merge(*lists)
+            return (self._records[i] for i in positions)
+        return (self._records[i] for i in self._index.get(category, ()))
 
     def records(
         self,
@@ -73,14 +184,14 @@ class EventLog:
         """Filtered view of the log.
 
         ``category`` matches exactly, or as a prefix when it ends with
-        ``"."`` (so ``"sched."`` selects every scheduler event).
+        ``"."`` (so ``"sched."`` selects every scheduler event). In bounded
+        mode only the retained ring is visible.
         """
-        out: Iterable[LogRecord] = self._records
+        out: Iterable[LogRecord]
         if category is not None:
-            if category.endswith("."):
-                out = (r for r in out if r.category.startswith(category))
-            else:
-                out = (r for r in out if r.category == category)
+            out = self._category_records(category)
+        else:
+            out = self._stored()
         if source is not None:
             out = (r for r in out if r.source == source)
         if since is not None:
@@ -92,15 +203,42 @@ class EventLog:
         return list(out)
 
     def count(self, category: str) -> int:
-        return len(self.records(category=category))
+        """Exact number of records ever emitted for *category* (or prefix),
+        including any evicted from a bounded ring."""
+        if category.endswith("."):
+            return sum(
+                n for cat, n in self._counts.items() if cat.startswith(category)
+            )
+        return self._counts.get(category, 0)
 
     def first(self, category: str) -> LogRecord | None:
-        matches = self.records(category=category)
-        return matches[0] if matches else None
+        """First record ever emitted for *category* (exact in every mode).
+        Prefix queries pick the earliest first-record among matches."""
+        if category.endswith("."):
+            matches = [
+                r for cat, r in self._first.items() if cat.startswith(category)
+            ]
+            return min(matches, key=lambda r: r.time, default=None)
+        return self._first.get(category)
 
     def last(self, category: str) -> LogRecord | None:
-        matches = self.records(category=category)
-        return matches[-1] if matches else None
+        """Last record ever emitted for *category* (exact in every mode)."""
+        if category.endswith("."):
+            matches = [
+                r for cat, r in self._last.items() if cat.startswith(category)
+            ]
+            return max(matches, key=lambda r: r.time, default=None)
+        return self._last.get(category)
+
+    def category_counts(self) -> dict[str, int]:
+        """Exact per-category emission counts for the whole run."""
+        return dict(self._counts)
 
     def clear(self) -> None:
         self._records.clear()
+        self._index.clear()
+        self._counts.clear()
+        self._first.clear()
+        self._last.clear()
+        if self._ring is not None:
+            self._ring.clear()

@@ -16,7 +16,6 @@ from repro.util.errors import CommunicationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.channels.channel import Channel
-    from repro.netsim.host import Address
     from repro.trace.context import TraceContext
 
 

@@ -3,7 +3,6 @@ and benchmarks."""
 
 from __future__ import annotations
 
-from collections import defaultdict
 
 from repro.machines import ConstantLoad, Machine, MachineClass, MachineDatabase
 from repro.netsim import Network, Simulator

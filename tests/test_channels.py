@@ -4,7 +4,6 @@ import pytest
 
 from repro.channels import (
     AuthenticationInterposer,
-    Channel,
     ChannelDelivery,
     ChannelManager,
     DataConversionInterposer,

@@ -100,6 +100,55 @@ class TestDemo:
         assert "result worker: 3.1" in out.getvalue()  # a pi estimate
 
 
+class TestTop:
+    def test_snapshot_prints_gauges_and_quantiles(self, weather_file):
+        out = io.StringIO()
+        code = main(["top", weather_file, "--snapshot"], out=out)
+        text = out.getvalue()
+        assert code == 0, text
+        # per-host gauge rows
+        assert "host" in text and "load" in text and "inflight" in text
+        assert "ws0" in text and "simd0" in text
+        # at least one histogram quantile
+        assert "p50 (s)" in text and "predictor" in text
+        assert "state: done" in text
+
+    def test_snapshot_exports_round_trip(self, weather_file, tmp_path):
+        import json
+
+        from repro.telemetry import registry_from_snapshot, to_prometheus
+
+        json_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        out = io.StringIO()
+        code = main(
+            ["top", weather_file, "--snapshot",
+             "--json", str(json_path), "--prom", str(prom_path)],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        exported = prom_path.read_text()
+        assert '# TYPE vce_host_load gauge' in exported
+        assert 'vce_task_duration_seconds_bucket' in exported
+        # the JSON snapshot rebuilds to the exact same exposition text
+        rebuilt = registry_from_snapshot(json.loads(json_path.read_text()))
+        assert to_prometheus(rebuilt) == exported
+
+    def test_interactive_frames(self, weather_file):
+        out = io.StringIO()
+        code = main(["top", weather_file, "--refresh", "10", "--frames", "2"], out=out)
+        text = out.getvalue()
+        assert code in (0, 1)
+        assert "[frame 1]" in text and "[frame 2]" in text
+        assert "[frame 3]" not in text
+
+    def test_interactive_runs_to_done_by_default(self, weather_file):
+        out = io.StringIO()
+        code = main(["top", weather_file, "--refresh", "50"], out=out)
+        assert code == 0, out.getvalue()
+        assert "state: done" in out.getvalue()
+
+
 class TestGantt:
     def test_gantt_printed(self, weather_file):
         out = io.StringIO()

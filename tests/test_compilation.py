@@ -11,7 +11,7 @@ from repro.compilation import (
     candidate_classes,
     default_registry,
 )
-from repro.machines import Machine, MachineClass, MachineDatabase, StochasticLoad, ConstantLoad
+from repro.machines import Machine, MachineClass, MachineDatabase, ConstantLoad
 from repro.sdm import ProblemSpecification
 from repro.taskgraph import ProblemClass
 from repro.util.errors import CompilationError

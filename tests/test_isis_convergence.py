@@ -13,7 +13,6 @@ import random
 import pytest
 
 from repro.faults import views_converged
-from repro.isis import IsisConfig
 from repro.netsim import Network, Simulator
 
 from tests.test_isis_group import Recorder

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isis import ALL, MAJORITY, IsisConfig, IsisMember
+from repro.isis import ALL, MAJORITY, IsisMember
 from repro.netsim import Address, Network, Simulator
 from repro.util.errors import MembershipError
 

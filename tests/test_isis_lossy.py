@@ -6,7 +6,6 @@ toolkit to fair-lossy links. These tests run the group over a network that
 drops 15–30% of cross-host messages.
 """
 
-import pytest
 
 from repro.isis import IsisConfig
 

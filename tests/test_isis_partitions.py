@@ -5,7 +5,6 @@ the `require_majority` extension adds the standard quorum rule. These
 tests document both modes.
 """
 
-import pytest
 
 from repro.isis import IsisConfig
 from repro.netsim import Address, Network, Simulator

@@ -1,6 +1,5 @@
 """Isis state transfer: joiners adopt the coordinator's snapshot."""
 
-import pytest
 
 from repro.netsim import Address, Network, Simulator
 

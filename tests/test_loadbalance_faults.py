@@ -1,6 +1,5 @@
 """Tests for load-balancing policies, the balancer, and fault injection."""
 
-import pytest
 
 from repro.faults import FaultInjector, leadership_transfer_times, views_converged
 from repro.loadbalance import (

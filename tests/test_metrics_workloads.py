@@ -6,7 +6,6 @@ from repro.metrics import MetricsCollector, format_series, format_table
 from repro.metrics.collector import _merge
 from repro.core import VirtualComputingEnvironment, workstation_cluster
 from repro.scheduler.execution_program import RunState
-from repro.taskgraph import ArcKind
 from repro.util.eventlog import EventLog
 from repro.workloads import (
     build_diamond_graph,

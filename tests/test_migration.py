@@ -77,7 +77,7 @@ class TestDumpMigration:
         assert app.record("t", 0).placements == ["ws0", "ws1"]
 
     def test_requires_homogeneity(self):
-        from repro.machines import Machine, MachineClass
+        from repro.machines import MachineClass
 
         cluster, context = setup(2)
         # give ws1 an alien object-code format

@@ -1,7 +1,6 @@
 """Tests for multi-site (WAN) support: routes, clusters, site-packed
 placement."""
 
-import pytest
 
 from repro.core import VCEConfig, VirtualComputingEnvironment, multi_site_cluster
 from repro.machines import MachineClass

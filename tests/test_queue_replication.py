@@ -1,6 +1,5 @@
 """Queued requests survive group-leader crashes (replicated AgingQueue)."""
 
-import pytest
 
 from repro.machines import MachineClass
 from repro.scheduler import DaemonConfig

@@ -1,6 +1,5 @@
 """Integration tests: redundant execution as a fault-tolerance handler."""
 
-import pytest
 
 from repro.migration import MigrationContext, RedundantExecutionManager
 from repro.runtime import AppStatus, InstanceState

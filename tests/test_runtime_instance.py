@@ -5,7 +5,7 @@ import pytest
 from repro.machines import ConstantLoad
 from repro.runtime import AppStatus, InstanceState, Placement
 from repro.sdm import ProblemSpecification
-from repro.taskgraph import ArcKind, ProblemClass
+from repro.taskgraph import ProblemClass
 from repro.util.errors import ConfigurationError
 from repro.vmpi import (
     Checkpoint,

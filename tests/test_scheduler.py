@@ -1,8 +1,7 @@
 """Tests for the bidding scheduler: daemons, leaders, policies, queueing."""
 
-import pytest
 
-from repro.machines import ConstantLoad, Machine, MachineClass
+from repro.machines import ConstantLoad, MachineClass
 from repro.runtime import AppStatus
 from repro.scheduler import (
     AgingQueue,

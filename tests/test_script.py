@@ -9,7 +9,7 @@ from repro.script import (
     parse_script,
     tokenize,
 )
-from repro.script.ast import ChannelStmt, Condition, Directive, PrioritySpec, SetVar
+from repro.script.ast import ChannelStmt, Condition, PrioritySpec, SetVar
 from repro.script.interp import task_name_from_path
 from repro.script.lexer import TokenKind
 from repro.taskgraph import ProblemClass

@@ -102,18 +102,90 @@ class TestEventLog:
 
     def test_disable_enable(self):
         log = EventLog()
-        log.disable()
+        with pytest.deprecated_call():
+            log.disable()
         log.emit(0.0, "x", "s")
         assert len(log) == 0
         log.enable()
         log.emit(0.0, "x", "s")
         assert len(log) == 1
 
+    def test_disabled_log_keeps_exact_counts(self):
+        log = EventLog()
+        log.emit(0.0, "x", "s", i=0)
+        with pytest.deprecated_call():
+            log.disable()
+        log.emit(1.0, "x", "s", i=1)
+        log.emit(2.0, "y", "s")
+        assert len(log) == 0  # no records retained...
+        assert log.count("x") == 2  # ...but counters stay exact
+        assert log.first("x").get("i") == 0
+        assert log.last("x").get("i") == 1
+        assert log.category_counts() == {"x": 2, "y": 1}
+
     def test_clear(self):
         log = EventLog()
         log.emit(0.0, "x", "s")
         log.clear()
         assert len(log) == 0
+        assert log.count("x") == 0
+        assert log.first("x") is None
+
+    def test_bounded_ring_keeps_last_n(self):
+        log = EventLog()
+        for i in range(3):
+            log.emit(float(i), "x", "s", i=i)
+        log.set_bounded(4)  # existing records seed the ring
+        for i in range(3, 8):
+            log.emit(float(i), "x", "s", i=i)
+        assert log.bounded and log.capacity == 4
+        assert [r.get("i") for r in log] == [4, 5, 6, 7]
+        assert log.count("x") == 8  # exact despite eviction
+        assert log.first("x").get("i") == 0
+        assert log.last("x").get("i") == 7
+
+    def test_bounded_category_query_sees_ring_only(self):
+        log = EventLog(capacity=2)
+        log.emit(0.0, "a.x", "s")
+        log.emit(1.0, "a.y", "s")
+        log.emit(2.0, "b.z", "s")
+        assert [r.category for r in log.records(category="a.")] == ["a.y"]
+        assert log.count("a.") == 2  # counters still see everything
+
+    def test_set_unbounded_rebuilds_index(self):
+        log = EventLog(capacity=10)
+        log.emit(0.0, "a", "s")
+        log.emit(1.0, "b", "s")
+        log.set_unbounded()
+        log.emit(2.0, "a", "s")
+        assert not log.bounded and log.capacity is None
+        assert [r.time for r in log.records(category="a")] == [0.0, 2.0]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().set_bounded(-1)
+
+    def test_prefix_index_interleaved_order(self):
+        # prefix queries merge per-category position lists back into
+        # emission order
+        log = EventLog()
+        for i, cat in enumerate(["s.a", "s.b", "t.c", "s.a", "s.b"]):
+            log.emit(float(i), cat, "src", i=i)
+        got = [r.get("i") for r in log.records(category="s.")]
+        assert got == [0, 1, 3, 4]
+        assert log.count("s.") == 4
+        assert log.first("s.").get("i") == 0
+        assert log.last("s.").get("i") == 4
+
+    def test_index_matches_full_scan(self):
+        log = EventLog()
+        for i in range(200):
+            log.emit(float(i), f"cat{i % 7}", "s", i=i)
+        for cat in ("cat0", "cat3"):
+            indexed = log.records(category=cat)
+            scanned = [r for r in log if r.category == cat]
+            assert indexed == scanned
+            assert log.count(cat) == len(scanned)
 
 
 class TestErrors:
