@@ -16,6 +16,14 @@ Usage (also via ``python -m repro``):
     repro demo {weather,montecarlo,stencil,pipeline}
         Run a built-in workload end to end and print the results.
 
+    repro chaos SCRIPT.vce [run options] [--schedule NAME] [--fault-seed N]
+        Run a script under a named fault schedule with the fault-tolerant
+        execution layer on (reliable transport + lease-based failover):
+        daemons crash and reboot, messages drop, partitions open and heal.
+        Prints the run outcome plus injected-fault and recovery-action
+        counts from the telemetry registry. Schedules: see
+        repro.faults.SCHEDULES (default chaos-mix).
+
     repro trace SCRIPT.vce [run options] [--export PATH]
         Run a script exactly like ``repro run``, then reconstruct the
         causal trace: per-application critical path with time attributed
@@ -140,7 +148,9 @@ def cmd_describe(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _boot_vce(args: argparse.Namespace) -> VirtualComputingEnvironment:
+def _boot_vce(
+    args: argparse.Namespace, **config_overrides
+) -> VirtualComputingEnvironment:
     """Build and boot the simulated cluster a run-style subcommand asked for."""
     wan = None
     if args.cluster_file:
@@ -151,7 +161,12 @@ def _boot_vce(args: argparse.Namespace) -> VirtualComputingEnvironment:
         machines = _parse_cluster(args.cluster)
     return VirtualComputingEnvironment(
         machines,
-        VCEConfig(seed=args.seed, anticipatory=args.anticipatory, wan_latency=wan),
+        VCEConfig(
+            seed=args.seed,
+            anticipatory=args.anticipatory,
+            wan_latency=wan,
+            **config_overrides,
+        ),
     ).boot()
 
 
@@ -272,6 +287,59 @@ def cmd_top(args: argparse.Namespace, out) -> int:
     return 0 if run.state is RunState.DONE else 1
 
 
+def _counter_by_label(registry, name: str) -> dict[str, float]:
+    """label-value -> count for a labelled counter family ("" when bare)."""
+    family = registry.get(name)
+    if family is None:
+        return {}
+    return {
+        ("/".join(values) if values else ""): child.value
+        for values, child in family.samples()
+    }
+
+
+def cmd_chaos(args: argparse.Namespace, out) -> int:
+    from repro.migration.failover import FailoverConfig
+
+    vce = _boot_vce(args, reliable_transport=True, failover=FailoverConfig())
+    fault_seed = args.seed if args.fault_seed is None else args.fault_seed
+    controller = vce.chaos(args.schedule, seed=fault_seed)
+    run = _launch_script(vce, args)
+    vce.run_to_completion(run, timeout=args.timeout)
+    # drain any trailing fault windows so close events land in the log
+    _print_run(run, vce, out)
+
+    assert vce.telemetry is not None  # VCEConfig.telemetry defaults on
+    registry = vce.telemetry.registry
+    injected = _counter_by_label(registry, "faults_injected_total")
+    recovery = _counter_by_label(registry, "recovery_actions_total")
+    print(
+        f"\nschedule: {args.schedule} (fault seed {fault_seed}, "
+        f"{len(controller.schedule or [])} actions)",
+        file=out,
+    )
+    injected_s = (
+        "  ".join(f"{k}={int(v)}" for k, v in sorted(injected.items())) or "(none)"
+    )
+    recovery_s = (
+        "  ".join(f"{k}={int(v)}" for k, v in sorted(recovery.items())) or "(none)"
+    )
+    print(f"injected faults: {injected_s}", file=out)
+    print(f"recovery actions: {recovery_s}", file=out)
+    net = vce.network
+    print(
+        f"transport: {net.retransmissions} retransmits, "
+        f"{net.duplicates_dropped} duplicates absorbed, "
+        f"{net.messages_lost} abandoned",
+        file=out,
+    )
+    if vce.failover is not None:
+        stranded = vce.failover.stranded()
+        if stranded:
+            print(f"still stranded: {stranded}", file=out)
+    return 0 if run.state is RunState.DONE else 1
+
+
 def cmd_demo(args: argparse.Namespace, out) -> int:
     vce = VirtualComputingEnvironment(
         heterogeneous_cluster(), VCEConfig(seed=args.seed)
@@ -378,6 +446,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--prom", metavar="PATH", help="write Prometheus text exposition"
     )
     top.set_defaults(fn=cmd_top)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a script under a named fault schedule"
+    )
+    _add_run_options(chaos)
+    from repro.faults.schedule import SCHEDULES
+
+    chaos.add_argument(
+        "--schedule",
+        choices=sorted(SCHEDULES),
+        default="chaos-mix",
+        help="named fault schedule to inject (default: chaos-mix)",
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for schedule randomization (default: --seed)",
+    )
+    chaos.set_defaults(fn=cmd_chaos)
 
     demo = sub.add_parser("demo", help="run a built-in workload")
     demo.add_argument(

@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isis.member import IsisConfig
-from repro.netsim.network import LatencyModel
+from repro.migration.failover import FailoverConfig
+from repro.netsim.network import LatencyModel, TransportConfig
 from repro.scheduler.daemon import DaemonConfig
 
 
@@ -36,6 +37,17 @@ class VCEConfig:
         telemetry_interval: simulated seconds between cluster samples.
         telemetry_series_capacity: ring-buffer length of each sampled
             time series.
+        reliable_transport: run every remote message over the sequenced
+            retransmitting transport (see repro.netsim.Network
+            ``set_reliable``); required for workloads that must survive
+            message drops. Off by default — the historical datagram
+            semantics stay byte-identical.
+        transport: retransmission timing when ``reliable_transport`` is on.
+        failover: when set, install the lease-based
+            :class:`~repro.migration.failover.FailoverManager` at boot and
+            wire daemon peer-takeover notifications into it (see
+            ``enable_failover``). None = crashes fail applications, as
+            before.
     """
 
     seed: int = 0
@@ -51,3 +63,6 @@ class VCEConfig:
     telemetry: bool = True
     telemetry_interval: float = 4.0
     telemetry_series_capacity: int = 600
+    reliable_transport: bool = False
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    failover: FailoverConfig | None = None

@@ -8,6 +8,7 @@ from repro.compilation.anticipatory import AnticipatoryEngine
 from repro.compilation.manager import CompilationManager
 from repro.core.config import VCEConfig
 from repro.faults.injector import FaultInjector
+from repro.faults.schedule import ChaosController, FaultSchedule, build_schedule
 from repro.loadbalance.balancer import LoadBalancer
 from repro.loadbalance.policies import BalancingPolicy
 from repro.machines.archclass import MachineClass
@@ -15,6 +16,7 @@ from repro.machines.database import MachineDatabase
 from repro.machines.machine import Machine
 from repro.metrics.collector import MetricsCollector
 from repro.migration.base import MigrationContext
+from repro.migration.failover import FailoverConfig, FailoverManager
 from repro.migration.selector import MigrationSelector
 from repro.netsim.host import Host
 from repro.netsim.kernel import Simulator
@@ -73,10 +75,16 @@ class VirtualComputingEnvironment:
             MigrationContext(self.runtime, self.network, self.compilation)
         )
         self.faults = FaultInjector(self.sim, self.network)
+        self.chaos_controller = ChaosController(
+            self.sim, self.network, restart_daemon=self.restart_daemon
+        )
+        self.failover: FailoverManager | None = None
         self.daemons: dict[str, SchedulerDaemon] = {}
         self.balancer: LoadBalancer | None = None
         self._booted = False
         self._exec_count = 0
+        if self.config.reliable_transport:
+            self.network.set_reliable(self.config.transport)
 
         first_of_class: dict[MachineClass, Any] = {}
         for machine in machines:
@@ -117,6 +125,8 @@ class VirtualComputingEnvironment:
                 series_capacity=self.config.telemetry_series_capacity,
             )
             self.telemetry.install(self.user_host)
+        if self.config.failover is not None:
+            self.enable_failover(self.config.failover)
 
     def _wire_wan_routes(self) -> None:
         """Install the WAN latency model between hosts at different sites."""
@@ -302,6 +312,69 @@ class VirtualComputingEnvironment:
         return graph, class_map, ranges
 
     # --------------------------------------------------------------- services
+
+    def enable_failover(self, config: FailoverConfig | None = None) -> FailoverManager:
+        """Install the lease-based crash-recovery layer (idempotent):
+        instance failures strand-and-redispatch instead of failing the
+        application, and every scheduler daemon reports departed peers to
+        it for takeover of orphaned instances."""
+        if self.failover is None:
+            self.failover = FailoverManager(
+                self.migration.context, config or FailoverConfig()
+            ).install()
+            for daemon in self.daemons.values():
+                daemon.host_lost_observers.append(self.failover.host_lost)
+        return self.failover
+
+    def restart_daemon(self, host_name: str) -> SchedulerDaemon:
+        """Reboot the scheduler daemon on *host_name* (after a crash or a
+        chaos-controller restart action). The new daemon rejoins its class
+        group through any live peer, or re-forms the group alone."""
+        host = self.network.host(host_name)
+        machine = host.machine
+        if machine is None:
+            raise ConfigurationError(f"host {host_name!r} has no machine description")
+        if host.process("vced") is not None and host.process("vced").alive:
+            host.kill("vced")
+        host.reap("vced")
+        contacts = None
+        for name, daemon in self.daemons.items():
+            if name == host_name or daemon.machine.arch_class is not machine.arch_class:
+                continue
+            if self.network.host(name).up and daemon.alive:
+                contacts = [daemon.address]
+                break
+        daemon = SchedulerDaemon(
+            "vced", machine, self.directory, contacts,
+            self.config.daemon, self.config.isis,
+        )
+        host.spawn(daemon)
+        # in place: the telemetry sampler/watchdog hold this same dict
+        self.daemons[host_name] = daemon
+        if self.failover is not None:
+            daemon.host_lost_observers.append(self.failover.host_lost)
+        self.sim.emit("sched.daemon_restart", host_name)
+        return daemon
+
+    def chaos(
+        self,
+        schedule: FaultSchedule | str,
+        seed: int | None = None,
+        start: float = 0.0,
+    ) -> ChaosController:
+        """Arm a fault schedule against this VCE. A string names a recipe
+        from :data:`repro.faults.SCHEDULES`, instantiated over the daemon
+        machines with *seed* (default: the VCE seed); action times count
+        from now, shifted by *start*. Returns the chaos controller (see
+        its ``report()``)."""
+        if isinstance(schedule, str):
+            schedule = build_schedule(
+                schedule,
+                list(self.daemons),
+                seed=self.config.seed if seed is None else seed,
+                start=start,
+            )
+        return self.chaos_controller.apply(schedule)
 
     def enable_redundancy(self):
         """Honour per-task ``ExecutionHints.redundancy`` (§4.4 redundant

@@ -14,9 +14,21 @@ from repro.faults.invariants import (
     surviving_leader_is_oldest,
     views_converged,
 )
+from repro.faults.schedule import (
+    SCHEDULES,
+    ChaosController,
+    FaultAction,
+    FaultSchedule,
+    build_schedule,
+)
 
 __all__ = [
+    "SCHEDULES",
+    "ChaosController",
+    "FaultAction",
     "FaultInjector",
+    "FaultSchedule",
+    "build_schedule",
     "leadership_transfer_times",
     "surviving_leader_is_oldest",
     "views_converged",

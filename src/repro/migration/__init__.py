@@ -26,6 +26,7 @@ from repro.migration.base import MigrationContext, MigrationScheme
 from repro.migration.redundant import RedundantExecutionManager
 from repro.migration.checkpoint import CheckpointMigration
 from repro.migration.dump import DumpMigration
+from repro.migration.failover import FailoverConfig, FailoverManager
 from repro.migration.recompile import RecompileMigration
 from repro.migration.selector import MigrationSelector
 
@@ -35,6 +36,8 @@ __all__ = [
     "RedundantExecutionManager",
     "CheckpointMigration",
     "DumpMigration",
+    "FailoverConfig",
+    "FailoverManager",
     "RecompileMigration",
     "MigrationSelector",
 ]

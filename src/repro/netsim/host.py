@@ -95,6 +95,15 @@ class Host:
         if process is not None:
             process._stopped()
 
+    def reap(self, proc_name: str) -> None:
+        """Remove a *dead* process without lifecycle callbacks (it already
+        got ``on_crash``). Used when rebooting a daemon after a host crash:
+        the old corpse must be cleared before ``spawn`` accepts the name
+        again. No-op if the process is alive or absent."""
+        process = self._processes.get(proc_name)
+        if process is not None and not process.alive:
+            del self._processes[proc_name]
+
     def process(self, name: str) -> "SimProcess | None":
         return self._processes.get(name)
 

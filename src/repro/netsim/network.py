@@ -2,17 +2,37 @@
 
 The network charges each message a latency drawn from a
 :class:`LatencyModel` (fixed base + size/bandwidth + seeded jitter), honours
-partitions (no delivery across partition boundaries), and can drop messages
-probabilistically for fault experiments.
+partitions (no delivery across partition boundaries), and can drop,
+duplicate, reorder, and slow messages probabilistically for fault
+experiments — every fault decision comes from a named seeded RNG stream,
+so a run replays byte-identically under the same seed.
 
 Delivery between two processes on the *same* host bypasses the wire and costs
 :attr:`LatencyModel.local_latency` — the paper's LAN prototype similarly
 distinguishes local procedure calls from remote messages.
+
+Two transport modes:
+
+- **datagram** (default): the historical behaviour — a dropped or
+  partition-blocked message is gone, duplicates arrive twice, reordering
+  is visible to the receiver. Protocols above (Isis retransmission,
+  execution-program retries) carry the recovery burden.
+- **reliable** (``set_reliable()``): a TCP-like layer under the chaos
+  harness. Every cross-host message gets a per-``(src host, dst host)``
+  sequence number; a drop or partition block schedules a retransmission
+  after an exponentially backed-off RTO instead of losing the message;
+  the receiving side holds a reorder buffer that delivers strictly in
+  sequence order and absorbs duplicates. A message that stays
+  undeliverable for :attr:`TransportConfig.max_retries` attempts is
+  *abandoned* (``net.lost``) and its sequence slot released so later
+  traffic is not wedged behind the gap. Faults then surface as latency —
+  which is exactly what makes "all tasks complete exactly once, makespan
+  degrades gracefully" a testable property of the layers above.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.netsim.host import Address, Host
@@ -57,6 +77,36 @@ class LatencyModel:
         return self.base_latency + size / self.bandwidth + jitter_draw * self.jitter
 
 
+@dataclass
+class TransportConfig:
+    """Reliable-transport timing (see module docstring).
+
+    Attributes:
+        rto: first retransmission timeout after a lost attempt (s).
+        backoff: RTO multiplier per consecutive failed attempt.
+        max_rto: ceiling on the backed-off RTO.
+        max_retries: attempts before the message is abandoned for good.
+    """
+
+    rto: float = 0.05
+    backoff: float = 2.0
+    max_rto: float = 5.0
+    max_retries: int = 16
+
+    def retry_delay(self, attempt: int) -> float:
+        return min(self.max_rto, self.rto * self.backoff**attempt)
+
+
+@dataclass
+class _PairState:
+    """Receiver-side ordering state for one (src host, dst host) pair."""
+
+    next_seq: int = 0  # sender: next sequence number to assign
+    deliver_next: int = 0  # receiver: next sequence expected
+    buffer: dict = field(default_factory=dict)  # seq -> (message, size-less arrival)
+    abandoned: set = field(default_factory=set)  # seqs the sender gave up on
+
+
 class Network:
     """Connects hosts; schedules message deliveries on the simulator."""
 
@@ -84,16 +134,29 @@ class Network:
         self.hosts: dict[str, Host] = {}
         self._rng = sim.rng.stream("network.jitter")
         self._drop_rng = sim.rng.stream("network.drop")
+        self._dup_rng = sim.rng.stream("network.duplicate")
+        self._reorder_rng = sim.rng.stream("network.reorder")
         self._drop_rate = 0.0
+        self._duplicate_rate = 0.0
+        self._reorder_rate = 0.0
+        self._reorder_spread = 0.01  # max extra seconds a reordered copy lags
+        self._latency_factor = 1.0
         self._partitions: list[set[str]] | None = None
         self._fifo = fifo
         self._egress_serialization = egress_serialization
         self._egress_free: dict[str, float] = {}
         self._last_arrival: dict[tuple[str, str], float] = {}
         self._routes: dict[frozenset[str], LatencyModel] = {}
+        self.transport: TransportConfig | None = None
+        self._pairs: dict[tuple[str, str], _PairState] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
+        self.retransmissions = 0
+        self.duplicates_injected = 0
+        self.duplicates_dropped = 0
+        self.reorders_injected = 0
+        self.messages_lost = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -126,10 +189,61 @@ class Network:
     # -- fault knobs -----------------------------------------------------------
 
     def set_drop_rate(self, p: float) -> None:
-        """Drop each cross-host message independently with probability *p*."""
+        """Drop each cross-host message independently with probability *p*.
+        Under the reliable transport a "drop" costs a retransmission round
+        instead of losing the message."""
         if not 0.0 <= p <= 1.0:
             raise SimulationError(f"drop rate must be in [0,1], got {p}")
         self._drop_rate = p
+
+    def set_duplicate_rate(self, p: float) -> None:
+        """Deliver each cross-host message twice with probability *p* (the
+        reliable transport's receiver absorbs the copy; datagram mode hands
+        both to the process)."""
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"duplicate rate must be in [0,1], got {p}")
+        self._duplicate_rate = p
+
+    def set_reorder_rate(self, p: float, spread: float | None = None) -> None:
+        """Give each cross-host message probability *p* of an extra delay of
+        up to *spread* seconds that bypasses the FIFO clamp, so it can
+        overtake or fall behind its neighbours."""
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"reorder rate must be in [0,1], got {p}")
+        self._reorder_rate = p
+        if spread is not None:
+            if spread < 0:
+                raise SimulationError(f"reorder spread must be >= 0, got {spread}")
+            self._reorder_spread = spread
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Scale every cross-host delay by *factor* (link congestion /
+        latency-spike windows; 1.0 restores normal service)."""
+        if factor <= 0:
+            raise SimulationError(f"latency factor must be positive, got {factor}")
+        self._latency_factor = factor
+
+    @property
+    def latency_factor(self) -> float:
+        return self._latency_factor
+
+    def set_reliable(self, config: TransportConfig | None = None) -> None:
+        """Switch cross-host traffic to the sequenced reliable transport
+        (see module docstring). Call before traffic starts; switching with
+        messages in flight would renumber mid-stream."""
+        self.transport = config or TransportConfig()
+
+    def _pair(self, src_host: str, dst_host: str) -> _PairState:
+        key = (src_host, dst_host)
+        state = self._pairs.get(key)
+        if state is None:
+            state = self._pairs[key] = _PairState()
+        return state
+
+    def _tel_inc(self, name: str, help_text: str, n: int = 1) -> None:
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.counter(name, help_text).inc(n)
 
     def partition(self, *groups: set[str] | frozenset[str] | list[str]) -> None:
         """Split the network: messages only flow within a group. Hosts not
@@ -159,43 +273,141 @@ class Network:
 
         Sends to unknown hosts raise (a programming error); sends to crashed
         hosts or across a partition are silently dropped (a runtime
-        condition the protocols must tolerate).
+        condition the protocols must tolerate) — except under the reliable
+        transport, which retransmits until delivered or abandoned.
         """
         message = Message(src, dst, payload, size)
         self.messages_sent += 1
         self.bytes_sent += size
         dst_host = self.host(dst.host)
         if src.host == dst.host:
-            delay = self.latency.local_latency
-        else:
-            if not self._connected(src.host, dst.host):
-                self.sim.emit("net.partition_drop", src.host, dst=dst.host)
-                return
-            if self._drop_rate > 0.0 and self._drop_rng.random() < self._drop_rate:
-                self.sim.emit("net.drop", src.host, dst=dst.host)
-                return
-            model = self.latency_between(src.host, dst.host)
-            if self._egress_serialization:
-                # one NIC per host: transmissions queue for the wire
-                tx_start = max(self.sim.now, self._egress_free.get(src.host, 0.0))
-                tx_done = tx_start + size / model.bandwidth
-                self._egress_free[src.host] = tx_done
-                delay = (
-                    (tx_done - self.sim.now)
-                    + model.base_latency
-                    + self._rng.random() * model.jitter
-                )
-            else:
-                delay = model.delay(size, self._rng.random())
-
-        arrival = self.sim.now + delay
-        if self._fifo and src.host != dst.host:
+            arrival = self.sim.now + self.latency.local_latency
+            self.sim.schedule_at(arrival, lambda: self._finish_delivery(dst_host, message))
+            return
+        if self.transport is not None:
+            state = self._pair(src.host, dst.host)
+            seq = state.next_seq
+            state.next_seq += 1
+            self._transmit(message, seq, attempt=0)
+            return
+        # -- datagram path (the historical default) ------------------------
+        if not self._connected(src.host, dst.host):
+            self.sim.emit("net.partition_drop", src.host, dst=dst.host)
+            return
+        if self._drop_rate > 0.0 and self._drop_rng.random() < self._drop_rate:
+            self.sim.emit("net.drop", src.host, dst=dst.host)
+            return
+        arrival = self.sim.now + self._wire_delay(src.host, dst.host, size)
+        if self._reorder_rate > 0.0 and self._reorder_rng.random() < self._reorder_rate:
+            # extra lag that skips the FIFO clamp: the copy can be overtaken
+            self.reorders_injected += 1
+            arrival += self._reorder_rng.random() * self._reorder_spread
+            self.sim.emit("net.reorder", src.host, dst=dst.host)
+        elif self._fifo:
             key = (src.host, dst.host)
             arrival = max(arrival, self._last_arrival.get(key, 0.0))
             self._last_arrival[key] = arrival
+        self.sim.schedule_at(arrival, lambda: self._finish_delivery(dst_host, message))
+        if self._duplicate_rate > 0.0 and self._dup_rng.random() < self._duplicate_rate:
+            self.duplicates_injected += 1
+            self.sim.emit("net.duplicate", src.host, dst=dst.host)
+            copy_at = arrival + self.latency.local_latency
+            self.sim.schedule_at(copy_at, lambda: self._finish_delivery(dst_host, message))
 
-        def _deliver() -> None:
-            self.messages_delivered += 1
-            dst_host.deliver(message)
+    def _wire_delay(self, src_host: str, dst_host: str, size: int) -> float:
+        model = self.latency_between(src_host, dst_host)
+        if self._egress_serialization:
+            # one NIC per host: transmissions queue for the wire
+            tx_start = max(self.sim.now, self._egress_free.get(src_host, 0.0))
+            tx_done = tx_start + size / model.bandwidth
+            self._egress_free[src_host] = tx_done
+            delay = (
+                (tx_done - self.sim.now)
+                + model.base_latency
+                + self._rng.random() * model.jitter
+            )
+        else:
+            delay = model.delay(size, self._rng.random())
+        return delay * self._latency_factor
 
-        self.sim.schedule_at(arrival, _deliver)
+    def _finish_delivery(self, dst_host: Host, message: Message) -> None:
+        self.messages_delivered += 1
+        dst_host.deliver(message)
+
+    # -- reliable transport ----------------------------------------------------
+
+    def _transmit(self, message: Message, seq: int, attempt: int) -> None:
+        """One delivery attempt of a sequenced message; drops and partition
+        blocks cost a backed-off retransmission round instead of the
+        message."""
+        cfg = self.transport
+        assert cfg is not None
+        src_host, dst_host = message.src.host, message.dst.host
+        blocked = not self._connected(src_host, dst_host)
+        if blocked:
+            self.sim.emit("net.partition_drop", src_host, dst=dst_host, seq=seq)
+        elif self._drop_rate > 0.0 and self._drop_rng.random() < self._drop_rate:
+            self.sim.emit("net.drop", src_host, dst=dst_host, seq=seq)
+            blocked = True
+        if blocked:
+            if attempt >= cfg.max_retries:
+                self.messages_lost += 1
+                self._tel_inc("net_lost_total", "messages abandoned after max retries")
+                self.sim.emit(
+                    "net.lost", src_host, dst=dst_host, seq=seq, attempts=attempt + 1
+                )
+                self._abandon(src_host, dst_host, seq)
+                return
+            self.retransmissions += 1
+            self._tel_inc("net_retransmits_total", "reliable-transport retransmissions")
+            self.sim.emit(
+                "net.retransmit", src_host, dst=dst_host, seq=seq, attempt=attempt + 1
+            )
+            self.sim.schedule(
+                cfg.retry_delay(attempt),
+                lambda: self._transmit(message, seq, attempt + 1),
+            )
+            return
+        arrival = self.sim.now + self._wire_delay(src_host, dst_host, message.size)
+        if self._reorder_rate > 0.0 and self._reorder_rng.random() < self._reorder_rate:
+            self.reorders_injected += 1
+            arrival += self._reorder_rng.random() * self._reorder_spread
+            self.sim.emit("net.reorder", src_host, dst=dst_host, seq=seq)
+        self.sim.schedule_at(arrival, lambda: self._arrive(message, seq))
+        if self._duplicate_rate > 0.0 and self._dup_rng.random() < self._duplicate_rate:
+            self.duplicates_injected += 1
+            self.sim.emit("net.duplicate", src_host, dst=dst_host, seq=seq)
+            copy_at = arrival + self.latency.local_latency
+            self.sim.schedule_at(copy_at, lambda: self._arrive(message, seq))
+
+    def _arrive(self, message: Message, seq: int) -> None:
+        """Receiver side: dedup by sequence number, restore order, deliver."""
+        state = self._pair(message.src.host, message.dst.host)
+        if seq < state.deliver_next or seq in state.buffer or seq in state.abandoned:
+            self.duplicates_dropped += 1
+            self._tel_inc("net_dup_dropped_total", "duplicate deliveries absorbed")
+            self.sim.emit(
+                "net.dup_dropped", message.src.host, dst=message.dst.host, seq=seq
+            )
+            return
+        state.buffer[seq] = message
+        self._release(state)
+
+    def _abandon(self, src_host: str, dst_host: str, seq: int) -> None:
+        """Sender gave up on *seq*: release any successors wedged behind it."""
+        state = self._pair(src_host, dst_host)
+        if seq >= state.deliver_next:
+            state.abandoned.add(seq)
+            self._release(state)
+
+    def _release(self, state: _PairState) -> None:
+        while True:
+            if state.deliver_next in state.buffer:
+                message = state.buffer.pop(state.deliver_next)
+                state.deliver_next += 1
+                self._finish_delivery(self.host(message.dst.host), message)
+            elif state.deliver_next in state.abandoned:
+                state.abandoned.discard(state.deliver_next)
+                state.deliver_next += 1
+            else:
+                return

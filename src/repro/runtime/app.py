@@ -43,6 +43,10 @@ class InstanceRecord:
     finished_at: float | None = None
     placements: list[str] = field(default_factory=list)  # migration history
     redundant_copies: list[TaskInstance] = field(default_factory=list)
+    #: allocation epoch — bumped on every (re-)dispatch; an exit only
+    #: commits when its instance carries the record's current epoch, which
+    #: makes completion at-most-once under failover re-dispatch
+    epoch: int = -1
 
     @property
     def key(self) -> tuple[str, int]:

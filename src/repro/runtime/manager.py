@@ -244,6 +244,7 @@ class RuntimeManager:
             ),
             start_delay=start_delay,
         )
+        instance.allocation_epoch = incarnation
         address = host.spawn(instance)
         # point this rank's receive ports at the new incarnation
         if mpi_channel is not None:
@@ -252,6 +253,7 @@ class RuntimeManager:
             self._bind_port(channel, f"{record.task}[{record.rank}]", address)
 
         record.instance = instance
+        record.epoch = incarnation
         record.state = InstanceState.PENDING
         record.host_name = host_name
         record.dispatched_at = self.sim.now
@@ -329,6 +331,15 @@ class RuntimeManager:
     ) -> None:
         if record.instance is not instance:
             # a superseded incarnation (killed during migration) — ignore
+            return
+        if getattr(instance, "allocation_epoch", record.epoch) != record.epoch:
+            # an exit from a stale allocation epoch must not commit: the
+            # failover layer already re-dispatched this (task, rank)
+            self.sim.emit(
+                "runtime.stale_commit", app.id, task=record.task, rank=record.rank,
+                epoch=getattr(instance, "allocation_epoch", None),
+                current=record.epoch,
+            )
             return
         record.state = state
         record.finished_at = self.sim.now

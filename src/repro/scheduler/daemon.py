@@ -94,6 +94,11 @@ class SchedulerDaemon(IsisMember):
         self._bid_spans: dict[str, TraceContext] = {}  # req_id -> bidding span
         self.bids_made = 0
         self.requests_led = 0
+        #: called with each departed member's host name when this daemon,
+        #: as group coordinator, sees the member drop out of the view —
+        #: the failover layer hooks here for peer takeover of orphaned
+        #: instances (see repro.migration.failover)
+        self.host_lost_observers: list[Callable[[str], None]] = []
 
     def _tel(self):
         """The live metrics registry, or None when telemetry is off. Looked
@@ -140,6 +145,18 @@ class SchedulerDaemon(IsisMember):
             self.emit("sched.leader", group=self.group, view_id=view.view_id)
             if self.pending_queue:
                 self.set_timer(self.daemon_config.retry_interval, "retry-queue")
+            # peer takeover: the surviving coordinator announces departed
+            # members so the execution layer can reclaim orphaned work
+            for member in left:
+                self.emit("sched.peer_lost", group=self.group, host=member.host)
+                tel = self._tel()
+                if tel is not None:
+                    tel.counter(
+                        "daemon_peers_lost_total",
+                        "group members dropped from a view (leader-observed)",
+                    ).inc()
+                for observer in self.host_lost_observers:
+                    observer(member.host)
 
     # ----------------------------------------------------------- leader side
 

@@ -98,6 +98,12 @@ class ExecutionProgram(SimProcess):
 
     REQUEST_TIMEOUT = 5.0
     MAX_REQUEST_RETRIES = 5
+    #: retry timeouts grow REQUEST_TIMEOUT * RETRY_BACKOFF**n (capped), with
+    #: up to RETRY_JITTER of proportional seeded jitter so retransmission
+    #: storms from many programs decorrelate
+    RETRY_BACKOFF = 1.6
+    MAX_RETRY_DELAY = 30.0
+    RETRY_JITTER = 0.1
 
     def __init__(
         self,
@@ -139,6 +145,7 @@ class ExecutionProgram(SimProcess):
 
     def on_start(self) -> None:
         self.app_id = self.sim.ids.next("app")
+        self._jitter_rng = self.sim.rng.stream(f"exec.jitter.{self.name}")
         self.trace = TraceContext(self.sim.ids.next("trace"), self.sim.ids.next("span"))
         self.emit("exec.submit", app=self.app_id, **self.trace.fields())
         self.run_handle.requested_at = self.now
@@ -234,15 +241,21 @@ class ExecutionProgram(SimProcess):
         if retries > self.MAX_REQUEST_RETRIES:
             self._fail(f"group {cls} never replied (leader unreachable?)")
             return
-        # leader may have failed: re-resolve and retransmit
+        # leader may have failed: re-resolve and retransmit with
+        # exponentially backed-off, jittered timeout
         request = self._request_cache.get(req_id)
         if request is None or not self.directory.has_group(cls):
             self._fail(f"no {cls} group is on line")
             return
+        delay = min(
+            self.MAX_RETRY_DELAY, self.REQUEST_TIMEOUT * self.RETRY_BACKOFF**retries
+        )
+        delay *= 1.0 + self.RETRY_JITTER * self._jitter_rng.random()
         self.emit("exec.retry_request", app=self.app_id, cls=cls.value, attempt=retries,
+                  timeout=round(delay, 6),
                   **trace_fields(self._req_spans.get(req_id)))
         self.send(self.directory.leader(cls), request, size=512)
-        self.set_timer(self.REQUEST_TIMEOUT, key)
+        self.set_timer(delay, key)
 
     # ------------------------------------------------------------ placement
 

@@ -25,6 +25,8 @@ _TOTAL_COUNTERS = (
     ("retries", "sched_retries_total"),
     ("migrations", "migrations_total"),
     ("chan msgs", "chan_messages_total"),
+    ("faults", "faults_injected_total"),
+    ("recoveries", "recovery_actions_total"),
 )
 
 

@@ -18,6 +18,10 @@ Rules:
   ``starvation_wait`` seconds without winning an allocation.
 - **alloc_errors** — ``sched_alloc_errors_total`` grew by at least
   ``alloc_error_threshold`` over the last ``alloc_error_window`` samples.
+- **host_down** — a daemon machine is down (crashed and not yet
+  recovered by the fault injector / chaos controller).
+- **stranded** — an instance failed but its application is still running:
+  the failover layer absorbed the crash and its re-dispatch is pending.
 """
 
 from __future__ import annotations
@@ -122,7 +126,8 @@ class HealthWatchdog:
         self._m_durations = registry.histogram(
             "task_duration_seconds", "dispatch to exit", labels=("task",)
         )
-        # the daemon set is fixed for the life of the VCE; sort it once
+        # refreshed at each evaluation: chaos daemon restarts replace
+        # entries in the (shared) daemons dict
         self._daemon_order = sorted(self.daemons.items())
         self._depth_series: dict[str, Any] = {}
         self._depth_store: Any = None
@@ -133,6 +138,7 @@ class HealthWatchdog:
         """Run every rule; returns the events newly raised this tick."""
         seen: set[tuple[str, str]] = set()
         raised: list[HealthEvent] = []
+        self._daemon_order = sorted(self.daemons.items())
 
         for rule, key, severity, detail in self._conditions(now, store):
             seen.add((rule, key))
@@ -168,6 +174,8 @@ class HealthWatchdog:
         yield from self._check_queue_saturation(store)
         yield from self._check_bid_starvation(now)
         yield from self._check_alloc_errors(store)
+        yield from self._check_hosts_down()
+        yield from self._check_stranded()
 
     def _check_stragglers(self, now: float):
         if self.runtime is None or not self.runtime.apps:
@@ -261,3 +269,31 @@ class HealthWatchdog:
                 CRITICAL,
                 {"errors_in_window": delta, "window_ticks": cfg.alloc_error_window},
             )
+
+    def _check_hosts_down(self):
+        for host_name, daemon in self._daemon_order:
+            host = getattr(daemon, "host", None)
+            if host is not None and not host.up:
+                yield ("host_down", host_name, CRITICAL, {"host": host_name})
+
+    def _check_stranded(self):
+        if self.runtime is None:
+            return
+        for app in self.runtime.apps.values():
+            if app.status.terminal:
+                continue
+            for record in app.records.values():
+                # FAILED state on a live app means a failure handler
+                # (failover) absorbed the crash and re-dispatch is pending
+                if record.state.name == "FAILED":
+                    yield (
+                        "stranded",
+                        f"{app.id}.{record.task}[{record.rank}]",
+                        WARNING,
+                        {
+                            "app": app.id,
+                            "task": record.task,
+                            "rank": record.rank,
+                            "host": record.host_name,
+                        },
+                    )

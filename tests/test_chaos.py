@@ -1,0 +1,201 @@
+"""Chaos soak: workloads under seeded fault schedules.
+
+The acceptance bar for the fault-tolerant execution layer: with a daemon
+crash-restart, 5% message drop, and one timed network partition (the
+``chaos-mix`` recipe, fixed seed), every workload task completes exactly
+once, results match the fault-free run, the makespan degrades gracefully,
+and the whole chaotic run replays byte-identically.
+"""
+
+import pytest
+
+from repro.core import VCEConfig, VirtualComputingEnvironment, heterogeneous_cluster
+from repro.faults.schedule import SCHEDULES, FaultSchedule, build_schedule
+from repro.migration.failover import FailoverConfig
+from repro.scheduler.execution_program import RunState
+from repro.trace.replay import event_log_digest
+from repro.util.errors import SimulationError
+from repro.workloads import WEATHER_SCRIPT, build_pipeline_graph, weather_programs
+
+# seed 3 makes chaos-mix crash ws0 (~t+3.2s), which hosts both a weather
+# collector and the pipeline's first stage — recovery provably exercised
+SEED = 3
+
+
+def chaos_vce(seed=SEED, schedule="chaos-mix", **config_kw):
+    config = VCEConfig(
+        seed=seed,
+        reliable_transport=True,
+        failover=FailoverConfig(),
+        **config_kw,
+    )
+    vce = VirtualComputingEnvironment(heterogeneous_cluster(), config).boot()
+    if schedule is not None:
+        vce.chaos(schedule, seed=seed)
+    return vce
+
+
+def chaos_run(seed=SEED, schedule="chaos-mix"):
+    """Weather + pipeline under *schedule*; returns (vce, runs)."""
+    vce = chaos_vce(seed, schedule)
+    runs = [
+        vce.run_script(WEATHER_SCRIPT, weather_programs(), name="weather"),
+        vce.submit(build_pipeline_graph(stages=4, stage_work=15.0, name="pipe")),
+    ]
+    for run in runs:
+        vce.run_to_completion(run, timeout=2_000.0)
+    vce.run(until=vce.sim.now + 30.0)  # let trailing fault windows close
+    return vce, runs
+
+
+@pytest.fixture(scope="module")
+def chaotic():
+    return chaos_run()
+
+
+@pytest.fixture(scope="module")
+def calm():
+    """The same workloads with no faults injected (still fault-tolerant
+    config, so the only delta is the schedule)."""
+    return chaos_run(schedule=None)
+
+
+class TestChaosSoak:
+    def test_faults_actually_injected(self, chaotic):
+        vce, _ = chaotic
+        report = vce.chaos_controller.report()
+        assert report.get("crash", 0) >= 1, report
+        assert report.get("restart", 0) >= 1, report
+        assert report.get("drop", 0) >= 1, report
+        assert report.get("partition", 0) >= 1, report
+
+    def test_all_runs_complete(self, chaotic):
+        vce, runs = chaotic
+        for run in runs:
+            assert run.state is RunState.DONE, run.error
+
+    def test_every_task_completes_exactly_once(self, chaotic):
+        vce, runs = chaotic
+        for run in runs:
+            app = run.app
+            done_counts = {}
+            for record in vce.sim.log.records(category="task.done"):
+                if record.get("app") != app.id:
+                    continue
+                key = (record.get("task"), record.get("rank"))
+                done_counts[key] = done_counts.get(key, 0) + 1
+            expected = {
+                (node.name, rank)
+                for node in app.graph
+                for rank in range(node.instances)
+            }
+            assert set(done_counts) == expected
+            multi = {k: n for k, n in done_counts.items() if n != 1}
+            assert not multi, f"tasks not exactly-once: {multi}"
+
+    def test_results_match_fault_free_run(self, chaotic, calm):
+        chaotic_vce, chaotic_runs = chaotic
+        calm_vce, calm_runs = calm
+        for noisy, quiet in zip(chaotic_runs, calm_runs):
+            assert quiet.state is RunState.DONE
+            for node in quiet.app.graph:
+                assert noisy.app.results(node.name) == quiet.app.results(node.name)
+
+    def test_makespan_degrades_gracefully(self, chaotic, calm):
+        _, chaotic_runs = chaotic
+        _, calm_runs = calm
+        for noisy, quiet in zip(chaotic_runs, calm_runs):
+            assert noisy.app.makespan < 3 * quiet.app.makespan, (
+                noisy.app.makespan,
+                quiet.app.makespan,
+            )
+
+    def test_recovery_surfaced_in_telemetry(self, chaotic):
+        vce, _ = chaotic
+        registry = vce.telemetry.registry
+        faults = registry.get("faults_injected_total")
+        assert faults is not None
+        assert sum(c.value for _, c in faults.samples()) >= 4
+        recovery = registry.get("recovery_actions_total")
+        assert recovery is not None
+        by_action = {v[0]: c.value for v, c in recovery.samples()}
+        assert by_action.get("strand", 0) >= 1, by_action
+        assert by_action.get("redispatch", 0) >= 1, by_action
+        # the injected/recovered counters appear in the top frame
+        frame = vce.telemetry.render()
+        assert "faults=" in frame and "recoveries=" in frame
+
+    def test_recovery_events_in_log(self, chaotic):
+        vce, _ = chaotic
+        categories = {r.category for r in vce.sim.log}
+        assert "fault.crash" in categories
+        assert "fault.daemon_restart" in categories
+        assert "recovery.strand" in categories
+        assert "recovery.redispatch" in categories
+
+    def test_byte_identical_replay(self):
+        """Same seed + same fault schedule => byte-identical event log."""
+
+        def fingerprint():
+            vce, _ = chaos_run()
+            return event_log_digest(vce.sim.log)
+
+        assert fingerprint() == fingerprint()
+
+
+class TestScheduleRecipes:
+    def test_all_recipes_build(self):
+        hosts = ["ws0", "ws1", "ws2", "mimd0"]
+        for name in SCHEDULES:
+            schedule = build_schedule(name, hosts, seed=5)
+            assert len(schedule) >= 1
+            assert schedule.name == name
+
+    def test_build_is_deterministic(self):
+        hosts = ["ws0", "ws1", "ws2"]
+        a = build_schedule("chaos-mix", hosts, seed=9)
+        b = build_schedule("chaos-mix", hosts, seed=9)
+        assert a.actions == b.actions
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(SimulationError, match="unknown fault schedule"):
+            build_schedule("nope", ["ws0"])
+        with pytest.raises(SimulationError, match="at least one"):
+            build_schedule("lossy", [])
+
+    def test_actions_validate(self):
+        from repro.faults.schedule import FaultAction
+
+        with pytest.raises(SimulationError, match="unknown fault kind"):
+            FaultAction(1.0, "meteor")
+        with pytest.raises(SimulationError, match=">= 0"):
+            FaultAction(-1.0, "crash")
+
+    def test_window_restores_previous_setting(self):
+        vce = chaos_vce(schedule=None)
+        schedule = FaultSchedule("windows").drop_window(1.0, 2.0, 0.25)
+        schedule.latency_spike(1.0, 2.0, 4.0)
+        vce.chaos(schedule)
+        vce.run(until=vce.sim.now + 2.0)
+        assert vce.network._drop_rate == 0.25
+        assert vce.network.latency_factor == 4.0
+        vce.run(until=vce.sim.now + 3.0)
+        assert vce.network._drop_rate == 0.0
+        assert vce.network.latency_factor == 1.0
+
+
+class TestDaemonRestart:
+    def test_restarted_daemon_rejoins_group(self):
+        vce = chaos_vce(schedule=None)
+        victim = "ws1"
+        schedule = FaultSchedule("bounce").bounce(2.0, victim, down_for=4.0)
+        vce.chaos(schedule)
+        vce.run(until=vce.sim.now + 40.0)
+        daemon = vce.daemons[victim]
+        assert daemon.alive
+        assert daemon.joined
+        # the group's directory converges back to including the victim
+        from repro.machines import MachineClass
+
+        members = vce.directory.members(MachineClass.WORKSTATION)
+        assert any(m.host == victim for m in members)

@@ -149,6 +149,118 @@ class TestTop:
         assert "state: done" in out.getvalue()
 
 
+class TestTraceCLI:
+    def test_prints_critical_path_and_attribution(self, weather_file):
+        out = io.StringIO()
+        code = main(["trace", weather_file], out=out)
+        text = out.getvalue()
+        assert code == 0, text
+        assert "critical path" in text
+        assert "attribution:" in text
+        assert "path total:" in text
+
+    def test_missing_script_exits_2(self):
+        assert main(["trace", "/nonexistent.vce"]) == 2
+
+    def test_failed_run_exits_1(self, tmp_path):
+        script = tmp_path / "big.vce"
+        script.write_text('ASYNC 5 "/a/jobs.vce"')
+        out = io.StringIO()
+        code = main(["trace", str(script), "--cluster", "ws:2"], out=out)
+        assert code == 1
+        assert "state: failed" in out.getvalue()
+
+    def test_export_to_missing_dir_exits_2(self, weather_file, capsys):
+        code = main(["trace", weather_file, "--export", "/nonexistent-dir/t.json"],
+                    out=io.StringIO())
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_writes_chrome_json(self, weather_file, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        out = io.StringIO()
+        assert main(["trace", weather_file, "--export", str(path)], out=out) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events)
+        assert str(path) in out.getvalue()
+
+    def test_bad_var_rejected_by_parser(self, weather_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", weather_file, "--var", "n"], out=io.StringIO())
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestTopErrorPaths:
+    def test_missing_script_exits_2(self, capsys):
+        assert main(["top", "/nonexistent.vce", "--snapshot"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_failed_run_exits_1_but_renders(self, tmp_path):
+        script = tmp_path / "big.vce"
+        script.write_text('ASYNC 5 "/a/jobs.vce"')
+        out = io.StringIO()
+        code = main(["top", str(script), "--cluster", "ws:2", "--snapshot"], out=out)
+        text = out.getvalue()
+        assert code == 1
+        assert "state: failed" in text
+        assert "host" in text  # the frame still renders host gauges
+
+    def test_empty_registry_exports_cleanly(self, tmp_path):
+        """A run that fails before any task executes still exports a valid
+        (task-sample-free) registry."""
+        import json
+
+        script = tmp_path / "big.vce"
+        script.write_text('ASYNC 5 "/a/jobs.vce"')
+        json_path = tmp_path / "m.json"
+        out = io.StringIO()
+        code = main(
+            ["top", str(script), "--cluster", "ws:2", "--snapshot",
+             "--json", str(json_path)],
+            out=out,
+        )
+        assert code == 1
+        snapshot = json.loads(json_path.read_text())
+        assert "host_load" in snapshot["metrics"]
+        durations = snapshot["metrics"].get("task_duration_seconds")
+        assert durations is None or all(
+            entry["count"] == 0 for entry in durations["series"]
+        )
+
+    def test_json_to_missing_dir_exits_2(self, weather_file, capsys):
+        code = main(
+            ["top", weather_file, "--snapshot", "--json", "/nonexistent-dir/m.json"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChaosCLI:
+    def test_chaos_mix_reports_faults_and_recovery(self, weather_file):
+        out = io.StringIO()
+        code = main(["chaos", weather_file, "--schedule", "chaos-mix", "--seed", "3"],
+                    out=out)
+        text = out.getvalue()
+        assert code == 0, text
+        assert "state: done" in text
+        assert "schedule: chaos-mix" in text
+        assert "injected faults:" in text and "crash=" in text
+        assert "recovery actions:" in text
+        assert "retransmits" in text
+
+    def test_missing_script_exits_2(self, capsys):
+        assert main(["chaos", "/nonexistent.vce"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_schedule_rejected_by_parser(self, weather_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", weather_file, "--schedule", "meteor"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestGantt:
     def test_gantt_printed(self, weather_file):
         out = io.StringIO()

@@ -354,6 +354,139 @@ def test_critical_path_always_tiles_makespan(case):
     assert cursor == pytest.approx(path.end, abs=1e-9)
 
 
+# -------------------------------------------------------------- fault tolerance
+
+
+@st.composite
+def fault_schedules(draw):
+    """Small random fault plans over a 4-workstation cluster: daemon
+    bounces, drop windows, short partitions, latency spikes."""
+    from repro.faults.schedule import FaultSchedule
+
+    hosts = [f"ws{i}" for i in range(4)]
+    schedule = FaultSchedule("prop")
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(["bounce", "drop", "partition", "latency"]))
+        time = draw(st.floats(0.5, 12.0, allow_nan=False))
+        if kind == "bounce":
+            schedule.bounce(
+                time,
+                draw(st.sampled_from(hosts)),
+                down_for=draw(st.floats(2.0, 6.0, allow_nan=False)),
+            )
+        elif kind == "drop":
+            schedule.drop_window(
+                time,
+                draw(st.floats(5.0, 30.0, allow_nan=False)),
+                draw(st.floats(0.0, 0.15, allow_nan=False)),
+            )
+        elif kind == "partition":
+            island = draw(
+                st.lists(st.sampled_from(hosts), unique=True, min_size=1, max_size=2)
+            )
+            schedule.partition_window(
+                time, draw(st.floats(1.0, 5.0, allow_nan=False)), island
+            )
+        else:
+            schedule.latency_spike(
+                time,
+                draw(st.floats(2.0, 8.0, allow_nan=False)),
+                draw(st.floats(1.0, 6.0, allow_nan=False)),
+            )
+    return schedule
+
+
+@given(fault_schedules())
+@settings(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_allocation_epochs_unique_under_random_faults(schedule):
+    """For *any* fault schedule, no (task, rank) is ever executed by two
+    live instances under the same allocation epoch: every dispatch mints a
+    fresh epoch, commits happen at most once per rank, and any stale exit
+    is provably from a superseded epoch."""
+    from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
+    from repro.migration.failover import FailoverConfig
+    from repro.workloads import build_pipeline_graph
+
+    config = VCEConfig(seed=1, reliable_transport=True, failover=FailoverConfig())
+    vce = VirtualComputingEnvironment(workstation_cluster(4), config).boot()
+    vce.chaos(schedule)
+    vce.submit(build_pipeline_graph(stages=2, stage_work=6.0, name="prop"))
+    vce.run(until=vce.sim.now + 300.0)
+
+    # (a) each dispatch of the same (app, task, rank) carries a fresh epoch
+    epochs = {}
+    for record in vce.sim.log.records(category="runtime.dispatch"):
+        key = (record.source, record.get("task"), record.get("rank"))
+        incarnation = record.get("incarnation")
+        assert incarnation not in epochs.setdefault(key, set()), (
+            f"{key} dispatched twice under epoch {incarnation}"
+        )
+        epochs[key].add(incarnation)
+    # (b) at-most-once commit: no (task, rank) finishes twice
+    done = {}
+    for record in vce.sim.log.records(category="task.done"):
+        key = (record.get("app"), record.get("task"), record.get("rank"))
+        done[key] = done.get(key, 0) + 1
+    assert all(n == 1 for n in done.values()), done
+    # (c) every rejected commit really was from a superseded epoch
+    for record in vce.sim.log.records(category="runtime.stale_commit"):
+        assert record.get("epoch") != record.get("current")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pop", "remove"]),
+            st.integers(0, 15),
+            st.floats(0, 5, allow_nan=False),
+        ),
+        max_size=60,
+    ),
+    st.floats(0.0, 2.0, allow_nan=False),
+)
+def test_aging_queue_never_loses_a_request(ops, rate):
+    """Model-based conservation: under any interleaving of push / pop /
+    remove the queue's contents always equal the model set — a queued
+    request can only leave by being popped or explicitly removed."""
+    queue = AgingQueue(aging_rate=rate)
+    live = set()
+    accepted = exited = 0
+    now = 0.0
+    for op, i, dt in ops:
+        now += dt
+        req_id = f"r{i}"
+        if op == "push":
+            request = ResourceRequest(
+                req_id, "app", MachineClass.WORKSTATION,
+                (ModuleNeed("t"),), None, priority=float(i),
+            )
+            queue.push(request, now)
+            if req_id not in live:  # re-push of a queued id is idempotent
+                accepted += 1
+                live.add(req_id)
+        elif op == "pop":
+            item = queue.pop(now)
+            assert (item is None) == (not live)
+            if item is not None:
+                assert item.request.req_id in live
+                live.discard(item.request.req_id)
+                exited += 1
+        else:
+            found = queue.remove(req_id)
+            assert found == (req_id in live)
+            if found:
+                live.discard(req_id)
+                exited += 1
+        assert len(queue) == len(live)
+    assert sorted(item.request.req_id for item in queue._items) == sorted(live)
+    assert accepted == exited + len(queue)
+
+
 # --------------------------------------------------------------------- rng
 
 

@@ -123,3 +123,71 @@ class TestSoak:
             )
 
         assert fingerprint(7) == fingerprint(7)
+
+
+def chaos_soak_run(seed=21):
+    """A busy cluster under the lossy schedule plus daemon bounces, with
+    the fault-tolerant execution layer on."""
+    from repro.faults.schedule import FaultSchedule
+    from repro.migration.failover import FailoverConfig
+
+    machines = workstation_cluster(8)
+    config = VCEConfig(
+        seed=seed, reliable_transport=True, failover=FailoverConfig()
+    )
+    vce = VirtualComputingEnvironment(machines, config).boot()
+    vce.chaos("lossy", seed=seed)
+    bounces = FaultSchedule("bounce-two")
+    bounces.bounce(6.0, "ws3", down_for=5.0).bounce(20.0, "ws5", down_for=5.0)
+    vce.chaos(bounces)
+
+    runs = []
+    for i in range(6):
+        if i % 2 == 0:
+            graph = build_pipeline_graph(stages=3, stage_work=12.0, name=f"pipe{i}")
+        else:
+            graph = build_sweep_graph(points=3, work_per_point=18.0, name=f"sweep{i}")
+        runs.append(vce.submit(graph, queue_if_insufficient=True))
+        vce.run(until=vce.sim.now + 8.0)
+    vce.run(until=vce.sim.now + 1_000.0)
+    return vce, runs
+
+
+@pytest.fixture(scope="module")
+def chaos_soak():
+    return chaos_soak_run()
+
+
+class TestChaosSoak:
+    def test_every_run_completes_despite_faults(self, chaos_soak):
+        vce, runs = chaos_soak
+        for i, run in enumerate(runs):
+            assert run.state is RunState.DONE, (
+                f"run {i} ended {run.state}: {run.error}"
+            )
+
+    def test_faults_and_losses_happened(self, chaos_soak):
+        vce, runs = chaos_soak
+        report = vce.chaos_controller.report()
+        assert report.get("crash", 0) == 2 and report.get("restart", 0) == 2
+        # a 5% drop schedule over a busy cluster must cost retransmissions
+        assert vce.network.retransmissions > 0
+
+    def test_no_app_finishes_twice(self, chaos_soak):
+        vce, runs = chaos_soak
+        seen = set()
+        for record in vce.sim.log.records(category="app.done"):
+            assert record.source not in seen, f"app {record.source} done twice"
+            seen.add(record.source)
+
+    def test_chaos_soak_deterministic(self):
+        def fingerprint(seed):
+            vce, runs = chaos_soak_run(seed)
+            return (
+                [(r.state.value, r.completed_at) for r in runs],
+                vce.network.retransmissions,
+                vce.network.messages_sent,
+                vce.chaos_controller.report(),
+            )
+
+        assert fingerprint(33) == fingerprint(33)
