@@ -1,0 +1,64 @@
+"""A deliberately mis-wired application for the static verifier to reject.
+
+Run the verifier on it::
+
+    python -m repro lint examples/broken_graph.py
+
+Expected findings (see docs/ANALYSIS.md for the rule catalog):
+
+- G001 cycle: prep -> simulate -> render -> prep can never start — every
+  task waits on another; without the verifier this surfaces only at
+  runtime, deep inside the execution program's topological dispatch.
+- G020 infeasible-class: ``simulate`` demands a terabyte of memory, which
+  no machine class in the default cluster offers — anticipatory
+  compilation and bidding are doomed before they begin.
+- G004 orphan-task / G012 lone-synchronous: ``probe`` is wired to
+  nothing, yet claims SYNCHRONOUS semantics with a single instance and
+  no peer group.
+
+``VCE.run(verify="strict")`` refuses to dispatch this graph;
+``verify="warn"`` dispatches it anyway and logs the findings as
+``verify.finding`` events (and the run then fails at runtime, which is
+exactly the late failure the verifier exists to pre-empt).
+"""
+
+from __future__ import annotations
+
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import ProblemClass, TaskGraph
+from repro.vmpi.api import Compute
+
+
+def _program(ctx):
+    yield Compute(5.0)
+    return "done"
+
+
+def build_graph() -> TaskGraph:
+    spec = ProblemSpecification("broken")
+    spec.task("prep", "stage inputs", work=5)
+    spec.task("simulate", "run the model", work=50, memory_mb=1_000_000)
+    spec.task("render", "draw the result", work=5)
+    spec.task("probe", "sample state", work=1)
+    # the seeded cycle: each stage "depends" on the next run's output
+    spec.flow("prep", "simulate", volume=1_000)
+    spec.flow("simulate", "render", volume=1_000)
+    spec.flow("render", "prep", volume=1_000)
+
+    # NOTE: spec.build() would already raise on the cycle; the point here
+    # is a graph that *reaches* the verifier, as one built by a buggy
+    # generator or hand-edited description would.
+    graph = spec.graph
+    for node in graph:
+        node.problem_class = (
+            ProblemClass.SYNCHRONOUS if node.name == "probe" else ProblemClass.ASYNCHRONOUS
+        )
+        node.language = "py"
+        node.program = _program
+    return graph
+
+
+if __name__ == "__main__":  # pragma: no cover - illustrative only
+    from repro.analysis import verify_graph
+
+    print(verify_graph(build_graph()).render_text())

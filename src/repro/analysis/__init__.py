@@ -1,0 +1,45 @@
+"""Static analysis for the VCE: task-graph verification + determinism lint.
+
+Two prongs (see ``docs/ANALYSIS.md`` for the full rule catalog):
+
+- :mod:`repro.analysis.graphcheck` / :mod:`repro.analysis.feasibility` —
+  a pass pipeline over :class:`~repro.taskgraph.TaskGraph` that rejects
+  mis-wired applications *before* dispatch: cycles, dangling arcs,
+  channel/protocol misuse, missing or contradictory SDM annotations, and
+  problem-class → machine-class infeasibility against the compilation
+  manager's database. Enforced pre-dispatch via ``VCEConfig.verify``
+  (``off | warn | strict``) and surfaced by the ``repro lint`` CLI.
+
+- :mod:`repro.analysis.detlint` — an AST lint over the source tree that
+  flags determinism hazards (wall-clock calls, process-global randomness,
+  unordered-set iteration in scheduling paths), protecting the
+  byte-identical-replay guarantees the chaos harness depends on.
+"""
+
+from repro.analysis.detlint import (
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+from repro.analysis.feasibility import FeasibilityPass
+from repro.analysis.graphcheck import (
+    DEFAULT_PASSES,
+    GraphVerifier,
+    verify_graph,
+)
+from repro.analysis.report import AnalysisReport, Finding, Severity
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "GraphVerifier",
+    "FeasibilityPass",
+    "DEFAULT_PASSES",
+    "verify_graph",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "iter_python_files",
+]

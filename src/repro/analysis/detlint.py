@@ -1,0 +1,420 @@
+"""detlint: an AST lint protecting the deterministic-replay guarantees.
+
+The whole point of the simulated VCE is that one seed reproduces one run,
+byte for byte — the chaos harness (PR 3) literally diffs event-log
+digests. A single ``time.time()`` in a scheduling path, one draw from the
+process-global ``random`` module, or an iteration over an unordered
+``set`` feeding a placement decision silently breaks that. These mistakes
+pass every example-based test (CPython's set order is stable *within* a
+process) and then surface as unreproducible CI flakes, so they are caught
+statically here instead.
+
+Rules (stable ids, see ``docs/ANALYSIS.md``):
+
+- D001 wall-clock (ERROR): calls to ``time.time``/``monotonic``/
+  ``perf_counter`` (and ``_ns`` variants) or ``datetime.now``/``utcnow``/
+  ``today``. Simulated components must use ``sim.now``.
+- D002 unseeded-random (ERROR): draws from the process-global ``random``
+  module, or ``random.Random()`` constructed without a seed. All
+  randomness must come from :class:`repro.util.rng.RngStreams` substreams
+  or an explicitly seeded ``random.Random(seed)``.
+- D003 unordered-iteration (WARNING): a ``for`` loop or list
+  comprehension iterating a ``set``-valued expression (set literal,
+  ``set()``/``frozenset()`` call, set comprehension, set algebra, or
+  ``dict.keys()`` view algebra) inside the ordering-sensitive subsystems
+  (``scheduler/``, ``netsim/``, ``migration/``, ``faults/``). Wrap the
+  iterable in ``sorted(...)`` to fix.
+
+Suppression: append ``# detlint: ok(D003)`` (comma-separate several rule
+ids; a justification may follow the closing parenthesis) to the flagged
+line. A repo baseline file (lines of ``RULE path`` or ``RULE path:line``,
+``#`` comments allowed) grandfathers known findings without touching the
+source.
+
+Run via ``repro lint --det PATH...`` or ``python -m repro.analysis.detlint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.report import AnalysisReport, Finding, Severity
+
+#: Modules whose path contains one of these directories are
+#: ordering-sensitive: set iteration there perturbs scheduling decisions.
+ORDER_SENSITIVE_DIRS = frozenset({"scheduler", "netsim", "migration", "faults"})
+
+#: Wall-clock callables per module.
+_WALL_CLOCK = {
+    "time": {
+        "time", "time_ns", "monotonic", "monotonic_ns",
+        "perf_counter", "perf_counter_ns",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: Draw methods of the global ``random`` module (not of Random instances).
+_RANDOM_DRAWS = {
+    "random", "randint", "randrange", "choice", "choices", "uniform",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "weibullvariate", "vonmisesvariate", "triangular", "getrandbits",
+    "randbytes", "binomialvariate", "seed",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*detlint:\s*ok\(([A-Za-z0-9_,\s]+)\)")
+
+#: Set methods returning sets (operand order still unordered on iteration).
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ''."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    return isinstance(base, ast.Name) and base.id in ("set", "frozenset")
+
+
+class _Scope:
+    """Name → is-set-valued bindings for one function (or the module)."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, bool] = {}
+
+
+def is_set_expr(node: ast.AST, resolve=lambda name, attr: False) -> bool:
+    """Conservatively: does *node* evaluate to a set (or keys-view algebra)?
+
+    *resolve(name, is_attribute)* answers whether a bare name / ``self.x``
+    attribute is known to be set-valued in the current scope.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+            return True
+        if isinstance(fn, ast.Attribute) and fn.attr in _SET_METHODS:
+            return is_set_expr(fn.value, resolve)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return any(
+            is_set_expr(side, resolve) or _is_keys_view(side)
+            for side in (node.left, node.right)
+        )
+    if isinstance(node, ast.Name):
+        return resolve(node.id, False)
+    if isinstance(node, ast.Attribute):
+        return resolve(node.attr, True)
+    return False
+
+
+def _is_keys_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "items")
+        and not node.args
+    )
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, rel_path: str, lines: list[str], order_sensitive: bool) -> None:
+        self.rel_path = rel_path
+        self.lines = lines
+        self.order_sensitive = order_sensitive
+        self.findings: list[Finding] = []
+        # import aliases: alias -> canonical module name we care about
+        self.module_aliases: dict[str, str] = {}
+        # names imported from those modules: local name -> (module, member)
+        self.from_imports: dict[str, tuple[str, str]] = {}
+        # scope stack for set-valued bindings; attributes (self.x) share one
+        # module-wide table since methods commonly init them in __init__
+        self.scopes: list[_Scope] = [_Scope()]
+        self.attr_names: dict[str, bool] = {}
+
+    # -- set-valued name tracking ----------------------------------------------
+
+    def _resolve(self, name: str, is_attribute: bool) -> bool:
+        if is_attribute:
+            return self.attr_names.get(name, False)
+        for scope in reversed(self.scopes):
+            if name in scope.names:
+                return scope.names[name]
+        return False
+
+    def _bind(self, target: ast.AST, set_valued: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.scopes[-1].names[target.id] = set_valued
+        elif isinstance(target, ast.Attribute):
+            self.attr_names[target.attr] = set_valued
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, False)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.scopes.append(_Scope())
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.scopes.append(_Scope())
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        set_valued = is_set_expr(node.value, self._resolve)
+        for target in node.targets:
+            self._bind(target, set_valued)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        set_valued = _is_set_annotation(node.annotation) or (
+            node.value is not None and is_set_expr(node.value, self._resolve)
+        )
+        self._bind(node.target, set_valued)
+
+    # -- imports ---------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("time", "random", "datetime"):
+                self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("time", "random", "datetime"):
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (node.module, alias.name)
+        self.generic_visit(node)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _suppressed(self, lineno: int, rule: str) -> bool:
+        if not (1 <= lineno <= len(self.lines)):
+            return False
+        match = _SUPPRESS_RE.search(self.lines[lineno - 1])
+        if not match:
+            return False
+        rules = {r.strip().upper() for r in match.group(1).split(",")}
+        return rule in rules
+
+    def _report(self, node: ast.AST, rule: str, severity: Severity,
+                message: str, hint: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self._suppressed(lineno, rule):
+            return
+        self.findings.append(
+            Finding(rule, severity, message, locus=f"{self.rel_path}:{lineno}", hint=hint)
+        )
+
+    # -- D001 / D002 -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_clock_and_random(node)
+        self.generic_visit(node)
+
+    def _check_clock_and_random(self, node: ast.Call) -> None:
+        fn = node.func
+        # module.attr(...) form
+        if isinstance(fn, ast.Attribute):
+            dotted = _dotted(fn)
+            root, _, _rest = dotted.partition(".")
+            module = self.module_aliases.get(root)
+            leaf = fn.attr
+            # datetime.datetime.now(...) / datetime.date.today(...)
+            if module == "datetime" or root == "datetime":
+                mid = dotted.split(".")[-2] if dotted.count(".") >= 1 else ""
+                if leaf in _WALL_CLOCK["datetime"] and mid in ("datetime", "date", ""):
+                    # datetime.now(tz) with an explicit tz is still wall-clock
+                    self._d001(node, dotted)
+                    return
+            if module == "time" and leaf in _WALL_CLOCK["time"]:
+                self._d001(node, dotted)
+                return
+            if module == "random":
+                if leaf in _RANDOM_DRAWS:
+                    self._d002(node, f"{dotted}() draws from the process-global RNG")
+                elif leaf == "Random" and not node.args and not node.keywords:
+                    self._d002(node, "random.Random() without a seed is "
+                                     "OS-entropy seeded")
+            return
+        # bare name form, via from-imports
+        if isinstance(fn, ast.Name):
+            origin = self.from_imports.get(fn.id)
+            if origin is None:
+                return
+            module, member = origin
+            if module == "time" and member in _WALL_CLOCK["time"]:
+                self._d001(node, f"time.{member}")
+            elif module == "datetime" and member in ("datetime", "date"):
+                pass  # constructor use; .now()/.today() handled above
+            elif module == "random":
+                if member in _RANDOM_DRAWS:
+                    self._d002(node, f"random.{member}() draws from the "
+                                     "process-global RNG")
+                elif member == "Random" and not node.args and not node.keywords:
+                    self._d002(node, "random.Random() without a seed is "
+                                     "OS-entropy seeded")
+
+    def _d001(self, node: ast.AST, what: str) -> None:
+        self._report(
+            node, "D001", Severity.ERROR,
+            f"wall-clock call {what}() in simulated code",
+            hint="use sim.now (simulation time) instead of the host clock",
+        )
+
+    def _d002(self, node: ast.AST, message: str) -> None:
+        self._report(
+            node, "D002", Severity.ERROR, message,
+            hint="route randomness through util/rng.RngStreams or an "
+                 "explicitly seeded random.Random(seed)",
+        )
+
+    # -- D003 ------------------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for gen in node.generators:
+            self._check_iteration(node, gen.iter)
+        self.generic_visit(node)
+
+    def _check_iteration(self, node: ast.AST, iterable: ast.AST) -> None:
+        if not self.order_sensitive:
+            return
+        if is_set_expr(iterable, self._resolve):
+            self._report(
+                node, "D003", Severity.WARNING,
+                "iteration over an unordered set in an ordering-sensitive "
+                "subsystem",
+                hint="wrap the iterable in sorted(...) to fix the order",
+            )
+
+
+def lint_source(
+    source: str, rel_path: str, order_sensitive: bool | None = None
+) -> list[Finding]:
+    """Lint one module's source text; *rel_path* is used for loci and (when
+    *order_sensitive* is None) for deciding whether D003 applies."""
+    if order_sensitive is None:
+        order_sensitive = bool(ORDER_SENSITIVE_DIRS & set(Path(rel_path).parts))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return [
+            Finding(
+                "D000", Severity.ERROR, f"cannot parse: {err.msg}",
+                locus=f"{rel_path}:{err.lineno or 0}",
+                hint="fix the syntax error first",
+            )
+        ]
+    lines = source.splitlines()
+    linter = _Linter(rel_path, lines, order_sensitive)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.locus, f.rule))
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {p}")
+    return sorted(out)
+
+
+def load_baseline(path: str | Path) -> list[tuple[str, str, int | None]]:
+    """Parse a baseline file into (rule, path, line|None) waivers."""
+    entries: list[tuple[str, str, int | None]] = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        rule, _, rest = line.partition(" ")
+        rest = rest.strip()
+        file_part, _, line_part = rest.partition(":")
+        entries.append(
+            (rule.upper(), file_part, int(line_part) if line_part else None)
+        )
+    return entries
+
+
+def _baselined(finding: Finding, baseline: list[tuple[str, str, int | None]]) -> bool:
+    path, _, line = finding.locus.partition(":")
+    for rule, b_path, b_line in baseline:
+        if rule != finding.rule:
+            continue
+        if not (path == b_path or path.endswith("/" + b_path)):
+            continue
+        if b_line is None or str(b_line) == line:
+            return True
+    return False
+
+
+def lint_paths(
+    paths: list[str | Path],
+    baseline: str | Path | None = None,
+    root: str | Path | None = None,
+) -> AnalysisReport:
+    """Lint every ``.py`` file under *paths*; loci are relative to *root*
+    (default: the current directory) when possible."""
+    rootp = Path(root) if root is not None else Path.cwd()
+    report = AnalysisReport(subject="detlint")
+    waivers = load_baseline(baseline) if baseline else []
+    for path in iter_python_files(paths):
+        try:
+            rel = str(path.resolve().relative_to(rootp.resolve()))
+        except ValueError:
+            rel = str(path)
+        findings = lint_source(path.read_text(), rel)
+        report.extend([f for f in findings if not _baselined(f, waivers)])
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin wrapper
+    """``python -m repro.analysis.detlint PATH... [--baseline FILE]``"""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(prog="detlint", description=__doc__.split("\n")[0])
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument("--baseline")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as fatal")
+    args = parser.parse_args(argv)
+    report = lint_paths(args.paths, baseline=args.baseline)
+    print(report.to_json() if args.json else report.render_text(), file=sys.stdout)
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Class-to-machine feasibility: the verifier's EXM-facing pass.
+
+The compilation manager maps each task's problem-architecture class onto
+preference-ordered machine classes, intersected with the machines actually
+registered and the compilers actually available (§4.1). This pass runs
+that mapping *statically*, before anticipatory compilation or bidding:
+
+- G020 infeasible-class (ERROR): no machine class in this VCE can run the
+  task at all — dispatch is guaranteed to fail.
+- G021 degraded-mapping (WARNING): the task runs, but not on the class its
+  problem architecture prefers (e.g. a SYNCHRONOUS task with no SIMD or
+  vector machine present falls back to MIMD/workstations).
+- G022 insufficient-instances (WARNING): fewer machines exist across all
+  feasible classes than the task wants instances — the bidding protocol
+  will come up short and queue or fail the request.
+
+Tasks marked ``local`` run on the user's workstation and are exempt; tasks
+already flagged G010/G011 (undesigned/uncoded) are skipped because the
+mapping is undefined for them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Finding, Severity
+from repro.compilation.classes import candidate_classes
+from repro.compilation.manager import CompilationManager
+from repro.taskgraph import TaskGraph
+
+
+class FeasibilityPass:
+    """Callable pass closing over a :class:`CompilationManager` (and,
+    through it, the machine database and compiler registry)."""
+
+    def __init__(self, compilation: CompilationManager) -> None:
+        self.compilation = compilation
+
+    def __call__(self, graph: TaskGraph) -> list[Finding]:
+        out: list[Finding] = []
+        db = self.compilation.database
+        for node in graph:
+            if node.local or node.problem_class is None or node.language is None:
+                continue
+            locus = f"task {node.name}"
+            feasible = self.compilation.feasible_classes(node)
+            preference = candidate_classes(node.problem_class, self.compilation.class_map)
+            if not feasible:
+                present = sorted(c.value for c in db.classes_present())
+                out.append(
+                    Finding(
+                        "G020",
+                        Severity.ERROR,
+                        f"task {node.name!r} ({node.problem_class.value}, "
+                        f"{node.language}) maps to no machine class in this VCE "
+                        f"(cluster has: {', '.join(present) or 'nothing'})",
+                        locus=locus,
+                        hint="add machines of a suitable class, relax hardware "
+                        "requirements, or pick a language with wider compiler "
+                        "coverage",
+                    )
+                )
+                continue
+            if preference and feasible[0] is not preference[0]:
+                out.append(
+                    Finding(
+                        "G021",
+                        Severity.WARNING,
+                        f"task {node.name!r} prefers {preference[0].value} but "
+                        f"this VCE only offers {feasible[0].value} "
+                        "(degraded mapping)",
+                        locus=locus,
+                        hint=f"add a {preference[0].value} machine to restore "
+                        "the preferred mapping",
+                    )
+                )
+            capacity = sum(len(db.machines_in_class(c)) for c in feasible)
+            if node.instances > capacity:
+                out.append(
+                    Finding(
+                        "G022",
+                        Severity.WARNING,
+                        f"task {node.name!r} wants {node.instances} instances "
+                        f"but only {capacity} feasible machine(s) exist",
+                        locus=locus,
+                        hint="lower instances, widen feasibility, or submit "
+                        "with queue_if_insufficient=True",
+                    )
+                )
+        return out

@@ -1,0 +1,174 @@
+"""Findings, severities, and report rendering for the static analyses.
+
+Every pass in :mod:`repro.analysis` — the task-graph verifier and the
+determinism linter — produces :class:`Finding` records collected into an
+:class:`AnalysisReport`. A finding carries a stable rule id (``G...`` for
+graph rules, ``D...`` for determinism rules; see ``docs/ANALYSIS.md``), a
+severity, the locus it anchors to (a task, an arc, or a ``file:line``),
+and a fix hint. The report renders as aligned text for the terminal or as
+JSON for tooling, and maps onto process exit codes the way ``ruff`` and
+friends do: errors are fatal, warnings are advisory unless ``--strict``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    - ERROR: the application cannot work as described — dispatch would
+      fail at runtime (cycle, dangling arc, no feasible machine class).
+    - WARNING: legal but suspicious — likely mis-annotation or a degraded
+      mapping worth a look before burning cluster time.
+    - INFO: observation only.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: most severe first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One verifier or linter diagnostic.
+
+    Attributes:
+        rule: stable catalog id (``G001``, ``D002``, ...).
+        severity: see :class:`Severity`.
+        message: one-line statement of the defect.
+        locus: where — ``task <name>``, ``arc <src>-><dst>``, or
+            ``path:line`` for source findings.
+        hint: how to fix (may be empty).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    locus: str = ""
+    hint: str = ""
+
+    def format(self) -> str:
+        head = f"{self.severity.value:7s} {self.rule}"
+        where = f" [{self.locus}]" if self.locus else ""
+        tail = f"  (fix: {self.hint})" if self.hint else ""
+        return f"{head}{where} {self.message}{tail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "locus": self.locus,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+            locus=data.get("locus", ""),
+            hint=data.get("hint", ""),
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of findings about one subject.
+
+    Attributes:
+        subject: what was analysed (graph name, path, ...).
+        findings: accumulated diagnostics, kept in insertion order;
+            :meth:`sorted_findings` orders by severity for presentation.
+    """
+
+    subject: str = ""
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        locus: str = "",
+        hint: str = "",
+    ) -> Finding:
+        finding = Finding(rule, severity, message, locus, hint)
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "AnalysisReport") -> None:
+        self.findings.extend(other.findings)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all."""
+        return not self.findings
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.severity.rank, f.rule, f.locus, f.message)
+        )
+
+    # -- rendering -------------------------------------------------------------
+
+    def summary(self) -> str:
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        what = self.subject or "analysis"
+        if self.clean:
+            return f"{what}: clean"
+        return f"{what}: {n_err} error(s), {n_warn} warning(s)"
+
+    def render_text(self) -> str:
+        lines = [self.summary()]
+        lines += [f"  {f.format()}" for f in self.sorted_findings()]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit status: 1 on errors (or, with *strict*, on any
+        finding), 0 on warnings-only or clean."""
+        if self.errors or (strict and self.findings):
+            return 1
+        return 0

@@ -16,6 +16,19 @@ Usage (also via ``python -m repro``):
     repro demo {weather,montecarlo,stencil,pipeline}
         Run a built-in workload end to end and print the results.
 
+    repro lint TARGET... [--cluster SPEC] [--json] [--strict]
+    repro lint --det PATH... [--baseline FILE] [--json] [--strict]
+        Static analysis (see repro.analysis and docs/ANALYSIS.md). The
+        first form verifies task graphs before any dispatch: a TARGET is
+        a .vce script (interpreted against --cluster / --cluster-file)
+        or a .py file defining build_graph(); findings cover structure
+        (cycles, dangling arcs), channel/protocol misuse, SDM annotation
+        problems, and problem-class -> machine-class infeasibility.
+        The second form runs the determinism linter over Python sources
+        (wall-clock calls, unseeded randomness, unordered-set iteration
+        in scheduling paths). Exit status: 1 if any error-severity
+        finding (or, with --strict, any finding at all), else 0.
+
     repro chaos SCRIPT.vce [run options] [--schedule NAME] [--fault-seed N]
         Run a script under a named fault schedule with the fault-tolerant
         execution layer on (reliable transport + lease-based failover):
@@ -340,6 +353,71 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
     return 0 if run.state is RunState.DONE else 1
 
 
+def _lint_graph_target(target: str, compilation, variables, default_work: float):
+    """Build the task graph a lint TARGET describes and verify it."""
+    from repro.analysis import verify_graph
+    from repro.core import materialize_description
+    from repro.script.interp import Environment as ScriptEnvironment
+
+    if target.endswith(".py"):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(f"_lint_{abs(hash(target))}", target)
+        if spec is None or spec.loader is None:
+            raise VCEError(f"cannot import graph module {target!r}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        builder = getattr(module, "build_graph", None)
+        if not callable(builder):
+            raise VCEError(f"{target!r} defines no build_graph() function")
+        graph = builder()
+    else:
+        text = open(target).read()
+        description = interpret(
+            parse_script(text),
+            ScriptEnvironment(compilation.database.class_counts(), variables),
+            name=target,
+        )
+        programs = {m.task: _generic_program(default_work) for m in description.modules}
+        graph, _, _ = materialize_description(description, programs)
+    report = verify_graph(graph, compilation=compilation)
+    report.subject = f"{target} (graph {graph.name!r})"
+    return report
+
+
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    import json
+
+    if args.det:
+        from repro.analysis import lint_paths
+
+        reports = [lint_paths(args.targets, baseline=args.baseline)]
+    else:
+        from repro.compilation.manager import CompilationManager
+        from repro.machines.database import MachineDatabase
+
+        if args.cluster_file:
+            from repro.core import load_cluster_file
+
+            machines, _ = load_cluster_file(args.cluster_file)
+        else:
+            machines = _parse_cluster(args.cluster)
+        database = MachineDatabase()
+        for machine in machines:
+            database.register(machine)
+        compilation = CompilationManager(database)
+        variables = dict(args.var or {})
+        reports = [
+            _lint_graph_target(target, compilation, variables, args.default_work)
+            for target in args.targets
+        ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2), file=out)
+    else:
+        print("\n\n".join(r.render_text() for r in reports), file=out)
+    return max(r.exit_code(strict=args.strict) for r in reports)
+
+
 def cmd_demo(args: argparse.Namespace, out) -> int:
     vce = VirtualComputingEnvironment(
         heterogeneous_cluster(), VCEConfig(seed=args.seed)
@@ -466,6 +544,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for schedule randomization (default: --seed)",
     )
     chaos.set_defaults(fn=cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint", help="statically verify task graphs / lint sources for determinism"
+    )
+    lint.add_argument(
+        "targets", nargs="+",
+        help=".vce scripts or build_graph() .py files; with --det, "
+             "Python files/directories",
+    )
+    lint.add_argument(
+        "--det", action="store_true",
+        help="run the determinism linter over Python sources instead of "
+             "verifying task graphs",
+    )
+    lint.add_argument("--json", action="store_true", help="emit findings as JSON")
+    lint.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="detlint baseline file of grandfathered findings (--det only)",
+    )
+    lint.add_argument("--cluster", default="hetero:6,2,1")
+    lint.add_argument(
+        "--cluster-file",
+        help="JSON cluster specification (see repro.core.spec); overrides --cluster",
+    )
+    lint.add_argument("--default-work", type=float, default=10.0)
+    lint.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
+    lint.set_defaults(fn=cmd_lint)
 
     demo = sub.add_parser("demo", help="run a built-in workload")
     demo.add_argument(

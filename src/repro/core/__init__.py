@@ -19,12 +19,13 @@ Typical use::
 
 from repro.core.config import VCEConfig
 from repro.core.cluster import heterogeneous_cluster, multi_site_cluster, workstation_cluster
-from repro.core.environment import VirtualComputingEnvironment
+from repro.core.environment import VirtualComputingEnvironment, materialize_description
 from repro.core.spec import load_cluster_file, machines_from_spec
 
 __all__ = [
     "VirtualComputingEnvironment",
     "VCEConfig",
+    "materialize_description",
     "workstation_cluster",
     "heterogeneous_cluster",
     "multi_site_cluster",

@@ -48,6 +48,13 @@ class VCEConfig:
             wire daemon peer-takeover notifications into it (see
             ``enable_failover``). None = crashes fail applications, as
             before.
+        verify: pre-dispatch static verification of every submitted task
+            graph (see :mod:`repro.analysis`). ``"off"`` skips it;
+            ``"warn"`` runs the verifier and logs findings as
+            ``verify.finding`` events but always dispatches; ``"strict"``
+            additionally refuses to dispatch graphs with error-severity
+            findings by raising
+            :class:`~repro.util.errors.VerificationError`.
     """
 
     seed: int = 0
@@ -66,3 +73,7 @@ class VCEConfig:
     reliable_transport: bool = False
     transport: TransportConfig = field(default_factory=TransportConfig)
     failover: FailoverConfig | None = None
+    verify: str = "off"
+
+    #: Legal values of :attr:`verify`.
+    VERIFY_MODES = ("off", "warn", "strict")

@@ -32,7 +32,7 @@ from repro.script.parser import parse_script
 from repro.sdm.problemspec import ProblemSpecification
 from repro.taskgraph import ArcKind, TaskGraph
 from repro.telemetry.service import Telemetry
-from repro.util.errors import ConfigurationError, ScriptError
+from repro.util.errors import ConfigurationError, ScriptError, VerificationError
 
 
 
@@ -50,6 +50,11 @@ class VirtualComputingEnvironment:
         if not machines:
             raise ConfigurationError("a VCE needs at least one machine")
         self.config = config or VCEConfig()
+        if self.config.verify not in VCEConfig.VERIFY_MODES:
+            raise ConfigurationError(
+                f"unknown verify mode {self.config.verify!r} "
+                f"(expected one of {', '.join(VCEConfig.VERIFY_MODES)})"
+            )
         self.sim = Simulator(self.config.seed)
         if self.config.telemetry:
             # published before any component is built, so hot paths
@@ -83,6 +88,9 @@ class VirtualComputingEnvironment:
         self.balancer: LoadBalancer | None = None
         self._booted = False
         self._exec_count = 0
+        # graphs submitted while verify="off", still checkable by
+        # run(verify=...) before their execution programs dispatch
+        self._unverified: list[TaskGraph] = []
         if self.config.reliable_transport:
             self.network.set_reliable(self.config.transport)
 
@@ -154,8 +162,57 @@ class VirtualComputingEnvironment:
 
     # --------------------------------------------------------------- running
 
-    def run(self, until: float | None = None, **kw) -> float:
-        return self.sim.run(until=until, **kw)
+    def run(self, until: float | None = None, verify: str | None = None, **kw) -> float:
+        """Advance the simulation.
+
+        *verify* (``off|warn|strict``) re-checks every graph submitted
+        since the last verification before any of them dispatches:
+        ``strict`` raises :class:`VerificationError` — refusing to run —
+        when a pending graph has error-severity findings; ``warn`` logs
+        findings and proceeds. Defaults to :attr:`VCEConfig.verify`.
+        """
+        if verify is not None and verify not in VCEConfig.VERIFY_MODES:
+            raise ConfigurationError(
+                f"unknown verify mode {verify!r} "
+                f"(expected one of {', '.join(VCEConfig.VERIFY_MODES)})"
+            )
+        mode = verify if verify is not None else self.config.verify
+        if mode != "off" and self._unverified:
+            for graph in self._unverified:
+                self._enforce_verification(graph, mode)
+        result = self.sim.run(until=until, **kw)
+        # anything submitted before this call has now had its chance to
+        # dispatch; late verification would be pointless
+        self._unverified.clear()
+        return result
+
+    def verify_graph(self, graph: TaskGraph):
+        """Run the static task-graph verifier (structure, annotations, and
+        class→machine feasibility against this VCE's machine database).
+        Returns an :class:`~repro.analysis.report.AnalysisReport`."""
+        from repro.analysis import verify_graph
+
+        return verify_graph(graph, compilation=self.compilation)
+
+    def _enforce_verification(self, graph: TaskGraph, mode: str):
+        """Verify *graph*, log findings, and (strict) refuse on errors."""
+        report = self.verify_graph(graph)
+        for f in report.sorted_findings():
+            self.sim.emit(
+                "verify.finding",
+                graph.name,
+                rule=f.rule,
+                severity=f.severity.value,
+                locus=f.locus,
+                message=f.message,
+            )
+        if mode == "strict" and not report.ok:
+            raise VerificationError(
+                f"graph {graph.name!r} failed static verification: "
+                + "; ".join(f.format() for f in report.errors),
+                report=report,
+            )
+        return report
 
     def run_to_completion(self, run: AppRun, timeout: float = 10_000.0) -> AppRun:
         """Advance the simulation until *run* finishes (or timeout)."""
@@ -195,9 +252,19 @@ class VirtualComputingEnvironment:
         queue_if_insufficient: bool = False,
         on_finished: Callable[[AppRun], None] | None = None,
     ) -> AppRun:
-        """Launch an execution program for *graph*; returns its AppRun."""
+        """Launch an execution program for *graph*; returns its AppRun.
+
+        With :attr:`VCEConfig.verify` set to ``warn`` or ``strict`` the
+        static verifier runs here, before the execution program exists;
+        with ``off`` the graph is remembered so ``run(verify=...)`` can
+        still check it pre-dispatch.
+        """
         if not self._booted:
             raise ConfigurationError("call boot() before submitting applications")
+        if self.config.verify != "off":
+            self._enforce_verification(graph, self.config.verify)
+        else:
+            self._unverified.append(graph)
         if class_map is None:
             class_map = self.default_class_map(graph)
         if self.config.anticipatory:
@@ -277,39 +344,7 @@ class VirtualComputingEnvironment:
         works: dict[str, float] | None = None,
     ) -> tuple[TaskGraph, dict[str, MachineClass | None], dict[str, tuple[int, int]]]:
         """Materialize the task graph an application description implies."""
-        works = works or {}
-        missing = [m.task for m in description.modules if m.task not in programs]
-        if missing:
-            raise ScriptError(f"no programs supplied for modules: {missing}")
-        spec = ProblemSpecification(description.name)
-        for module in description.modules:
-            spec.task(
-                module.task,
-                f"module {module.path}",
-                work=works.get(module.task, 1.0),
-                instances=module.min_instances,
-                local=module.machine_class is None,
-            )
-        graph = spec.graph
-        for channel in description.channels:
-            graph.connect(
-                channel.src_task,
-                channel.dst_task,
-                ArcKind.STREAM,
-                channel.volume,
-                channel.name,
-            )
-        class_map: dict[str, MachineClass | None] = {}
-        ranges: dict[str, tuple[int, int]] = {}
-        for module in description.modules:
-            node = graph.task(module.task)
-            node.problem_class = module.problem_class or _infer_problem_class(module)
-            node.language = "py"
-            node.program = programs[module.task]
-            class_map[module.task] = module.machine_class
-            ranges[module.task] = (module.min_instances, module.max_instances)
-        graph.validate()
-        return graph, class_map, ranges
+        return materialize_description(description, programs, works)
 
     # --------------------------------------------------------------- services
 
@@ -397,6 +432,51 @@ class VirtualComputingEnvironment:
 
     def leader_of(self, arch_class: MachineClass) -> SchedulerDaemon:
         return self.daemons[self.directory.leader(arch_class).host]
+
+
+def materialize_description(
+    description: ApplicationDescription,
+    programs: dict[str, Callable],
+    works: dict[str, float] | None = None,
+) -> tuple[TaskGraph, dict[str, MachineClass | None], dict[str, tuple[int, int]]]:
+    """Application description → (task graph, class map, instance ranges).
+
+    Needs no live VCE — also used by ``repro lint`` to verify script-built
+    graphs against a cluster description without booting a simulation.
+    """
+    works = works or {}
+    missing = [m.task for m in description.modules if m.task not in programs]
+    if missing:
+        raise ScriptError(f"no programs supplied for modules: {missing}")
+    spec = ProblemSpecification(description.name)
+    for module in description.modules:
+        spec.task(
+            module.task,
+            f"module {module.path}",
+            work=works.get(module.task, 1.0),
+            instances=module.min_instances,
+            local=module.machine_class is None,
+        )
+    graph = spec.graph
+    for channel in description.channels:
+        graph.connect(
+            channel.src_task,
+            channel.dst_task,
+            ArcKind.STREAM,
+            channel.volume,
+            channel.name,
+        )
+    class_map: dict[str, MachineClass | None] = {}
+    ranges: dict[str, tuple[int, int]] = {}
+    for module in description.modules:
+        node = graph.task(module.task)
+        node.problem_class = module.problem_class or _infer_problem_class(module)
+        node.language = "py"
+        node.program = programs[module.task]
+        class_map[module.task] = module.machine_class
+        ranges[module.task] = (module.min_instances, module.max_instances)
+    graph.validate()
+    return graph, class_map, ranges
 
 
 def _infer_problem_class(module):

@@ -132,7 +132,9 @@ def site_packed_assignment(needs: list[Need], bids: list[MachineBid]) -> Assignm
         # rank sites by (feasible free machines desc, aggregate load asc)
         site_pool: dict[str, list[str]] = defaultdict(list)
         allowed = set(task_needs[0][2])
-        for machine in allowed:
+        # sorted: set order is hash-dependent and would leak into the pool's
+        # load-tie ordering, making placement vary across processes
+        for machine in sorted(allowed):
             bid = bid_by_machine.get(machine)
             if bid is not None and machine in free:
                 site_pool[bid.site].append(machine)

@@ -62,6 +62,20 @@ class TaskGraphError(VCEError):
     arc) or a missing annotation required by a downstream SDM/EXM layer."""
 
 
+class VerificationError(VCEError):
+    """A static pre-dispatch check rejected an application.
+
+    Raised by the task-graph verifier (``repro.analysis``) when a graph
+    contains error-severity findings and verification is ``strict``. The
+    offending :class:`~repro.analysis.report.AnalysisReport` rides along
+    as :attr:`report` so callers can render or export the findings.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class MembershipError(VCEError):
     """Illegal process-group operation (joining twice, multicasting before
     joining, replying outside a request context)."""

@@ -20,7 +20,8 @@ def build_random_dag(
     name: str | None = None,
 ) -> TaskGraph:
     """A layered random DAG: every non-root task has at least one parent in
-    the previous layer; extra edges appear with *edge_prob*."""
+    the previous layer, every non-leaf task at least one child in the next;
+    extra edges appear with *edge_prob*."""
     rng = random.Random(seed)
     spec = ProblemSpecification(name or f"rdag-{seed}")
     grid: list[list[str]] = []
@@ -32,12 +33,20 @@ def build_random_dag(
             row.append(task)
         grid.append(row)
     for layer in range(1, layers):
+        wired: set[str] = set()
         for task in grid[layer]:
             parents = [p for p in grid[layer - 1] if rng.random() < edge_prob]
             if not parents:
                 parents = [rng.choice(grid[layer - 1])]
             for parent in parents:
                 spec.flow(parent, task, volume=volume)
+                wired.add(parent)
+        # A childless task in an inner layer (an orphan, if it is in layer
+        # 0) would make the "random DAG" not a connected pipeline at all;
+        # give every unpicked parent one child so the verifier stays clean.
+        for parent in grid[layer - 1]:
+            if parent not in wired:
+                spec.flow(parent, rng.choice(grid[layer]), volume=volume)
     graph = spec.build()
     for node in graph:
         node.problem_class = ProblemClass.ASYNCHRONOUS

@@ -1,0 +1,522 @@
+"""Tests for repro.analysis: the task-graph verifier and detlint."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    lint_paths,
+    lint_source,
+    verify_graph,
+)
+from repro.cli import main
+from repro.compilation.manager import CompilationManager
+from repro.core import (
+    VCEConfig,
+    VirtualComputingEnvironment,
+    heterogeneous_cluster,
+    workstation_cluster,
+)
+from repro.machines import Machine, MachineClass, MachineDatabase
+from repro.scheduler.execution_program import RunState
+from repro.sdm import ProblemSpecification
+from repro.taskgraph import Arc, ArcKind, ProblemClass, TaskGraph, TaskNode
+from repro.util.errors import ConfigurationError, VerificationError
+from repro.vmpi.api import Compute, Recv, Send
+from repro.workloads import (
+    build_diamond_graph,
+    build_monte_carlo_graph,
+    build_pipeline_graph,
+    build_random_dag,
+    build_stencil_graph,
+    build_sweep_graph,
+    build_weather_graph,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BROKEN_EXAMPLE = str(REPO_ROOT / "examples" / "broken_graph.py")
+SNOW_EXAMPLE = str(REPO_ROOT / "examples" / "apps" / "snow.vce")
+
+
+def _noop(ctx):
+    yield Compute(1.0)
+    return None
+
+
+def annotate(graph, cls=ProblemClass.ASYNCHRONOUS, program=_noop):
+    for node in graph:
+        node.problem_class = cls
+        node.language = "py"
+        node.program = program
+    return graph
+
+
+def broken_graph() -> TaskGraph:
+    """The golden broken graph: a cycle, an infeasible task, an orphan
+    that is also a lone-synchronous task, and a dangling arc."""
+    spec = ProblemSpecification("broken")
+    spec.task("prep", work=5)
+    spec.task("simulate", work=50, memory_mb=1_000_000)
+    spec.task("render", work=5)
+    spec.task("probe", work=1)
+    spec.flow("prep", "simulate", volume=1_000)
+    spec.flow("simulate", "render", volume=1_000)
+    spec.flow("render", "prep", volume=1_000)
+    graph = spec.graph
+    annotate(graph)
+    graph.task("probe").problem_class = ProblemClass.SYNCHRONOUS
+    # a dangling arc can only enter a graph by bypassing add_arc; the
+    # verifier must not trust its input
+    graph._arcs.append(Arc("render", "ghost", ArcKind.DATA))
+    return graph
+
+
+def hetero_compilation() -> CompilationManager:
+    db = MachineDatabase()
+    for machine in heterogeneous_cluster():
+        db.register(machine)
+    return CompilationManager(db)
+
+
+# ------------------------------------------------------------------ report
+
+
+class TestReport:
+    def test_finding_round_trips_through_dict(self):
+        f = Finding("G001", Severity.ERROR, "boom", locus="task a", hint="fix")
+        assert Finding.from_dict(f.to_dict()) == f
+
+    def test_exit_codes(self):
+        report = AnalysisReport("x")
+        assert report.clean and report.ok and report.exit_code() == 0
+        report.add("G004", Severity.WARNING, "w")
+        assert report.ok and report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+        report.add("G001", Severity.ERROR, "e")
+        assert not report.ok and report.exit_code() == 1
+
+    def test_sorted_findings_put_errors_first(self):
+        report = AnalysisReport("x")
+        report.add("G012", Severity.WARNING, "w")
+        report.add("G020", Severity.ERROR, "e")
+        assert [f.rule for f in report.sorted_findings()] == ["G020", "G012"]
+
+    def test_render_text_and_json(self):
+        report = AnalysisReport("subject")
+        report.add("G001", Severity.ERROR, "a cycle", locus="task t", hint="cut it")
+        text = report.render_text()
+        assert "subject: 1 error(s), 0 warning(s)" in text
+        assert "G001" in text and "[task t]" in text and "fix: cut it" in text
+        data = json.loads(report.to_json())
+        assert data["errors"] == 1
+        assert data["findings"][0]["rule"] == "G001"
+
+
+# ---------------------------------------------------------------- verifier
+
+
+class TestGraphVerifier:
+    def test_golden_broken_graph(self):
+        report = verify_graph(broken_graph(), compilation=hetero_compilation())
+        rules = {f.rule for f in report.findings}
+        assert {"G001", "G003", "G004", "G012", "G020"} <= rules
+        assert not report.ok
+
+        (cycle,) = report.by_rule("G001")
+        assert cycle.locus == "task prep"
+        assert "prep" in cycle.message and "->" in cycle.message
+
+        dangling = report.by_rule("G003")
+        assert [f.locus for f in dangling] == ["arc render->ghost"]
+
+        (orphan,) = report.by_rule("G004")
+        assert orphan.locus == "task probe"
+
+        (infeasible,) = report.by_rule("G020")
+        assert infeasible.locus == "task simulate"
+        assert infeasible.severity is Severity.ERROR
+
+    def test_one_finding_per_cycle_component(self):
+        spec = ProblemSpecification("loops")
+        for name in "abcd":
+            spec.task(name)
+        spec.after("a", "b").after("b", "a")  # component 1
+        spec.after("c", "d").after("d", "c")  # component 2
+        report = verify_graph(annotate(spec.graph))
+        assert [f.locus for f in report.by_rule("G001")] == ["task a", "task c"]
+
+    def test_self_arc_detected(self):
+        graph = annotate(ProblemSpecification("s").task("a").task("b").graph)
+        graph.connect("a", "b")
+        arc = Arc("a", "b")
+        object.__setattr__(arc, "dst", "a")
+        graph._arcs.append(arc)
+        (finding,) = verify_graph(graph).by_rule("G002")
+        assert finding.severity is Severity.ERROR
+
+    def test_stream_cycles_are_legal(self):
+        spec = ProblemSpecification("ring")
+        spec.task("a").task("b")
+        spec.stream("a", "b", channel="fwd").stream("b", "a", channel="bwd")
+        assert verify_graph(annotate(spec.graph)).clean
+
+    def test_channel_on_precedence_arc(self):
+        graph = annotate(ProblemSpecification("c").task("a").task("b").graph)
+        graph.connect("a", "b", ArcKind.DATA, channel="oops")
+        (finding,) = verify_graph(graph).by_rule("G005")
+        assert finding.locus == "arc a->b"
+
+    def test_missing_annotations(self):
+        graph = ProblemSpecification("bare").task("a").task("b").graph
+        graph.connect("a", "b")
+        report = verify_graph(graph)
+        assert len(report.by_rule("G010")) == 2  # never design-classified
+        assert len(report.by_rule("G011")) == 2  # never coded
+
+    def test_lockstep_async_contradiction(self):
+        spec = ProblemSpecification("x")
+        spec.task("a", requirements={"lockstep": True}).task("b")
+        graph = annotate(spec.graph)
+        graph.connect("a", "b")
+        assert verify_graph(graph).by_rule("G013")
+
+    def test_undeclared_channel_in_program(self):
+        def talker(ctx):
+            yield Send("peer", data=1, channel="ether")
+            return None
+
+        spec = ProblemSpecification("u")
+        spec.task("a").task("b")
+        spec.stream("a", "b", channel="wire")
+        graph = annotate(spec.graph)
+        graph.task("a").program = talker
+        (finding,) = verify_graph(graph).by_rule("G006")
+        assert "ether" in finding.message and finding.locus == "task a"
+
+    def test_constant_rank_out_of_range(self):
+        def sender(ctx):
+            yield Send(3, data=1)
+            return None
+
+        graph = annotate(ProblemSpecification("r").task("a", instances=2).graph)
+        graph.task("a").program = sender
+        (finding,) = verify_graph(graph).by_rule("G007")
+        assert "rank 3" in finding.message
+
+    def test_unmatched_tagged_send(self):
+        def sender(ctx):
+            yield Send(0, data=1, tag="result")
+            return None
+
+        def receiver(ctx):
+            src, data = yield Recv(tag="other")
+            return data
+
+        spec = ProblemSpecification("t")
+        spec.task("a", instances=2).task("b")
+        spec.stream("a", "b", channel="c")
+        graph = annotate(spec.graph)
+        graph.task("a").program = sender
+        graph.task("b").program = receiver
+        (finding,) = verify_graph(graph).by_rule("G008")
+        assert "'result'" in finding.message
+
+    def test_matched_send_is_silent(self):
+        def sender(ctx):
+            yield Send(0, data=1, tag="result")
+            return None
+
+        def receiver(ctx):
+            src, data = yield Recv(tag="result")
+            return data
+
+        graph = annotate(ProblemSpecification("m").task("a", instances=2).graph)
+        graph.task("a").program = sender
+        graph.add_task(TaskNode("b", program=receiver, work=1.0))
+        graph.task("b").problem_class = ProblemClass.ASYNCHRONOUS
+        graph.task("b").language = "py"
+        graph.connect("a", "b")
+        assert not verify_graph(graph).by_rule("G008")
+
+
+class TestFeasibility:
+    def test_degraded_mapping_warns(self):
+        # SYNCHRONOUS prefers SIMD; a workstation-only VCE degrades it
+        db = MachineDatabase()
+        for machine in workstation_cluster(4):
+            db.register(machine)
+        graph = annotate(
+            ProblemSpecification("d").task("model", instances=2).graph,
+            cls=ProblemClass.SYNCHRONOUS,
+        )
+        graph.add_task(TaskNode("sink", work=1.0, problem_class=ProblemClass.ASYNCHRONOUS,
+                                language="py", program=_noop))
+        graph.connect("model", "sink")
+        report = verify_graph(graph, compilation=CompilationManager(db))
+        (degraded,) = report.by_rule("G021")
+        assert degraded.locus == "task model"
+        assert "SIMD" in degraded.message and "WORKSTATION" in degraded.message
+        assert report.ok  # degraded is a warning, not an error
+
+    def test_insufficient_instances_warns(self):
+        db = MachineDatabase()
+        for machine in workstation_cluster(2):
+            db.register(machine)
+        graph = annotate(ProblemSpecification("i").task("farm", instances=9).graph)
+        (finding,) = verify_graph(graph, compilation=CompilationManager(db)).by_rule("G022")
+        assert "9 instances" in finding.message and "2 feasible" in finding.message
+
+    def test_local_tasks_exempt(self):
+        db = MachineDatabase()
+        db.register(Machine("ws0", MachineClass.WORKSTATION))
+        graph = annotate(ProblemSpecification("l").task("ui", local=True).graph,
+                         cls=ProblemClass.SYNCHRONOUS)
+        report = verify_graph(graph, compilation=CompilationManager(db))
+        assert not report.by_rule("G020") and not report.by_rule("G021")
+
+
+class TestWorkloadBuildersAreSound:
+    BUILDERS = {
+        "weather": build_weather_graph,
+        "montecarlo": build_monte_carlo_graph,
+        "pipeline": build_pipeline_graph,
+        "diamond": build_diamond_graph,
+        "randomdag": build_random_dag,
+        "sweep": build_sweep_graph,
+        "stencil": build_stencil_graph,
+    }
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_builder_has_no_errors(self, name):
+        report = verify_graph(self.BUILDERS[name](), compilation=hetero_compilation())
+        assert report.ok, report.render_text()
+        # structural warnings would be builder bugs too; the weather
+        # predictor's G012 (single-instance SYNC on SIMD) is the one
+        # advisory we accept, matching the paper's own §5 application
+        unexpected = [f for f in report.findings if f.rule != "G012"]
+        assert not unexpected, report.render_text()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_dags_never_orphan_tasks(self, seed):
+        report = verify_graph(build_random_dag(layers=4, width=4, seed=seed))
+        assert report.clean, report.render_text()
+
+
+# ------------------------------------------------------------- VCE wiring
+
+
+class TestVCEVerification:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="verify"):
+            VirtualComputingEnvironment(
+                workstation_cluster(2), VCEConfig(verify="loose")
+            )
+
+    def test_strict_refuses_to_dispatch(self):
+        vce = VirtualComputingEnvironment(
+            heterogeneous_cluster(), VCEConfig(verify="strict")
+        ).boot()
+        with pytest.raises(VerificationError) as exc:
+            vce.submit(broken_graph())
+        assert exc.value.report is not None
+        assert {"G001", "G020"} <= {f.rule for f in exc.value.report.errors}
+        assert vce._exec_count == 0  # no execution program was ever spawned
+
+    def test_warn_dispatches_and_logs_findings(self):
+        vce = VirtualComputingEnvironment(
+            heterogeneous_cluster(), VCEConfig(verify="warn")
+        ).boot()
+        graph = broken_graph()
+        class_map = {t.name: MachineClass.WORKSTATION for t in graph}
+        run = vce.submit(graph, class_map=class_map)
+        assert vce.sim.log.count("verify.finding") >= 4
+        rules = {r.data["rule"] for r in vce.sim.log.records("verify.finding")}
+        assert {"G001", "G020"} <= rules
+        vce.run(until=vce.sim.now + 60.0)
+        assert run.state is not RunState.DONE  # the cycle can never finish
+
+    def test_run_verify_checks_graphs_submitted_while_off(self):
+        vce = VirtualComputingEnvironment(heterogeneous_cluster()).boot()
+        graph = broken_graph()
+        class_map = {t.name: MachineClass.WORKSTATION for t in graph}
+        vce.submit(graph, class_map=class_map)
+        before = vce.sim.now
+        with pytest.raises(VerificationError):
+            vce.run(until=before + 50.0, verify="strict")
+        assert vce.sim.now == before  # refused before advancing
+        with pytest.raises(ConfigurationError):
+            vce.run(verify="loose")
+
+    def test_strict_passes_clean_graphs(self):
+        vce = VirtualComputingEnvironment(
+            workstation_cluster(4), VCEConfig(verify="strict")
+        ).boot()
+        run = vce.submit(build_pipeline_graph(stages=3, stage_work=5.0))
+        vce.run_to_completion(run)
+        assert run.state is RunState.DONE
+
+    def test_verify_graph_method(self):
+        vce = VirtualComputingEnvironment(heterogeneous_cluster()).boot()
+        assert vce.verify_graph(build_pipeline_graph(stages=2)).ok
+        assert not vce.verify_graph(broken_graph()).ok
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), layers=st.integers(2, 4),
+       width=st.integers(1, 3))
+def test_verifier_clean_random_dags_run_to_done(seed, layers, width):
+    """Any random DAG the verifier passes reaches dispatch and completes
+    without graph-shaped runtime errors — strict mode never blocks a
+    graph the runtime could have handled."""
+    graph = build_random_dag(layers=layers, width=width, seed=seed,
+                             min_work=1.0, max_work=3.0, volume=1_000)
+    assert verify_graph(graph).clean
+    vce = VirtualComputingEnvironment(
+        workstation_cluster(len(graph)), VCEConfig(verify="strict")
+    ).boot()
+    run = vce.submit(graph)
+    vce.run_to_completion(run)
+    assert run.state is RunState.DONE
+
+
+# ----------------------------------------------------------------- detlint
+
+
+class TestDetlint:
+    def test_wall_clock_flagged(self):
+        src = "import time\nstamp = time.time()\n"
+        (f,) = lint_source(src, "src/repro/core/x.py")
+        assert f.rule == "D001" and f.severity is Severity.ERROR
+        assert f.locus == "src/repro/core/x.py:2"
+
+    def test_from_import_and_aliases(self):
+        src = (
+            "from time import monotonic\nimport time as t\n"
+            "a = monotonic()\nb = t.perf_counter()\n"
+        )
+        findings = lint_source(src, "m.py")
+        assert [f.rule for f in findings] == ["D001", "D001"]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nwhen = datetime.datetime.now()\n"
+        assert [f.rule for f in lint_source(src, "m.py")] == ["D001"]
+
+    def test_global_random_flagged_seeded_rng_not(self):
+        src = (
+            "import random\n"
+            "x = random.random()\n"          # D002: process-global
+            "r = random.Random()\n"          # D002: OS-entropy seeded
+            "ok = random.Random(42)\n"       # fine: explicit seed
+            "y = ok.random()\n"              # fine: instance draw
+        )
+        findings = lint_source(src, "m.py")
+        assert [f.rule for f in findings] == ["D002", "D002"]
+        assert [f.locus for f in findings] == ["m.py:2", "m.py:3"]
+
+    def test_set_iteration_only_in_order_sensitive_dirs(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert [f.rule for f in lint_source(src, "src/repro/scheduler/p.py")] == ["D003"]
+        assert lint_source(src, "src/repro/workloads/p.py") == []
+
+    def test_set_valued_names_tracked_per_scope(self):
+        src = (
+            "def a(items):\n"
+            "    free = {i for i in items}\n"
+            "    for x in free:\n"          # D003: set-valued binding
+            "        print(x)\n"
+            "def b(bids):\n"
+            "    free = sorted(bids)\n"
+            "    for x in free:\n"          # fine: list in this scope
+            "        print(x)\n"
+        )
+        findings = lint_source(src, "src/repro/scheduler/p.py")
+        assert [f.locus for f in findings] == ["src/repro/scheduler/p.py:3"]
+
+    def test_set_algebra_and_keys_views(self):
+        src = (
+            "def f(a, b):\n"
+            "    for x in a.keys() | b.keys():\n"
+            "        print(x)\n"
+            "    for y in sorted(a.keys() | b.keys()):\n"
+            "        print(y)\n"
+        )
+        findings = lint_source(src, "src/repro/netsim/k.py")
+        assert [f.locus for f in findings] == ["src/repro/netsim/k.py:2"]
+
+    def test_suppression_comment(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # detlint: ok(D001) host profiling only\n"
+            "b = time.time()  # detlint: ok(D003)\n"  # wrong rule: no waiver
+        )
+        findings = lint_source(src, "m.py")
+        assert [f.locus for f in findings] == ["m.py:3"]
+
+    def test_syntax_error_reported_not_raised(self):
+        (f,) = lint_source("def broken(:\n", "m.py")
+        assert f.rule == "D000" and f.severity is Severity.ERROR
+
+    def test_baseline_waives_known_findings(self, tmp_path):
+        bad = tmp_path / "scheduler" / "old.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nx = time.time()\n")
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("# grandfathered\nD001 scheduler/old.py:2\n")
+        assert not lint_paths([bad], root=tmp_path).clean
+        assert lint_paths([bad], baseline=baseline, root=tmp_path).clean
+        # a waiver for another line does not apply
+        baseline.write_text("D001 scheduler/old.py:9\n")
+        assert not lint_paths([bad], baseline=baseline, root=tmp_path).clean
+
+    def test_repo_source_tree_is_clean(self):
+        """The gate the CI job enforces: zero unsuppressed findings in
+        src/repro, warnings included."""
+        report = lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+        assert report.exit_code(strict=True) == 0, report.render_text()
+
+
+# --------------------------------------------------------------------- CLI
+
+
+class TestLintCLI:
+    def test_broken_example_exits_nonzero_with_loci(self):
+        out = io.StringIO()
+        assert main(["lint", BROKEN_EXAMPLE], out=out) == 1
+        text = out.getvalue()
+        assert "G001" in text and "task prep" in text
+        assert "G020" in text and "task simulate" in text
+
+    def test_json_output_parses(self):
+        out = io.StringIO()
+        assert main(["lint", "--json", BROKEN_EXAMPLE], out=out) == 1
+        (report,) = json.loads(out.getvalue())
+        assert report["errors"] >= 2
+        assert {"G001", "G020"} <= {f["rule"] for f in report["findings"]}
+
+    def test_warnings_only_exits_zero_strict_promotes(self):
+        assert main(["lint", SNOW_EXAMPLE], out=io.StringIO()) == 0
+        assert main(["lint", "--strict", SNOW_EXAMPLE], out=io.StringIO()) == 1
+
+    def test_det_mode(self, tmp_path):
+        bad = tmp_path / "x.py"
+        bad.write_text("import time\nt = time.time()\n")
+        out = io.StringIO()
+        assert main(["lint", "--det", str(bad)], out=out) == 1
+        assert "D001" in out.getvalue()
+        bad.write_text("import time\nt = time.time()  # detlint: ok(D001)\n")
+        assert main(["lint", "--det", str(bad)], out=io.StringIO()) == 0
+
+    def test_graph_target_must_define_build_graph(self, tmp_path):
+        stub = tmp_path / "nothing.py"
+        stub.write_text("x = 1\n")
+        assert main(["lint", str(stub)], out=io.StringIO()) == 2
+
+    def test_missing_target_exits_2(self):
+        assert main(["lint", "/nonexistent.vce"], out=io.StringIO()) == 2
