@@ -53,6 +53,15 @@ Usage (also via ``python -m repro``):
         a frame prints every --refresh simulated seconds. --json and
         --prom export the final metrics registry.
 
+    repro bench [--quick] [--json PATH] [--check] [--baseline FILE]
+                [--tolerance F]
+        Measure kernel/scheduler throughput on the canonical workloads
+        (random DAGs, stencil, chaos-mix soak): events/sec, dispatch
+        latency per task, scheduler event share, and the replay digest.
+        --check gates on the machine-normalized events/sec ratio against
+        a baseline (default BENCH_kernel.json, >25% drop fails) — the CI
+        perf-smoke job runs ``repro bench --quick --check``.
+
 Cluster SPEC: ``ws:N`` for N workstations, or ``hetero:W,M,S`` for W
 workstations + M MIMD + S SIMD machines (default ``hetero:6,2,1``).
 """
@@ -454,6 +463,53 @@ def cmd_demo(args: argparse.Namespace, out) -> int:
     return 0 if run.state is RunState.DONE else 1
 
 
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.bench import check_against_baseline, run_suite
+
+    suite = run_suite(quick=args.quick, pump_events=args.pump_events)
+    rows = [
+        [
+            name,
+            f"{r['events_per_sec']:,.0f}",
+            f"{r['normalized_ratio']:.4f}",
+            f"{r['dispatch_ms_per_instance']:.3f}",
+            f"{r['sched_event_share'] * 100:.1f}%",
+            f"{r['sim_events']:,}",
+            r["digest"][:12],
+        ]
+        for name, r in suite["workloads"].items()
+    ]
+    print(
+        format_table(
+            ["workload", "events/s", "ratio", "ms/task", "sched share", "events", "digest"],
+            rows,
+            title=f"kernel bench ({suite['mode']}, pump {suite['pump_events_per_sec']:,.0f} ev/s)",
+        ),
+        file=out,
+    )
+    if args.json:
+        Path(args.json).write_text(_json.dumps(suite, indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
+    if args.check:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+            return 2
+        baseline = _json.loads(baseline_path.read_text())
+        # BENCH_kernel.json stores one section per mode
+        section = baseline.get(suite["mode"], baseline)
+        failures = check_against_baseline(suite, section, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=out)
+        if failures:
+            return 1
+        print(f"perf check passed ({suite['mode']} vs {args.baseline})", file=out)
+    return 0
+
+
 def _kv(pair: str) -> tuple[str, int]:
     key, _, value = pair.partition("=")
     return key, int(value)
@@ -574,6 +630,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--default-work", type=float, default=10.0)
     lint.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
     lint.set_defaults(fn=cmd_lint)
+
+    bench = sub.add_parser(
+        "bench", help="measure kernel/scheduler throughput on canonical workloads"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload sizes (the CI perf-smoke gate)",
+    )
+    bench.add_argument("--json", metavar="PATH", help="write results as JSON")
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare normalized ratios against --baseline; exit 1 on regression",
+    )
+    bench.add_argument("--baseline", default="BENCH_kernel.json")
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed normalized-ratio drop before --check fails (default 0.25)",
+    )
+    bench.add_argument("--pump-events", type=int, default=100_000)
+    bench.set_defaults(fn=cmd_bench)
 
     demo = sub.add_parser("demo", help="run a built-in workload")
     demo.add_argument(

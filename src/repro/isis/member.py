@@ -206,9 +206,15 @@ class IsisMember(SimProcess):
             kind=kind,
             payload=payload,
         )
-        pending = {m for m in self.view.members if m != self.address}
-        for member in pending:
-            self.send(member, msg, size=size)
+        # Fan out in view order (never set order): the send sequence feeds
+        # the network's deterministic event schedule, so it must not depend
+        # on hash-randomised set iteration.
+        me = self.address
+        pending = set()
+        for member in self.view.members:
+            if member != me:
+                pending.add(member)
+                self.send(member, msg, size=size)
         if pending:
             self._unacked[msg.msg_id] = (msg, pending, size)
             if not self.has_timer("rtx"):
@@ -491,7 +497,11 @@ class IsisMember(SimProcess):
         if not members:
             return
         proposed = View(self.view.view_id + 1, members)
-        survivors = {m for m in self.view.members if m in members and m != self.address}
+        # survivors kept in view order: the Flush fan-out below must follow a
+        # deterministic sequence, not hash-randomised set order
+        survivors = [
+            m for m in self.view.members if m in proposed and m != self.address
+        ]
         self._change = _ViewChange(proposed, set(survivors), {})
         self._flushing = True
         for rec in self._replay:
@@ -501,7 +511,7 @@ class IsisMember(SimProcess):
             group=self.group,
             proposed=proposed.view_id,
             joins=[str(j) for j in joins],
-            leaves=[str(l) for l in leaves],
+            leaves=sorted(str(l) for l in leaves),
         )
         if not survivors:
             self._finish_view_change()
@@ -615,7 +625,9 @@ class IsisMember(SimProcess):
             "isis.view",
             group=self.group,
             view_id=view.view_id,
-            members=[str(m) for m in view.members],
+            # lazy: the O(n) member-name list is only built if the log
+            # actually stores isis.view records (see EventLog.suppress)
+            members=lambda: [str(m) for m in view.members],
             coordinator=str(view.coordinator),
         )
         self.on_view_change(view, joined, left)
@@ -666,13 +678,15 @@ class IsisMember(SimProcess):
                         del self._alumni[alumnus]  # presumed really gone
                         continue
                     self.send(alumnus, beat, size=cfg.control_size)
-            dead = {
+            # a list, in _last_seen insertion order (deterministic): the
+            # emits below must not follow set-iteration order
+            now = self.now
+            me = self.address
+            dead = [
                 m
                 for m, seen in self._last_seen.items()
-                if m != self.address
-                and m in self.view
-                and self.now - seen > cfg.hb_timeout
-            }
+                if m != me and now - seen > cfg.hb_timeout and m in self.view
+            ]
             if dead:
                 for m in dead:
                     self.emit("isis.failure_detected", group=self.group, failed=str(m))
@@ -754,7 +768,7 @@ class IsisMember(SimProcess):
             return
         stragglers = set(change.waiting_on)
         self._change = None
-        for m in stragglers:
+        for m in sorted(stragglers, key=str):
             self.emit("isis.flush_straggler", group=self.group, member=str(m))
         self._queued_leaves.update(stragglers)
         # Preserve the joins the aborted proposal carried.
@@ -767,15 +781,18 @@ class IsisMember(SimProcess):
     def _retransmit_unacked(self) -> None:
         if not self.joined or self.view is None:
             return
-        live = set(self.view.members)
+        live = self.view.member_set
+        members = self.view.members
         for msg_id in list(self._unacked):
             msg, pending, size = self._unacked[msg_id]
             pending &= live  # departed members never need to ack
             if not pending:
                 del self._unacked[msg_id]
                 continue
-            for member in pending:
-                self.send(member, msg, size=size)
+            # view-order fan-out, never set order (determinism)
+            for member in members:
+                if member in pending:
+                    self.send(member, msg, size=size)
         for req, size in list(self._ab_pending.values()):
             if self.is_coordinator:
                 self._sequence_abcast(req)

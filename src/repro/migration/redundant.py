@@ -107,7 +107,9 @@ class RedundantExecutionManager(MigrationScheme):
             to=live[0].host.name,
         )
         self._promote(app, record, live[0], finished=False)
-        record.state = live[0].state  # clear the FAILED mark; copy is live
+        # clear the FAILED mark; copy is live (through the app's choke point
+        # so its done-count stays exact)
+        app.commit_state(record, live[0].state)
         return True
 
     # ------------------------------------------------------------- dispatch

@@ -24,12 +24,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.process import SimProcess
 
 
-@dataclass(frozen=True, slots=True)
 class Address:
-    """Location of a process: ``(host name, process name)``."""
+    """Location of a process: ``(host name, process name)``.
 
-    host: str
-    proc: str
+    Immutable and hashable.  Addresses key the dicts on every message hop
+    and membership check, so the hash is computed once at construction and
+    equality short-circuits on identity (processes cache their own address,
+    making identity hits the common case).
+    """
+
+    __slots__ = ("host", "proc", "_hash")
+
+    def __init__(self, host: str, proc: str) -> None:
+        object.__setattr__(self, "host", host)
+        object.__setattr__(self, "proc", proc)
+        object.__setattr__(self, "_hash", hash((host, proc)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Address is immutable (cannot set {name!r})")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Address:
+            return NotImplemented
+        return self.host == other.host and self.proc == other.proc
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (Address, (self.host, self.proc))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Address(host={self.host!r}, proc={self.proc!r})"
 
     def __str__(self) -> str:  # pragma: no cover - repr convenience
         return f"{self.host}/{self.proc}"
@@ -86,6 +114,7 @@ class Host:
         if process.host is not None:
             process.host._processes.pop(process.name, None)
         process.host = self
+        process._invalidate_address_cache()
         self._processes[process.name] = process
         return process.address
 

@@ -4,12 +4,20 @@ A :class:`Simulator` holds a heap of ``(time, sequence, callback)`` entries.
 The sequence number breaks ties so that events scheduled earlier at the same
 timestamp run earlier — a deterministic total order, which is essential for
 reproducible experiments.
+
+The loop is a hot path: every message hop, timer tick, and compute slice in a
+run goes through it.  Entries are ``__slots__`` objects with a hand-written
+``__lt__`` (no per-comparison tuple allocation), ``pending`` is O(1) via a
+cancelled-entry counter, and cancelled entries are compacted out of the heap
+once they dominate it so cancel-heavy workloads (retry timers, heartbeat
+reschedules) cannot grow the heap without bound.  None of this changes the
+pop order — the (time, seq) total order is unique, so compaction and batching
+are invisible to replay digests.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.util.errors import SimulationError
@@ -20,21 +28,35 @@ from repro.util.eventlog import EventLog
 from repro.util.ids import IdGenerator
 from repro.util.rng import RngStreams
 
+#: Compaction triggers when more than half the heap is cancelled tombstones,
+#: but never below this floor — tiny heaps are cheaper to pop than to rebuild.
+_COMPACT_MIN = 64
 
-@dataclass(order=True)
+
 class _Entry:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    daemon: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "daemon", "fired")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[[], None], daemon: bool
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.daemon = daemon
+        self.fired = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class Timer:
     """Handle to a scheduled event; supports cancellation.
 
     Cancellation is lazy: the heap entry is flagged and skipped when popped,
-    which keeps ``cancel`` O(1).
+    which keeps ``cancel`` O(1) (amortised — see ``Simulator._compact``).
     """
 
     __slots__ = ("_entry", "_sim")
@@ -44,10 +66,19 @@ class Timer:
         self._sim = sim
 
     def cancel(self) -> None:
-        if not self._entry.cancelled:
-            self._entry.cancelled = True
-            if not self._entry.daemon:
-                self._sim._live_nondaemon -= 1
+        entry = self._entry
+        if entry.cancelled or entry.fired:
+            return
+        entry.cancelled = True
+        sim = self._sim
+        if not entry.daemon:
+            sim._live_nondaemon -= 1
+        sim._cancelled_in_heap += 1
+        if (
+            sim._cancelled_in_heap > _COMPACT_MIN
+            and sim._cancelled_in_heap * 2 > len(sim._heap)
+        ):
+            sim._compact()
 
     @property
     def cancelled(self) -> bool:
@@ -76,6 +107,8 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._live_nondaemon = 0
+        self._cancelled_in_heap = 0
+        self._compactions = 0
         self.seed = seed
         self.log = EventLog()
         self.ids = IdGenerator()
@@ -119,29 +152,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        entry = _Entry(time, self._seq, callback, daemon=daemon)
+        entry = _Entry(time, self._seq, callback, daemon)
         self._seq += 1
         heapq.heappush(self._heap, entry)
         if not daemon:
             self._live_nondaemon += 1
         return Timer(entry, self)
 
-    def call_soon(self, callback: Callable[[], None]) -> Timer:
+    def call_soon(self, callback: Callable[[], None], daemon: bool = False) -> Timer:
         """Run *callback* at the current time, after already-queued events at
-        this timestamp."""
-        return self.schedule(0.0, callback)
+        this timestamp.  Fast path: skips the delay/deadline validation that
+        ``schedule``/``schedule_at`` perform, since ``now`` is always legal.
+        """
+        entry = _Entry(self._now, self._seq, callback, daemon)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        if not daemon:
+            self._live_nondaemon += 1
+        return Timer(entry, self)
 
     # -- running -----------------------------------------------------------
 
     def step(self) -> bool:
         """Process the single next event. Returns False when the queue is
         empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
             if entry.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if entry.time < self._now:
                 raise SimulationError("event queue produced time in the past")
+            entry.fired = True
             if not entry.daemon:
                 self._live_nondaemon -= 1
             self._now = entry.time
@@ -172,24 +215,51 @@ class Simulator:
         self._running = True
         processed = 0
         stopped_early = False
+        heap = self._heap  # _compact mutates in place, so this alias is safe
+        heappop = heapq.heappop
         try:
-            while True:
-                next_time = self._peek_time()
-                if next_time is None:
-                    break
-                if until is None and self._live_nondaemon == 0:
+            while heap:
+                entry = heap[0]
+                if entry.cancelled:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                t = entry.time
+                if until is not None:
+                    if t > until:
+                        break
+                elif self._live_nondaemon == 0:
                     break  # only daemon events (monitors/samplers) remain
-                if until is not None and next_time > until:
+                if t < self._now:
+                    raise SimulationError("event queue produced time in the past")
+                self._now = t
+                # Drain the whole batch at timestamp t: the `until` bound and
+                # past-time check hold for every entry in it, so only the
+                # cheap per-event conditions are re-checked inside.
+                while True:
+                    heappop(heap)
+                    entry.fired = True
+                    if not entry.daemon:
+                        self._live_nondaemon -= 1
+                    self._events_processed += 1
+                    entry.callback()
+                    processed += 1
+                    if stop_when is not None and stop_when():
+                        stopped_early = True
+                        break
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"max_events={max_events} exceeded; possible livelock"
+                        )
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    if entry.cancelled or entry.time != t:
+                        break
+                    if until is None and self._live_nondaemon == 0:
+                        break
+                if stopped_early:
                     break
-                self.step()
-                processed += 1
-                if stop_when is not None and stop_when():
-                    stopped_early = True
-                    break
-                if max_events is not None and processed >= max_events:
-                    raise SimulationError(
-                        f"max_events={max_events} exceeded; possible livelock"
-                    )
             if not stopped_early and until is not None and until > self._now:
                 self._now = until
         finally:
@@ -197,14 +267,36 @@ class Simulator:
         return self._now
 
     def _peek_time(self) -> float | None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0].time if heap else None
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify, in place.
+
+        In-place (slice assignment) because ``run`` holds an alias to the
+        heap list across callbacks, and a callback may cancel enough timers
+        to trigger compaction mid-loop.  Rebuilding preserves the pop order:
+        (time, seq) keys are unique, so any valid heap over the same live
+        entries pops identically.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if not e.cancelled]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled queued events.  O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (instrumentation)."""
+        return self._compactions
 
     # -- convenience -------------------------------------------------------
 

@@ -36,6 +36,9 @@ class SimProcess:
         self.host: "Host | None" = None
         self.alive = False
         self._timers: dict[str, Timer] = {}
+        # address cache: built on first use, dropped on migration (adopt)
+        self._addr: Address | None = None
+        self._addr_str: str | None = None
 
     # -- plumbing (called by Host) -------------------------------------------
 
@@ -84,9 +87,18 @@ class SimProcess:
 
     @property
     def address(self) -> Address:
-        if self.host is None:
-            raise SimulationError(f"process {self.name!r} not bound to a host")
-        return Address(self.host.name, self.name)
+        addr = self._addr
+        if addr is None:
+            if self.host is None:
+                raise SimulationError(f"process {self.name!r} not bound to a host")
+            addr = self._addr = Address(self.host.name, self.name)
+            self._addr_str = str(addr)
+        return addr
+
+    def _invalidate_address_cache(self) -> None:
+        """Called when the process moves hosts (migration adopt)."""
+        self._addr = None
+        self._addr_str = None
 
     @property
     def now(self) -> float:
@@ -120,7 +132,11 @@ class SimProcess:
 
     def emit(self, category: str, **data: Any) -> None:
         """Write to the run-wide event log, tagged with this process."""
-        self.sim.emit(category, str(self.address), **data)
+        source = self._addr_str
+        if source is None:
+            self.address  # populate the cache (raises if unbound)
+            source = self._addr_str
+        self.sim.emit(category, source, **data)
 
     # -- hooks -------------------------------------------------------------------
 

@@ -24,9 +24,13 @@ class AppStatus(enum.Enum):
     FAILED = "failed"
     TERMINATED = "terminated"
 
-    @property
-    def terminal(self) -> bool:
-        return self in (AppStatus.DONE, AppStatus.FAILED, AppStatus.TERMINATED)
+
+# ``terminal`` is a plain member attribute, not a property: status checks sit
+# on per-event hot paths (samplers, watchdogs, dispatch) where descriptor
+# dispatch through the enum metaclass is measurable.
+for _status in AppStatus:
+    _status.terminal = _status in (AppStatus.DONE, AppStatus.FAILED, AppStatus.TERMINATED)
+del _status
 
 
 @dataclass
@@ -67,9 +71,24 @@ class Application:
         #: runtime manager; every instance span is parented under it)
         self.trace: "TraceContext | None" = None
         self.records: dict[tuple[str, int], InstanceRecord] = {}
+        self._by_task: dict[str, list[InstanceRecord]] = {}
         for node in graph:
+            per_task = self._by_task[node.name] = []
             for rank in range(node.instances):
-                self.records[(node.name, rank)] = InstanceRecord(node.name, rank)
+                record = InstanceRecord(node.name, rank)
+                self.records[(node.name, rank)] = record
+                per_task.append(record)
+        #: count of records in DONE state; exact as long as every state
+        #: change goes through :meth:`commit_state` (it does — the runtime
+        #: manager and failover layers are the only writers)
+        self._done_count = 0
+        #: records that have been dispatched and whose state is not yet
+        #: terminal (plus terminal records that still own redundant copies) —
+        #: the telemetry sampler and watchdog scan these instead of all
+        #: records, so per-tick cost tracks live work, not application size
+        self.inflight: dict[tuple[str, int], InstanceRecord] = {}
+        #: records currently in FAILED state (stranded-instance detection)
+        self.failed: dict[tuple[str, int], InstanceRecord] = {}
         self._on_complete: list[Callable[["Application"], None]] = []
 
     # -- queries -----------------------------------------------------------
@@ -78,34 +97,83 @@ class Application:
         return self.records[(task, rank)]
 
     def task_records(self, task: str) -> list[InstanceRecord]:
-        return [r for r in self.records.values() if r.task == task]
+        return list(self._by_task.get(task, ()))
 
     def task_done(self, task: str) -> bool:
         """All instances of *task* completed successfully."""
-        return all(r.state is InstanceState.DONE for r in self.task_records(task))
+        return all(
+            r.state is InstanceState.DONE for r in self._by_task.get(task, ())
+        )
+
+    def task_untouched(self, task: str) -> bool:
+        """No instance of *task* has been dispatched or left PENDING."""
+        return all(
+            r.dispatched_at is None and r.state is InstanceState.PENDING
+            for r in self._by_task.get(task, ())
+        )
 
     def ready_tasks(self) -> list[str]:
         """Tasks whose precedence predecessors are all done and whose own
         instances are still pending."""
-        out = []
-        for node in self.graph:
-            records = self.task_records(node.name)
-            if any(
-                r.dispatched_at is not None or r.state is not InstanceState.PENDING
-                for r in records
-            ):
-                continue
-            if all(self.task_done(p) for p in self.graph.predecessors(node.name)):
-                out.append(node.name)
-        return out
+        done: dict[str, bool] = {}
+        untouched: dict[str, bool] = {}
+        for name, records in self._by_task.items():
+            all_done = True
+            clean = True
+            for r in records:
+                if r.state is not InstanceState.DONE:
+                    all_done = False
+                if r.dispatched_at is not None or r.state is not InstanceState.PENDING:
+                    clean = False
+                if not all_done and not clean:
+                    break
+            done[name] = all_done
+            untouched[name] = clean
+        predecessors = self.graph.predecessors
+        return [
+            node.name
+            for node in self.graph
+            if untouched[node.name] and all(done[p] for p in predecessors(node.name))
+        ]
+
+    def mark_dispatched(self, record: InstanceRecord) -> None:
+        """Register *record* as in flight (called by the runtime manager at
+        every (re-)dispatch, after ``dispatched_at`` is set)."""
+        self.inflight[record.key] = record
+
+    def commit_state(self, record: InstanceRecord, state: InstanceState) -> None:
+        """The single choke point for record state changes: keeps the O(1)
+        done-count (behind :attr:`all_done`) and the in-flight/failed
+        indexes exact. Writers must use this instead of assigning
+        ``record.state`` directly."""
+        old = record.state
+        if old is state:
+            return
+        record.state = state
+        if state is InstanceState.DONE:
+            self._done_count += 1
+        elif old is InstanceState.DONE:
+            self._done_count -= 1
+        if state is InstanceState.FAILED:
+            self.failed[record.key] = record
+        elif old is InstanceState.FAILED:
+            self.failed.pop(record.key, None)
+        if state.terminal:
+            # keep records that still own live redundant copies visible to
+            # the sampler; per-instance state checks filter the dead ones
+            if not record.redundant_copies:
+                self.inflight.pop(record.key, None)
+        elif record.dispatched_at is not None:
+            # failover absorbed a crash: the record is live again
+            self.inflight[record.key] = record
 
     @property
     def all_done(self) -> bool:
-        return all(r.state is InstanceState.DONE for r in self.records.values())
+        return self._done_count == len(self.records)
 
     @property
     def any_failed(self) -> bool:
-        return any(r.state is InstanceState.FAILED for r in self.records.values())
+        return bool(self.failed)
 
     def results(self, task: str) -> list[Any]:
         """Rank-ordered results of a completed task."""

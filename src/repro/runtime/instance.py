@@ -47,9 +47,15 @@ class InstanceState(enum.Enum):
     FAILED = "failed"
     KILLED = "killed"
 
-    @property
-    def terminal(self) -> bool:
-        return self in (InstanceState.DONE, InstanceState.FAILED, InstanceState.KILLED)
+
+# ``terminal`` is a plain member attribute, not a property: the telemetry
+# sampler and watchdog test it once per instance per tick, and descriptor
+# dispatch through the enum metaclass dominates that loop.
+for _state in InstanceState:
+    _state.terminal = _state in (
+        InstanceState.DONE, InstanceState.FAILED, InstanceState.KILLED
+    )
+del _state
 
 
 def _host_compute_count(host: Any) -> int:

@@ -254,10 +254,11 @@ class RuntimeManager:
 
         record.instance = instance
         record.epoch = incarnation
-        record.state = InstanceState.PENDING
+        app.commit_state(record, InstanceState.PENDING)
         record.host_name = host_name
         record.dispatched_at = self.sim.now
         record.placements.append(host_name)
+        app.mark_dispatched(record)
         if self._m_dispatches is not None:
             self._m_dispatches.inc()
         self.sim.emit(
@@ -291,11 +292,14 @@ class RuntimeManager:
         if node.instances > 1:
             mpi_channel = self.channels.get_or_create(f"{app.id}.{node.name}.mpi")
         named: dict[str, Channel] = {}
-        for arc in app.graph.arcs:
-            if arc.kind is not ArcKind.STREAM or node.name not in (arc.src, arc.dst):
-                continue
-            cname = arc.channel or f"{app.id}.{arc.src}->{arc.dst}"
-            named[cname] = self.channels.get_or_create(cname)
+        for arc in app.graph.arcs_from(node.name):
+            if arc.kind is ArcKind.STREAM:
+                cname = arc.channel or f"{app.id}.{arc.src}->{arc.dst}"
+                named[cname] = self.channels.get_or_create(cname)
+        for arc in app.graph.arcs_into(node.name):
+            if arc.kind is ArcKind.STREAM:
+                cname = arc.channel or f"{app.id}.{arc.src}->{arc.dst}"
+                named[cname] = self.channels.get_or_create(cname)
         return mpi_channel, named
 
     def _stage_in_delay(self, app: Application, node: "TaskNode", host_name: str) -> float:
@@ -341,7 +345,7 @@ class RuntimeManager:
                 current=record.epoch,
             )
             return
-        record.state = state
+        app.commit_state(record, state)
         record.finished_at = self.sim.now
         if self._m_task_exits is not None:
             self._m_task_exits.labels(state.value).inc()
@@ -352,7 +356,7 @@ class RuntimeManager:
         if state is InstanceState.DONE:
             record.result = instance.result
             self._kill_redundant_copies(record, "primary-done")
-            self._advance(app)
+            self._advance(app, completed=record.task)
         elif state is InstanceState.FAILED:
             if app.status.terminal:
                 return
@@ -373,7 +377,14 @@ class RuntimeManager:
                 copy.kill(reason)
         record.redundant_copies.clear()
 
-    def _advance(self, app: Application) -> None:
+    def _advance(self, app: Application, completed: str | None = None) -> None:
+        """Dispatch whatever a completion made ready.
+
+        With *completed* (the task whose instance just committed DONE) only
+        that task's successors are examined — readiness can only change when
+        the last blocking predecessor finishes, so the full-graph rescan is
+        reserved for callers with no completion context (e.g. ``submit``).
+        """
         if app.status.terminal:
             return
         if app.all_done:
@@ -385,6 +396,18 @@ class RuntimeManager:
             self.sim.emit("app.done", app.id, makespan=app.makespan,
                           **trace_fields(app.trace))
             self.checkpoints.drop_app(app.id)
+            return
+        if completed is not None:
+            if not app.task_done(completed):
+                return  # sibling ranks still running; nothing newly ready
+            graph = app.graph
+            for task in graph.successors(completed):
+                # parallel arcs may repeat a successor; the untouched check
+                # goes False after the first dispatch, so repeats are no-ops
+                if app.task_untouched(task) and all(
+                    app.task_done(p) for p in graph.predecessors(task)
+                ):
+                    self._dispatch_task(app, task)
             return
         for task in app.ready_tasks():
             self._dispatch_task(app, task)

@@ -88,6 +88,11 @@ class SchedulerDaemon(IsisMember):
         self.directory = directory
         self.daemon_config = config or DaemonConfig()
         self.hosted: dict[str, int] = {}  # app id -> instances hosted here
+        self._hosted_total = 0  # incrementally-maintained sum of hosted values
+        # load is asked for several times per disclosure (can-bid check, the
+        # bid itself, decline emits); cache it per (timestamp, hosted) epoch
+        self._load_cache_time = -1.0
+        self._load_cache = 0.0
         self.pending_queue = AgingQueue(self.daemon_config.aging_rate)
         self._collecting: dict[str, ResourceRequest] = {}
         self._first_enqueued: dict[str, float] = {}
@@ -109,14 +114,19 @@ class SchedulerDaemon(IsisMember):
     # ------------------------------------------------------------------ load
 
     def hosted_instances(self) -> int:
-        return sum(self.hosted.values())
+        return self._hosted_total
 
     def current_load(self) -> float:
-        """Background (locally-initiated) load plus VCE-hosted work."""
-        return (
-            self.machine.load_at(self.now)
-            + self.daemon_config.per_instance_load * self.hosted_instances()
-        )
+        """Background (locally-initiated) load plus VCE-hosted work.
+        Cached per simulation timestamp (hosting changes invalidate)."""
+        now = self.now
+        if now != self._load_cache_time:
+            self._load_cache = (
+                self.machine.load_at(now)
+                + self.daemon_config.per_instance_load * self._hosted_total
+            )
+            self._load_cache_time = now
+        return self._load_cache
 
     def can_bid(self) -> bool:
         return (
@@ -166,6 +176,8 @@ class SchedulerDaemon(IsisMember):
             return
         if isinstance(payload, ExecutionInfo):
             self.hosted[payload.app] = self.hosted.get(payload.app, 0) + len(payload.tasks)
+            self._hosted_total += len(payload.tasks)
+            self._load_cache_time = -1.0
             self.emit("sched.hosting", app=payload.app, count=len(payload.tasks))
             return
         if isinstance(payload, SetPriority):
@@ -173,7 +185,8 @@ class SchedulerDaemon(IsisMember):
             return
         if isinstance(payload, TerminateNotice):
             if payload.app in self.hosted:
-                del self.hosted[payload.app]
+                self._hosted_total -= self.hosted.pop(payload.app)
+                self._load_cache_time = -1.0
                 self.emit("sched.released", app=payload.app)
                 # capacity freed: give queued requests another chance
                 if self.is_coordinator and self.pending_queue:
@@ -315,14 +328,9 @@ class SchedulerDaemon(IsisMember):
             self._first_enqueued.pop(payload, None)
         elif kind == "queue_reprioritize":
             req_id, priority = payload
-            for item in self.pending_queue._items:
-                if item.request.req_id == req_id:
-                    import dataclasses as _dc
-
-                    item.request = _dc.replace(item.request, priority=priority)
-                    if self.is_coordinator:
-                        self.emit("sched.reprioritized", req_id=req_id, priority=priority)
-                    break
+            if self.pending_queue.reprioritize(req_id, priority):
+                if self.is_coordinator:
+                    self.emit("sched.reprioritized", req_id=req_id, priority=priority)
 
     def on_group_request(self, requester: Address, body: Any, reply: Callable[[Any], None]) -> None:
         if isinstance(body, tuple) and body and body[0] == "disclose":

@@ -140,6 +140,12 @@ class ExecutionProgram(SimProcess):
         self._replies: dict[MachineClass, tuple[MachineBid, ...]] = {}
         self._retries: dict[str, int] = {}
         self._req_spans: dict[str, TraceContext] = {}  # req_id -> alloc span
+        self._request_cache: dict[str, ResourceRequest] = {}
+        self._tasks_by_class: dict[MachineClass, list[str]] = {}
+        # (bids identity, requirements signature) -> feasible machine list;
+        # tasks with identical requirements share the returned list object,
+        # letting placement policies cache derived sets by id()
+        self._feas_cache: dict[tuple, list[str]] = {}
 
     # ---------------------------------------------------------------- start
 
@@ -149,7 +155,8 @@ class ExecutionProgram(SimProcess):
         self.trace = TraceContext(self.sim.ids.next("trace"), self.sim.ids.next("span"))
         self.emit("exec.submit", app=self.app_id, **self.trace.fields())
         self.run_handle.requested_at = self.now
-        missing = [t for t in self.class_map if t not in {n.name for n in self.graph}]
+        known = {n.name for n in self.graph}
+        missing = [t for t in self.class_map if t not in known]
         if missing:
             self._fail(f"class map names unknown tasks: {missing}")
             return
@@ -158,17 +165,24 @@ class ExecutionProgram(SimProcess):
             cls = self.class_map.get(node.name)
             if cls is not None:
                 by_class[cls].append(node.name)
+        self._tasks_by_class = dict(by_class)
         if not by_class:
             # purely local application
             self._allocate_and_go()
             return
+        # batch fan-out: validate and construct every request before the
+        # first send so a missing group fails the run without half the
+        # leaders already bidding on a doomed application
+        requests = []
         for cls, tasks in by_class.items():
-            self._send_request(cls, tasks)
+            if not self.directory.has_group(cls):
+                self._fail(f"no {cls} group is on line")
+                return
+            requests.append(self._build_request(cls, tasks))
+        for request in requests:
+            self._send_request(request)
 
-    def _send_request(self, cls: MachineClass, tasks: list[str]) -> None:
-        if not self.directory.has_group(cls):
-            self._fail(f"no {cls} group is on line")
-            return
+    def _build_request(self, cls: MachineClass, tasks: list[str]) -> ResourceRequest:
         modules = []
         for task in tasks:
             node = self.graph.task(task)
@@ -180,7 +194,7 @@ class ExecutionProgram(SimProcess):
         assert self.trace is not None
         req_span = self.trace.child(self.sim.ids.next("span"))
         self._req_spans[req_id] = req_span
-        request = ResourceRequest(
+        return ResourceRequest(
             req_id=req_id,
             app=self.app_id or "?",
             machine_class=cls,
@@ -190,12 +204,15 @@ class ExecutionProgram(SimProcess):
             queue_if_insufficient=self.queue_if_insufficient,
             trace=req_span,
         )
+
+    def _send_request(self, request: ResourceRequest) -> None:
+        cls = request.machine_class
+        req_id = request.req_id
         self._pending[req_id] = cls
         self.emit("exec.request", app=self.app_id, cls=cls.value, req_id=req_id,
-                  needed=request.total_min, **req_span.fields())
+                  needed=request.total_min, **trace_fields(request.trace))
         self.send(self.directory.leader(cls), request, size=512)
         self.set_timer(self.REQUEST_TIMEOUT, f"reqto:{req_id}")
-        self._request_cache = getattr(self, "_request_cache", {})
         self._request_cache[req_id] = request
 
     # -------------------------------------------------------------- replies
@@ -311,7 +328,7 @@ class ExecutionProgram(SimProcess):
                     placement.assign(node.name, rank, self.host.name)
         # remote tasks per class
         for cls, bids in self._replies.items():
-            tasks = [t for t, c in self.class_map.items() if c is cls]
+            tasks = self._tasks_by_class.get(cls, [])
             for bid in bids:
                 daemons_by_machine[bid.machine] = bid.daemon
             needs = []
@@ -347,11 +364,16 @@ class ExecutionProgram(SimProcess):
     def _feasible_machines(self, task: str, bids: tuple[MachineBid, ...]) -> list[str]:
         node = self.graph.task(task)
         reqs = {k: v for k, v in node.hardware_requirements().items() if k != "files"}
-        out = []
-        for bid in bids:
-            machine = self.database.get(bid.machine)
-            if machine.satisfies(reqs):
-                out.append(bid.machine)
+        # tasks sharing a requirements signature get the *same* list object,
+        # so feasibility is checked once per distinct signature rather than
+        # once per task, and policies can key caches on id(candidates)
+        key = (id(bids), tuple(sorted((k, repr(v)) for k, v in reqs.items())))
+        cached = self._feas_cache.get(key)
+        if cached is not None:
+            return cached
+        database = self.database
+        out = [b.machine for b in bids if database.get(b.machine).satisfies(reqs)]
+        self._feas_cache[key] = out
         return out
 
     # ------------------------------------------------------------ completion

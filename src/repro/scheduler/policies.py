@@ -43,16 +43,35 @@ def _bid_order(bids: list[MachineBid]) -> list[str]:
 
 
 def load_sorted_assignment(needs: list[Need], bids: list[MachineBid]) -> Assignment:
-    """Least-loaded machines to instances, one instance per machine."""
-    free = _bid_order(bids)
+    """Least-loaded machines to instances, one instance per machine.
+
+    Equivalent to scanning the load-sorted machine list from the front for
+    every instance, but instances sharing a candidates *object* (every rank
+    of a task, and — via the execution program's feasibility cache — every
+    task with the same hardware signature) resume the scan from a per-set
+    cursor instead of rescanning: machines behind the cursor are already
+    taken or infeasible for that set, permanently.
+    """
+    order = _bid_order(bids)
+    n = len(order)
+    taken: set[str] = set()
+    allowed_sets: dict[int, set[str]] = {}
+    cursors: dict[int, int] = {}
     out: Assignment = {}
     for task, rank, candidates in needs:
-        allowed = set(candidates)
-        for machine in free:
-            if machine in allowed:
+        key = id(candidates)
+        allowed = allowed_sets.get(key)
+        if allowed is None:
+            allowed = allowed_sets[key] = set(candidates)
+        i = cursors.get(key, 0)
+        while i < n:
+            machine = order[i]
+            i += 1
+            if machine in allowed and machine not in taken:
                 out[(task, rank)] = machine
-                free.remove(machine)
+                taken.add(machine)
                 break
+        cursors[key] = i
     return out
 
 

@@ -23,6 +23,10 @@ class TaskGraph:
         self.name = name
         self._nodes: dict[str, TaskNode] = {}
         self._arcs: list[Arc] = []
+        # adjacency indexes (arc insertion order preserved): neighbourhood
+        # queries are on the dispatch hot path and must not scan every arc
+        self._arcs_out: dict[str, list[Arc]] = {}
+        self._arcs_in: dict[str, list[Arc]] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -37,6 +41,8 @@ class TaskGraph:
             if end not in self._nodes:
                 raise TaskGraphError(f"arc references unknown task {end!r}")
         self._arcs.append(arc)
+        self._arcs_out.setdefault(arc.src, []).append(arc)
+        self._arcs_in.setdefault(arc.dst, []).append(arc)
         return arc
 
     def connect(
@@ -76,22 +82,26 @@ class TaskGraph:
         return list(self._arcs)
 
     def arcs_from(self, name: str) -> list[Arc]:
-        return [a for a in self._arcs if a.src == name]
+        return list(self._arcs_out.get(name, ()))
 
     def arcs_into(self, name: str) -> list[Arc]:
-        return [a for a in self._arcs if a.dst == name]
+        return list(self._arcs_in.get(name, ()))
 
     def predecessors(self, name: str) -> list[str]:
         """Tasks that must complete before *name* may start."""
-        return [a.src for a in self._arcs if a.dst == name and a.kind.is_precedence]
+        return [a.src for a in self._arcs_in.get(name, ()) if a.kind.is_precedence]
 
     def successors(self, name: str) -> list[str]:
-        return [a.dst for a in self._arcs if a.src == name and a.kind.is_precedence]
+        return [a.dst for a in self._arcs_out.get(name, ()) if a.kind.is_precedence]
 
     def stream_peers(self, name: str) -> list[str]:
         """Tasks this one exchanges messages with at runtime."""
-        peers = [a.dst for a in self._arcs if a.src == name and a.kind is ArcKind.STREAM]
-        peers += [a.src for a in self._arcs if a.dst == name and a.kind is ArcKind.STREAM]
+        peers = [
+            a.dst for a in self._arcs_out.get(name, ()) if a.kind is ArcKind.STREAM
+        ]
+        peers += [
+            a.src for a in self._arcs_in.get(name, ()) if a.kind is ArcKind.STREAM
+        ]
         return peers
 
     # -- analyses ---------------------------------------------------------------
@@ -203,7 +213,9 @@ class TaskGraph:
 
     def subset(self, names: Iterable[str]) -> "TaskGraph":
         """Induced subgraph on *names* (used by per-group dispatch)."""
-        keep = set(names)
+        # dict, not set: node insertion order must follow the caller's order,
+        # not hash order, or downstream dispatch order becomes seed-dependent
+        keep = dict.fromkeys(names)
         out = TaskGraph(f"{self.name}.subset")
         for name in keep:
             out.add_task(self.task(name))

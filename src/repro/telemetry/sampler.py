@@ -101,7 +101,9 @@ class ClusterSampler(SimProcess):
     def _inflight_by_host(self) -> dict[str, int]:
         out: dict[str, int] = {}
         for app in self.runtime.apps.values():
-            for record in app.records.values():
+            # the app maintains its in-flight record index exactly, so this
+            # scan costs O(live instances), not O(application size)
+            for record in app.inflight.values():
                 for inst in (record.instance, *record.redundant_copies):
                     if inst is not None and not inst.state.terminal and inst.host is not None:
                         out[inst.host.name] = out.get(inst.host.name, 0) + 1

@@ -184,7 +184,7 @@ class HealthWatchdog:
         for app in self.runtime.apps.values():
             if app.status.terminal:
                 continue
-            for record in app.records.values():
+            for record in list(app.inflight.values()):
                 inst = record.instance
                 if inst is None or inst.state.terminal or record.dispatched_at is None:
                     continue
@@ -240,9 +240,9 @@ class HealthWatchdog:
     def _check_bid_starvation(self, now: float):
         cfg = self.config
         for host_name, daemon in self._daemon_order:
-            if not daemon.pending_queue._items or not daemon.is_coordinator:
+            if not daemon.pending_queue or not daemon.is_coordinator:
                 continue
-            for item in daemon.pending_queue._items:
+            for item in daemon.pending_queue.items():
                 waited = now - item.enqueued_at
                 if waited > cfg.starvation_wait:
                     yield (
@@ -282,18 +282,18 @@ class HealthWatchdog:
         for app in self.runtime.apps.values():
             if app.status.terminal:
                 continue
-            for record in app.records.values():
-                # FAILED state on a live app means a failure handler
-                # (failover) absorbed the crash and re-dispatch is pending
-                if record.state.name == "FAILED":
-                    yield (
-                        "stranded",
-                        f"{app.id}.{record.task}[{record.rank}]",
-                        WARNING,
-                        {
-                            "app": app.id,
-                            "task": record.task,
-                            "rank": record.rank,
-                            "host": record.host_name,
-                        },
-                    )
+            # FAILED state on a live app means a failure handler (failover)
+            # absorbed the crash and re-dispatch is pending; the app indexes
+            # those records so this is O(stranded), not O(records)
+            for record in list(app.failed.values()):
+                yield (
+                    "stranded",
+                    f"{app.id}.{record.task}[{record.rank}]",
+                    WARNING,
+                    {
+                        "app": app.id,
+                        "task": record.task,
+                        "rank": record.rank,
+                        "host": record.host_name,
+                    },
+                )

@@ -19,6 +19,13 @@ Two properties matter at scale:
   memory flat without blinding the metrics and telemetry layers. The old
   ``disable()`` (drop everything) is deprecated and now means
   ``set_bounded(0)``.
+- **Emit cost.** ``suppress(prefix, ...)`` turns matching categories into a
+  counter increment — no record object, no payload formatting.  Emitters
+  with expensive payloads can pass callables as data values; they are
+  invoked only when the record is actually stored, so a suppressed
+  category costs near zero even at chatty call sites.  Suppression changes
+  which records exist, so never enable it in a run whose replay digest is
+  compared against an unsuppressed one.
 """
 
 from __future__ import annotations
@@ -67,6 +74,8 @@ class EventLog:
         self._last: dict[str, LogRecord] = {}
         # full-mode index: category -> positions in self._records
         self._index: dict[str, list[int]] = {}
+        # category prefixes whose emits are counted but not stored
+        self._suppressed: tuple[str, ...] = ()
         if capacity is not None:
             self.set_bounded(capacity)
 
@@ -74,9 +83,23 @@ class EventLog:
 
     def emit(self, time: float, category: str, source: str, **data: Any) -> None:
         """Append a record (kept whole, ring-buffered, or counted-only
-        depending on the mode — see module docstring)."""
+        depending on the mode — see module docstring).
+
+        Payload values may be zero-argument callables: they are resolved here,
+        and only when the record survives suppression — chatty emitters can
+        defer expensive formatting (member lists, repr-heavy summaries) behind
+        a lambda and pay nothing while their category is suppressed.
+        """
+        counts = self._counts
+        suppressed = self._suppressed
+        if suppressed and category.startswith(suppressed):
+            counts[category] = counts.get(category, 0) + 1
+            return
+        for key, value in data.items():
+            if callable(value):
+                data[key] = value()
         record = LogRecord(time, category, source, data)
-        self._counts[category] = self._counts.get(category, 0) + 1
+        counts[category] = counts.get(category, 0) + 1
         if category not in self._first:
             self._first[category] = record
         self._last[category] = record
@@ -86,6 +109,31 @@ class EventLog:
             return
         self._index.setdefault(category, []).append(len(self._records))
         self._records.append(record)
+
+    def suppress(self, *prefixes: str) -> None:
+        """Stop storing records whose category starts with any of *prefixes*.
+
+        Suppressed categories keep exact :meth:`count` totals (one dict
+        increment per emit) but produce no records and no first/last — the
+        near-zero-cost mode for categories a run does not care about.  Each
+        prefix matches as a plain string prefix (``"isis.hb"`` also matches
+        ``"isis.hbx"``); pass dotted prefixes like ``"isis."`` to scope to a
+        subsystem.
+        """
+        self._suppressed = tuple(dict.fromkeys(self._suppressed + prefixes))
+
+    def unsuppress(self) -> None:
+        """Store every category again (counts taken while suppressed remain)."""
+        self._suppressed = ()
+
+    @property
+    def suppressed(self) -> tuple[str, ...]:
+        return self._suppressed
+
+    def enabled(self, category: str) -> bool:
+        """True when emits for *category* are stored (O(#prefixes))."""
+        suppressed = self._suppressed
+        return not (suppressed and category.startswith(suppressed))
 
     def set_bounded(self, capacity: int) -> None:
         """Keep only the last *capacity* records from now on.

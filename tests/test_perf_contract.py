@@ -1,0 +1,204 @@
+"""Performance *contracts* for the kernel and scheduler hot paths.
+
+These tests pin the algorithmic properties the perf pass bought —
+instrumentation-based, never wall-clock, so they are immune to CI noise:
+
+- ``Simulator.pending`` is O(1): it must not iterate the heap.
+- Cancel-heavy churn cannot grow the heap without bound: tombstones are
+  compacted once they dominate.
+- ``AgingQueue`` index operations (push/contains/remove/reprioritize/
+  peek/pop) never take a linear pass over the queued items.
+- Kernel pop order is the (time, seq) total order and ``pending`` always
+  equals the brute-force live-entry count — property-tested over random
+  interleavings of schedule/schedule_at/call_soon/cancel.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.kernel import Simulator
+from repro.scheduler.messages import ResourceRequest
+from repro.scheduler.queue import AgingQueue
+
+
+class _CountingHeap(list):
+    """A heap list that counts full iterations (len() stays free)."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.iterations = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+
+class TestKernelContracts:
+    def test_pending_is_o1(self):
+        """``pending`` must come from counters, not a heap scan."""
+        sim = Simulator(0)
+        timers = [sim.schedule(float(i % 7) + 0.5, lambda: None) for i in range(500)]
+        for timer in timers[::3]:
+            timer.cancel()
+        probe = _CountingHeap(sim._heap)
+        sim._heap = probe
+        live = 500 - len(timers[::3])
+        for _ in range(200):
+            assert sim.pending == live
+        assert probe.iterations == 0, "pending iterated the heap"
+
+    def test_cancel_churn_keeps_heap_bounded(self):
+        """Retry-timer churn (schedule then cancel, repeatedly) must not
+        accumulate tombstones past the compaction threshold."""
+        sim = Simulator(0)
+        keep = [sim.schedule(1e6 + i, lambda: None) for i in range(10)]
+        for _ in range(200):
+            batch = [sim.schedule(100.0 + i, lambda: None) for i in range(50)]
+            for timer in batch:
+                timer.cancel()
+        assert sim.pending == len(keep)
+        assert sim.compactions > 0
+        # heap may hold up to ~half tombstones between compactions, never
+        # the 10k cancelled entries this loop produced
+        assert len(sim._heap) <= 2 * len(keep) + 128
+        sim.run(until=50.0)
+        assert sim.pending == len(keep)
+
+    def test_cancelling_fired_timer_is_inert(self):
+        """A cancel after firing must not corrupt the live-event counter
+        (which would make run() stop early or spin)."""
+        sim = Simulator(0)
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(1))
+        anchor = sim.schedule(5.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [1]
+        timer.cancel()  # already fired: must be a no-op
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1, 2]
+
+
+def _request(req_id: str, priority: float = 0.0) -> ResourceRequest:
+    return ResourceRequest(
+        req_id=req_id,
+        app=f"app-{req_id}",
+        machine_class=None,
+        modules=(),
+        reply_to=None,
+        priority=priority,
+    )
+
+
+class TestAgingQueueContracts:
+    def test_index_operations_take_no_linear_pass(self):
+        """push/contains/remove/reprioritize/peek/pop on a populated queue
+        must not visit the other queued items (``stats['item_visits']``
+        counts elements touched by linear passes)."""
+        queue = AgingQueue(aging_rate=0.1)
+        for i in range(300):
+            queue.push(_request(f"r{i}", priority=float(i % 11)), now=float(i))
+        queue.stats["item_visits"] = 0
+        for i in range(0, 300, 7):
+            assert f"r{i}" in queue
+        queue.push(_request("r3"), now=5.0)  # duplicate: O(1) no-op
+        queue.remove("r7")
+        queue.reprioritize("r11", 99.0)
+        assert queue.peek(now=500.0) is not None
+        popped = queue.pop(now=500.0)
+        assert popped.request.req_id == "r11"
+        assert queue.stats["item_visits"] == 0, (
+            "an index operation rescanned the queue"
+        )
+
+    def test_items_snapshot_is_the_linear_pass(self):
+        queue = AgingQueue()
+        for i in range(10):
+            queue.push(_request(f"r{i}"), now=float(i))
+        queue.stats["item_visits"] = 0
+        assert len(queue.items()) == 10
+        assert queue.stats["item_visits"] == 10
+
+    def test_remove_churn_keeps_heap_bounded(self):
+        """Coordinator-side churn (push + satisfied-elsewhere removals)
+        must compact stale heap entries instead of accumulating them."""
+        queue = AgingQueue()
+        for round_ in range(100):
+            for i in range(20):
+                queue.push(_request(f"r{round_}.{i}"), now=float(round_))
+            for i in range(20):
+                queue.remove(f"r{round_}.{i}")
+        assert len(queue) == 0
+        assert queue.stats["compactions"] > 0
+        assert len(queue._heap) <= 64
+
+    def test_aged_order_survives_rate_change(self):
+        """Setting ``aging_rate`` re-keys the heap; order must follow the
+        new rate immediately."""
+        queue = AgingQueue(aging_rate=0.0)
+        queue.push(_request("old", priority=0.0), now=0.0)
+        queue.push(_request("vip", priority=5.0), now=100.0)
+        assert queue.peek(now=100.0).request.req_id == "vip"
+        queue.aging_rate = 1.0  # now the old request's age dominates
+        assert queue.peek(now=100.0).request.req_id == "old"
+
+
+# --------------------------------------------------------- property tests
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "schedule_at", "call_soon", "cancel", "cancel_fired"]),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=500),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestKernelProperties:
+    @settings(deadline=None, max_examples=120)
+    @given(ops=_OPS)
+    def test_pop_order_and_pending_count(self, ops):
+        """Under arbitrary interleavings of the scheduling API the kernel
+        must (a) report ``pending`` equal to the brute-force count of live
+        unfired entries and (b) fire callbacks in exact (time, seq) order."""
+        sim = Simulator(0)
+        timers = []
+        fired: list[tuple[float, int]] = []
+
+        def make_cb(entry):
+            return lambda: fired.append((entry.time, entry.seq))
+
+        for op, delay, index in ops:
+            if op == "schedule":
+                timer = sim.schedule(delay, lambda: None)
+                timer._entry.callback = make_cb(timer._entry)
+                timers.append(timer)
+            elif op == "schedule_at":
+                timer = sim.schedule_at(delay, lambda: None)
+                timer._entry.callback = make_cb(timer._entry)
+                timers.append(timer)
+            elif op == "call_soon":
+                timer = sim.call_soon(lambda: None)
+                timer._entry.callback = make_cb(timer._entry)
+                timers.append(timer)
+            elif op == "cancel" and timers:
+                timers[index % len(timers)].cancel()
+            elif op == "cancel_fired" and timers:
+                # cancel twice: double-cancel must also be inert
+                timer = timers[index % len(timers)]
+                timer.cancel()
+                timer.cancel()
+            brute = sum(
+                1 for e in sim._heap if not e.cancelled and not e.fired
+            )
+            assert sim.pending == brute
+
+        expected = sorted(
+            (t._entry.time, t._entry.seq)
+            for t in timers
+            if not t._entry.cancelled
+        )
+        sim.run()
+        assert fired == expected
+        assert sim.pending == 0

@@ -327,6 +327,9 @@ class _StubDaemon:
     def pending_queue(self):
         return self
 
+    def items(self):
+        return list(self._items)
+
     def __len__(self):
         return len(self._items)
 
