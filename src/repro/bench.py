@@ -31,6 +31,12 @@ Workloads (full / ``--quick``):
 - ``chaos-mix`` — the weather + pipeline soak under the ``chaos-mix``
   fault schedule with reliable transport and failover: retry timers,
   cancellations, view changes, re-dispatch.
+
+``repro bench --backend sharded --shards N`` runs the same workloads on the
+sharded backend; replay digests are backend-invariant, so
+:func:`check_backend_parity` gates a sharded run against the serial
+baseline's digests while :func:`check_against_baseline` gates its ratios
+against the ``sharded`` section ratcheted by ``benchmarks/bench_kernel.py``.
 """
 
 from __future__ import annotations
@@ -134,7 +140,9 @@ def _measure(name: str, scenario: Callable[[], tuple], repeats: int) -> BenchRes
     )
 
 
-def _run_randomdag(layers: int, width: int, seed: int = 7):
+def _run_randomdag(
+    layers: int, width: int, seed: int = 7, backend: str = "serial", shards: int = 4
+):
     from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
     from repro.scheduler.execution_program import RunState
     from repro.workloads import build_random_dag
@@ -142,7 +150,7 @@ def _run_randomdag(layers: int, width: int, seed: int = 7):
     graph = build_random_dag(layers=layers, width=width, seed=seed)
     instances = sum(node.instances for node in graph)
     vce = VirtualComputingEnvironment(
-        workstation_cluster(4), VCEConfig(seed=seed)
+        workstation_cluster(4), VCEConfig(seed=seed, backend=backend, shards=shards)
     ).boot()
     run = vce.submit(graph, class_map={node.name: None for node in graph})
     vce.run_to_completion(run, timeout=1_000_000.0)
@@ -150,7 +158,9 @@ def _run_randomdag(layers: int, width: int, seed: int = 7):
     return vce, instances
 
 
-def _run_stencil(ranks: int, iterations: int, seed: int = 7):
+def _run_stencil(
+    ranks: int, iterations: int, seed: int = 7, backend: str = "serial", shards: int = 4
+):
     from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
     from repro.machines import MachineClass
     from repro.scheduler.execution_program import RunState
@@ -158,7 +168,7 @@ def _run_stencil(ranks: int, iterations: int, seed: int = 7):
 
     graph = build_stencil_graph(ranks=ranks, cells=64, iterations=iterations)
     vce = VirtualComputingEnvironment(
-        workstation_cluster(ranks), VCEConfig(seed=seed)
+        workstation_cluster(ranks), VCEConfig(seed=seed, backend=backend, shards=shards)
     ).boot()
     run = vce.submit(graph, class_map={"grid": MachineClass.WORKSTATION})
     vce.run_to_completion(run, timeout=100_000.0)
@@ -166,14 +176,20 @@ def _run_stencil(ranks: int, iterations: int, seed: int = 7):
     return vce, ranks
 
 
-def _run_chaos_mix(stage_work: float, seed: int = 3):
+def _run_chaos_mix(
+    stage_work: float, seed: int = 3, backend: str = "serial", shards: int = 4
+):
     from repro.core import VCEConfig, VirtualComputingEnvironment, heterogeneous_cluster
     from repro.migration.failover import FailoverConfig
     from repro.scheduler.execution_program import RunState
     from repro.workloads import WEATHER_SCRIPT, build_pipeline_graph, weather_programs
 
     config = VCEConfig(
-        seed=seed, reliable_transport=True, failover=FailoverConfig()
+        seed=seed,
+        backend=backend,
+        shards=shards,
+        reliable_transport=True,
+        failover=FailoverConfig(),
     )
     vce = VirtualComputingEnvironment(heterogeneous_cluster(), config).boot()
     vce.chaos("chaos-mix", seed=seed)
@@ -191,37 +207,48 @@ def _run_chaos_mix(stage_work: float, seed: int = 3):
 
 
 #: name -> (full-mode scenario, quick-mode scenario, full repeats, quick repeats)
+#: scenarios accept ``backend=``/``shards=`` keywords (see run_suite)
 WORKLOADS: dict[str, tuple] = {
     "randomdag-1k": (
-        lambda: _run_randomdag(layers=40, width=50),
-        lambda: _run_randomdag(layers=12, width=25),
+        lambda **kw: _run_randomdag(layers=40, width=50, **kw),
+        lambda **kw: _run_randomdag(layers=12, width=25, **kw),
         1,
         1,
     ),
     "randomdag-5k": (
-        lambda: _run_randomdag(layers=100, width=100),
+        lambda **kw: _run_randomdag(layers=100, width=100, **kw),
         None,  # full-size only: ~1.4M events is too slow for a smoke gate
         1,
         0,
     ),
     "stencil": (
-        lambda: _run_stencil(ranks=8, iterations=40),
-        lambda: _run_stencil(ranks=4, iterations=12),
+        lambda **kw: _run_stencil(ranks=8, iterations=40, **kw),
+        lambda **kw: _run_stencil(ranks=4, iterations=12, **kw),
         3,
         3,
     ),
     "chaos-mix": (
-        lambda: _run_chaos_mix(stage_work=15.0),
-        lambda: _run_chaos_mix(stage_work=15.0),
+        lambda **kw: _run_chaos_mix(stage_work=15.0, **kw),
+        lambda **kw: _run_chaos_mix(stage_work=15.0, **kw),
         3,
         3,
     ),
 }
 
 
-def run_suite(quick: bool = False, pump_events: int = 100_000) -> dict:
+def run_suite(
+    quick: bool = False,
+    pump_events: int = 100_000,
+    backend: str = "serial",
+    shards: int = 4,
+) -> dict:
     """Run every workload; returns the ``BENCH_kernel.json`` payload shape
-    (one ``workloads`` map plus the pump yardstick)."""
+    (one ``workloads`` map plus the pump yardstick).
+
+    *backend*/*shards* select the simulation backend under test; replay
+    digests are backend-invariant, so a sharded suite can be diffed
+    against the serial baseline with :func:`check_backend_parity`.
+    """
     rate = pump_rate(pump_events)
     results: dict[str, dict] = {}
     for name, (full, quick_fn, full_repeats, quick_repeats) in WORKLOADS.items():
@@ -229,11 +256,15 @@ def run_suite(quick: bool = False, pump_events: int = 100_000) -> dict:
         repeats = quick_repeats if quick else full_repeats
         if scenario is None or repeats == 0:
             continue
-        result = _measure(name, scenario, repeats)
+        result = _measure(
+            name, lambda: scenario(backend=backend, shards=shards), repeats
+        )
         result.normalized_ratio = round(result.events_per_sec / rate, 4)
         results[name] = result.to_dict()
     return {
         "mode": "quick" if quick else "full",
+        "backend": backend,
+        "shards": shards if backend == "sharded" else 1,
         "pump_events_per_sec": round(rate, 1),
         "workloads": results,
     }
@@ -269,3 +300,92 @@ def check_against_baseline(
                 "(update the baseline if this is an intended behaviour change)"
             )
     return failures
+
+
+def check_backend_parity(current: dict, serial_baseline: dict) -> list[str]:
+    """A non-serial backend must replay the serial baseline byte-identically.
+
+    Compares every shared workload's replay digest and simulated event
+    count against the *serial* baseline section for the same mode — the
+    backend contract (see docs/PARALLELISM.md) is that partitioning is
+    invisible to the event schedule. Returns failure messages.
+    """
+    failures: list[str] = []
+    base_workloads = serial_baseline.get("workloads", {})
+    for name, result in current.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        if result["digest"] != base["digest"]:
+            failures.append(
+                f"{name}: {current.get('backend', '?')} backend replay digest "
+                f"{result['digest'][:16]}... diverged from the serial "
+                f"baseline {base['digest'][:16]}... — backend invariance broken"
+            )
+        if result["sim_events"] != base["sim_events"]:
+            failures.append(
+                f"{name}: simulated event count {result['sim_events']} != "
+                f"serial baseline {base['sim_events']}"
+            )
+    return failures
+
+
+def check_sharded_overhead(
+    sharded_suite: dict, serial_suite: dict, floor: float = 0.4
+) -> list[str]:
+    """Same-process throughput gate for the sharded engine.
+
+    Compares the sharded suite's events/sec against a serial suite
+    measured in the *same process* moments apart, so host speed and load
+    cancel out of the ratio — unlike a checked-in baseline, which a busy
+    CI machine can miss by more than any reasonable tolerance. The
+    sharded engine legitimately runs somewhat below serial (window
+    bookkeeping; see docs/PARALLELISM.md), so the floor only catches a
+    drastic engine regression such as an O(shards) scan per event.
+    """
+    failures: list[str] = []
+    for name, result in sharded_suite.get("workloads", {}).items():
+        base = serial_suite.get("workloads", {}).get(name)
+        if base is None or base["events_per_sec"] <= 0:
+            continue
+        ratio = result["events_per_sec"] / base["events_per_sec"]
+        if ratio < floor:
+            failures.append(
+                f"{name}: sharded engine ran at {ratio:.2f}x the serial "
+                f"throughput measured in this process (floor {floor:.2f}x) "
+                "— per-event engine overhead regressed"
+            )
+    return failures
+
+
+def sharded_scaling(
+    workload: str = "randomdag-5k", shard_counts: tuple = (1, 2, 4, 8)
+) -> dict:
+    """Measure events/sec of *workload* under the sharded backend at each
+    shard count (plus the serial kernel as the 0-shard reference) and
+    verify every run replays the serial digest. The ``scaling`` record of
+    BENCH_kernel.json's ``sharded`` section."""
+    full, _, _, _ = WORKLOADS[workload]
+    serial = _measure(workload, lambda: full(), 1)
+    per_shards: dict[str, dict] = {}
+    for n in shard_counts:
+        result = _measure(
+            f"{workload}@{n}", lambda: full(backend="sharded", shards=n), 1
+        )
+        if result.digest != serial.digest:
+            raise AssertionError(
+                f"{workload} at {n} shards diverged from the serial digest"
+            )
+        per_shards[str(n)] = {
+            "events_per_sec": result.events_per_sec,
+            "speedup_vs_serial": round(
+                result.events_per_sec / serial.events_per_sec, 3
+            ),
+        }
+    return {
+        "workload": workload,
+        "sim_events": serial.sim_events,
+        "digest": serial.digest,
+        "serial_events_per_sec": serial.events_per_sec,
+        "per_shards": per_shards,
+    }

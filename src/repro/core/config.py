@@ -16,6 +16,13 @@ class VCEConfig:
 
     Attributes:
         seed: root seed for all randomness.
+        backend: which simulation backend drives the run — ``"serial"``
+            (the single tombstone-heap kernel, the default) or
+            ``"sharded"`` (hosts partitioned across per-shard event heaps
+            with conservative lookahead synchronization; see
+            docs/PARALLELISM.md). Replay digests are backend-invariant.
+        shards: worker-shard count for the ``sharded`` backend (ignored
+            by ``serial``).
         latency: LAN latency/bandwidth model.
         daemon: scheduler-daemon policy knobs.
         isis: group-protocol timing.
@@ -58,6 +65,8 @@ class VCEConfig:
     """
 
     seed: int = 0
+    backend: str = "serial"
+    shards: int = 4
     latency: LatencyModel = field(default_factory=LatencyModel)
     daemon: DaemonConfig = field(default_factory=DaemonConfig)
     isis: IsisConfig = field(default_factory=IsisConfig)

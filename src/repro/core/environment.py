@@ -18,8 +18,8 @@ from repro.metrics.collector import MetricsCollector
 from repro.migration.base import MigrationContext
 from repro.migration.failover import FailoverConfig, FailoverManager
 from repro.migration.selector import MigrationSelector
+from repro.netsim.backend import BACKEND_NAMES, create_simulator
 from repro.netsim.host import Host
-from repro.netsim.kernel import Simulator
 from repro.netsim.network import Network
 from repro.runtime.manager import RuntimeManager
 from repro.scheduler.daemon import SchedulerDaemon
@@ -55,7 +55,14 @@ class VirtualComputingEnvironment:
                 f"unknown verify mode {self.config.verify!r} "
                 f"(expected one of {', '.join(VCEConfig.VERIFY_MODES)})"
             )
-        self.sim = Simulator(self.config.seed)
+        if self.config.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown simulation backend {self.config.backend!r} "
+                f"(expected one of {', '.join(BACKEND_NAMES)})"
+            )
+        self.sim = create_simulator(
+            self.config.seed, backend=self.config.backend, shards=self.config.shards
+        )
         if self.config.telemetry:
             # published before any component is built, so hot paths
             # (runtime manager, channels) can cache metric handles

@@ -7,8 +7,14 @@ reproducible (see DESIGN.md, substitution table).
 
 Layering:
 
-- :class:`Simulator` — the event loop: a priority queue of timestamped
-  callbacks, with cancellable timers.
+- :class:`SimBackend` — the backend seam: the event-loop contract, with
+  :func:`create_simulator` selecting an implementation by name
+  (``VCEConfig.backend``).
+- :class:`Simulator` — the ``serial`` backend: a priority queue of
+  timestamped callbacks, with cancellable timers.
+- :class:`ShardedSimulator` — the ``sharded`` backend: hosts partitioned
+  across per-shard event heaps with conservative lookahead synchronization
+  (see docs/PARALLELISM.md); replay digests stay backend-invariant.
 - :class:`Host` — a simulated machine that owns named :class:`SimProcess`
   actors, can crash and recover.
 - :class:`Network` — delivers messages between hosts under a configurable
@@ -18,13 +24,19 @@ Layering:
   handlers plus ``send`` and ``set_timer`` effects.
 """
 
+from repro.netsim.backend import BACKEND_NAMES, SimBackend, create_simulator
 from repro.netsim.kernel import Simulator, Timer
 from repro.netsim.network import Network, LatencyModel, Message
 from repro.netsim.host import Host, Address
 from repro.netsim.process import SimProcess
+from repro.netsim.sharded import ShardedSimulator
 
 __all__ = [
+    "BACKEND_NAMES",
+    "SimBackend",
+    "create_simulator",
     "Simulator",
+    "ShardedSimulator",
     "Timer",
     "Network",
     "LatencyModel",

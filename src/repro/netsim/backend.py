@@ -1,0 +1,161 @@
+"""The simulation-backend seam.
+
+Everything above the kernel — hosts, network, processes, the whole VCE — talks
+to the event loop through the interface defined here.  :class:`SimBackend`
+names the contract every backend must honour; which implementation a run gets
+is chosen by name (``VCEConfig.backend``) through :func:`create_simulator`.
+
+Two backends ship today:
+
+- ``serial`` — :class:`repro.netsim.kernel.Simulator`, the single tombstone
+  heap.  The historical kernel, byte-identical replay digests, the default.
+- ``sharded`` — :class:`repro.netsim.sharded.ShardedSimulator`, hosts
+  partitioned into N shards by consistent hash, one event heap per shard,
+  conservative synchronization with lookahead derived from link latencies
+  (see docs/PARALLELISM.md).  Replay digests are shard-count-invariant and
+  equal to the serial backend's.
+
+The contract every backend must keep (the conformance suite in
+``tests/test_backend_conformance.py`` enforces it against all backends):
+
+- Events fire in exact ``(time, seq)`` order, where ``seq`` is the global
+  scheduling order — a unique total order, so replay digests are
+  backend-independent.
+- ``call_soon`` entries at one timestamp fire FIFO, after already-queued
+  events at that timestamp.
+- ``cancel`` is lazy, idempotent, and a no-op on terminal entries (fired,
+  already cancelled, or past any chance of being in a heap).
+- ``pending`` equals the number of live (uncancelled, unfired) entries.
+- Daemon events never keep ``run()`` alive.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.util.errors import SimulationError
+
+#: backend names accepted by :func:`create_simulator` / ``VCEConfig.backend``
+BACKEND_NAMES = ("serial", "sharded")
+
+
+class SimBackend(ABC):
+    """Abstract discrete-event backend (see module docstring).
+
+    Timer objects returned by the scheduling calls are duck-typed: they
+    expose ``cancel()``, ``cancelled``, and ``time``.
+    """
+
+    #: registry name of the concrete backend ("serial", "sharded", ...)
+    backend_name: str = "?"
+
+    # -- scheduling --------------------------------------------------------
+
+    @abstractmethod
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> Any:
+        """Run *callback* ``delay`` seconds from now; returns a cancellable
+        timer.  *host* attributes the event to a simulated host so a
+        partitioned backend can place it on the right shard; backends that
+        do not partition ignore it."""
+
+    @abstractmethod
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> Any:
+        """Run *callback* at absolute simulation time *time*."""
+
+    @abstractmethod
+    def call_soon(
+        self,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> Any:
+        """Run *callback* at the current time, after already-queued events
+        at this timestamp (FIFO)."""
+
+    def cancel(self, timer: Any) -> None:
+        """Cancel a timer returned by a scheduling call (sugar for
+        ``timer.cancel()``; kept on the interface so callers holding only
+        the backend can cancel)."""
+        timer.cancel()
+
+    # -- running -----------------------------------------------------------
+
+    @abstractmethod
+    def step(self) -> bool:
+        """Process the single next event; False when nothing is queued."""
+
+    @abstractmethod
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Run the loop; returns the simulation time when it stopped."""
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+
+    @property
+    @abstractmethod
+    def pending(self) -> int:
+        """Number of live (uncancelled, unfired) queued events."""
+
+    # -- topology hooks ----------------------------------------------------
+    #
+    # The network layer announces hosts and link latencies here.  A
+    # partitioned backend uses them to map hosts onto shards and to derive
+    # conservative lookahead per shard pair; the serial backend ignores
+    # them.  Defaults are no-ops so plain Simulator stays zero-overhead.
+
+    def register_host(self, name: str) -> None:
+        """A host named *name* joined the simulated network."""
+
+    def register_default_lookahead(self, lookahead: float) -> None:
+        """Minimum cross-host message delay of the default link model."""
+
+    def register_lookahead(self, host_a: str, host_b: str, lookahead: float) -> None:
+        """Minimum message delay on the (symmetric) link *host_a*–*host_b*
+        (a route override, e.g. a WAN hop)."""
+
+
+def create_simulator(
+    seed: int = 0, backend: str = "serial", shards: int = 4
+) -> "SimBackend":
+    """Build a simulator by backend name (the ``VCEConfig.backend`` seam).
+
+    Args:
+        seed: root seed for every random stream derived from the run.
+        backend: one of :data:`BACKEND_NAMES`.
+        shards: worker-shard count for the ``sharded`` backend (ignored by
+            ``serial``).
+    """
+    if backend == "serial":
+        from repro.netsim.kernel import Simulator
+
+        return Simulator(seed)
+    if backend == "sharded":
+        from repro.netsim.sharded import ShardedSimulator
+
+        return ShardedSimulator(seed, shards=shards)
+    raise SimulationError(
+        f"unknown simulation backend {backend!r} "
+        f"(expected one of {', '.join(BACKEND_NAMES)})"
+    )

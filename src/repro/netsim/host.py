@@ -96,7 +96,7 @@ class Host:
         self._processes[process.name] = process
         process._bind(self)
         if self.up:
-            self.sim.call_soon(process._start)
+            self.sim.call_soon(process._start, host=self.name)
         return process.address
 
     def adopt(self, process: "SimProcess") -> Address:

@@ -1,9 +1,12 @@
-"""The discrete-event loop.
+"""The serial discrete-event backend (the default ``SimBackend``).
 
 A :class:`Simulator` holds a heap of ``(time, sequence, callback)`` entries.
 The sequence number breaks ties so that events scheduled earlier at the same
 timestamp run earlier — a deterministic total order, which is essential for
-reproducible experiments.
+reproducible experiments.  The same total order is the backend contract
+(:class:`repro.netsim.backend.SimBackend`): any backend — this serial heap or
+the sharded engine in :mod:`repro.netsim.sharded` — commits events in
+``(time, seq)`` order, which is why replay digests are backend-invariant.
 
 The loop is a hot path: every message hop, timer tick, and compute slice in a
 run goes through it.  Entries are ``__slots__`` objects with a hand-written
@@ -20,6 +23,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.netsim.backend import SimBackend
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,6 +75,13 @@ class Timer:
             return
         entry.cancelled = True
         sim = self._sim
+        if not sim._heap:
+            # Terminal: the heap has fully drained, so this entry cannot be
+            # queued anywhere a tombstone would be skipped from.  Counting
+            # it would leave the cancelled-entry counter inconsistent with
+            # an empty heap (``pending`` would go negative) and corrupt the
+            # live-event count for later runs.  Mark it cancelled and stop.
+            return
         if not entry.daemon:
             sim._live_nondaemon -= 1
         sim._cancelled_in_heap += 1
@@ -89,8 +100,8 @@ class Timer:
         return self._entry.time
 
 
-class Simulator:
-    """A deterministic discrete-event simulator.
+class Simulator(SimBackend):
+    """A deterministic discrete-event simulator — the ``serial`` backend.
 
     Args:
         seed: root seed for every random stream derived from this run.
@@ -99,6 +110,10 @@ class Simulator:
     and the :class:`RngStreams` factory so that components created for one
     simulation never share state with another.
     """
+
+    backend_name = "serial"
+    #: shard count (the serial kernel is one shard by definition)
+    shard_count = 1
 
     def __init__(self, seed: int = 0) -> None:
         self._heap: list[_Entry] = []
@@ -131,7 +146,11 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
 
     def schedule(
-        self, delay: float, callback: Callable[[], None], daemon: bool = False
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
     ) -> Timer:
         """Run *callback* ``delay`` seconds from now. Returns a cancellable
         :class:`Timer`.
@@ -139,13 +158,21 @@ class Simulator:
         A *daemon* event (periodic monitors, samplers) never keeps the
         simulation alive: ``run()`` without a deadline stops once only
         daemon events remain — the same contract as daemon threads.
+
+        *host* attributes the event to a simulated host; the serial kernel
+        ignores it (one heap serves every host), a partitioned backend uses
+        it to pick the owning shard.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule_at(self._now + delay, callback, daemon=daemon)
 
     def schedule_at(
-        self, time: float, callback: Callable[[], None], daemon: bool = False
+        self,
+        time: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
     ) -> Timer:
         """Run *callback* at absolute simulation time *time*."""
         if time < self._now:
@@ -159,7 +186,12 @@ class Simulator:
             self._live_nondaemon += 1
         return Timer(entry, self)
 
-    def call_soon(self, callback: Callable[[], None], daemon: bool = False) -> Timer:
+    def call_soon(
+        self,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> Timer:
         """Run *callback* at the current time, after already-queued events at
         this timestamp.  Fast path: skips the delay/deadline validation that
         ``schedule``/``schedule_at`` perform, since ``now`` is always legal.

@@ -35,8 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.netsim.backend import SimBackend
 from repro.netsim.host import Address, Host
-from repro.netsim.kernel import Simulator
 from repro.util.errors import SimulationError
 
 
@@ -112,7 +112,7 @@ class Network:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimBackend,
         latency: LatencyModel | None = None,
         fifo: bool = True,
         egress_serialization: bool = False,
@@ -131,6 +131,9 @@ class Network:
         """
         self.sim = sim
         self.latency = latency or LatencyModel()
+        # the default link's base latency is the conservative lookahead a
+        # partitioned backend may assume between any two hosts
+        sim.register_default_lookahead(self.latency.base_latency)
         self.hosts: dict[str, Host] = {}
         self._rng = sim.rng.stream("network.jitter")
         self._drop_rng = sim.rng.stream("network.drop")
@@ -165,6 +168,7 @@ class Network:
             raise SimulationError(f"duplicate host name {host.name!r}")
         self.hosts[host.name] = host
         host.network = self
+        self.sim.register_host(host.name)
         return host
 
     def add_host(self, name: str, speed: float = 1.0) -> Host:
@@ -182,6 +186,7 @@ class Network:
         e.g. a WAN link between hosts at different sites. A network of
         supercomputers across campuses is the VCE's motivating setting."""
         self._routes[frozenset((a, b))] = latency
+        self.sim.register_lookahead(a, b, latency.base_latency)
 
     def latency_between(self, a: str, b: str) -> LatencyModel:
         return self._routes.get(frozenset((a, b)), self.latency)
@@ -282,7 +287,11 @@ class Network:
         dst_host = self.host(dst.host)
         if src.host == dst.host:
             arrival = self.sim.now + self.latency.local_latency
-            self.sim.schedule_at(arrival, lambda: self._finish_delivery(dst_host, message))
+            self.sim.schedule_at(
+                arrival,
+                lambda: self._finish_delivery(dst_host, message),
+                host=dst.host,
+            )
             return
         if self.transport is not None:
             state = self._pair(src.host, dst.host)
@@ -307,12 +316,16 @@ class Network:
             key = (src.host, dst.host)
             arrival = max(arrival, self._last_arrival.get(key, 0.0))
             self._last_arrival[key] = arrival
-        self.sim.schedule_at(arrival, lambda: self._finish_delivery(dst_host, message))
+        self.sim.schedule_at(
+            arrival, lambda: self._finish_delivery(dst_host, message), host=dst.host
+        )
         if self._duplicate_rate > 0.0 and self._dup_rng.random() < self._duplicate_rate:
             self.duplicates_injected += 1
             self.sim.emit("net.duplicate", src.host, dst=dst.host)
             copy_at = arrival + self.latency.local_latency
-            self.sim.schedule_at(copy_at, lambda: self._finish_delivery(dst_host, message))
+            self.sim.schedule_at(
+                copy_at, lambda: self._finish_delivery(dst_host, message), host=dst.host
+            )
 
     def _wire_delay(self, src_host: str, dst_host: str, size: int) -> float:
         model = self.latency_between(src_host, dst_host)
@@ -366,6 +379,7 @@ class Network:
             self.sim.schedule(
                 cfg.retry_delay(attempt),
                 lambda: self._transmit(message, seq, attempt + 1),
+                host=src_host,  # the retransmit timer runs on the sender
             )
             return
         arrival = self.sim.now + self._wire_delay(src_host, dst_host, message.size)
@@ -373,12 +387,12 @@ class Network:
             self.reorders_injected += 1
             arrival += self._reorder_rng.random() * self._reorder_spread
             self.sim.emit("net.reorder", src_host, dst=dst_host, seq=seq)
-        self.sim.schedule_at(arrival, lambda: self._arrive(message, seq))
+        self.sim.schedule_at(arrival, lambda: self._arrive(message, seq), host=dst_host)
         if self._duplicate_rate > 0.0 and self._dup_rng.random() < self._duplicate_rate:
             self.duplicates_injected += 1
             self.sim.emit("net.duplicate", src_host, dst=dst_host, seq=seq)
             copy_at = arrival + self.latency.local_latency
-            self.sim.schedule_at(copy_at, lambda: self._arrive(message, seq))
+            self.sim.schedule_at(copy_at, lambda: self._arrive(message, seq), host=dst_host)
 
     def _arrive(self, message: Message, seq: int) -> None:
         """Receiver side: dedup by sequence number, restore order, deliver."""

@@ -119,7 +119,7 @@ class SimProcess:
         """
         self.cancel_timer(key)
         self._timers[key] = self.sim.schedule(
-            delay, lambda: self._fire(key), daemon=daemon
+            delay, lambda: self._fire(key), daemon=daemon, host=self.host.name
         )
 
     def cancel_timer(self, key: str) -> None:

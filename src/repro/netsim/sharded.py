@@ -1,0 +1,486 @@
+"""The sharded parallel-simulation backend.
+
+Hosts are partitioned into N shards by consistent hash of the host name;
+each shard owns its own event heap (the same tombstone-heap mechanics as the
+serial kernel, one heap per shard).  Cross-shard traffic — network sends,
+spawns, control-plane callbacks — flows through per-shard-pair channels whose
+conservative *lookahead* is derived from link latencies registered by the
+network layer (:meth:`register_lookahead`): a shard promises never to inject
+an event into a peer earlier than its own clock plus the link lookahead.
+
+Synchronization is conservative (Chandy–Misra–Bryant style).  Each drain
+window, the engine selects the shard owning the globally minimal
+``(time, seq)`` entry — the classic result that the global minimum is always
+safe — and lets that shard commit a *run* of events up to its channel bound:
+the minimum ``(time, seq)`` head over every other shard, tightened in place
+whenever a callback schedules across shards (the shared-memory analogue of a
+null message; :attr:`limit_tightenings` counts them).  Horizon bookkeeping
+(``shard clock + link lookahead``) is maintained per shard pair and exposed
+through :meth:`horizon` / :meth:`shard_stats` — it is the quantity a
+distributed deployment of this engine would gate on, and the deadlock-freedom
+precondition is enforced eagerly: a zero-lookahead link between shards is
+rejected at registration time with a clear error instead of wedging the run.
+
+**Why replay digests are shard-count-invariant.** Every entry carries a
+globally unique ``(time, seq)`` key assigned at scheduling time.  A window
+only commits events strictly below the live minimum of all other shards'
+heads, and that bound is maintained under the only operations that can
+introduce earlier work elsewhere (cross-shard scheduling tightens it;
+cancellation only removes work).  By induction the commit sequence is exactly
+the ascending ``(time, seq)`` total order — independent of the shard count
+and identical to the serial kernel — so event ordering at each host, the
+event log, and therefore the replay digest are byte-identical for 1, 2, 4,
+or 8 shards.  ``tests/test_sharded_determinism.py`` pins this against the
+golden digests recorded from the serial backend.
+
+Shards here are engine structures, not OS processes: Python callbacks over a
+shared object graph keep commit single-threaded, so wall-clock speedup is
+bounded by per-event bookkeeping, and what this backend buys today is the
+partitioning/synchronization layer (validated against the serial goldens)
+plus per-shard parallelism headroom accounting.  The real-network execution
+backend (ROADMAP item 3) is where shards become actual workers; the protocol
+and its tests carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import heapq
+from typing import Callable
+
+from repro.netsim.kernel import _COMPACT_MIN, Simulator, _Entry
+from repro.util.errors import SimulationError
+
+#: virtual nodes per shard on the consistent-hash ring; enough that host
+#: counts in the hundreds spread within a few percent of even
+_RING_REPLICAS = 64
+
+
+def _stable_hash(key: str) -> int:
+    """Process-independent 64-bit hash (``hash()`` is salted per process,
+    which would make shard assignment — and shard stats — irreproducible)."""
+    return int.from_bytes(hashlib.md5(key.encode()).digest()[:8], "big")
+
+
+class _HashRing:
+    """Consistent-hash ring mapping host names to shard indices.
+
+    Consistent hashing keeps almost every host→shard assignment stable when
+    the shard count changes — the property that makes shard-count sweeps
+    (and, later, elastic re-sharding) cheap to reason about.
+    """
+
+    def __init__(self, shards: int, replicas: int = _RING_REPLICAS) -> None:
+        points = sorted(
+            (_stable_hash(f"shard-{index}#{replica}"), index)
+            for index in range(shards)
+            for replica in range(replicas)
+        )
+        self._keys = [point for point, _ in points]
+        self._shards = [index for _, index in points]
+
+    def shard_of(self, host: str) -> int:
+        i = bisect.bisect(self._keys, _stable_hash(host)) % len(self._keys)
+        return self._shards[i]
+
+
+class _Shard:
+    """One worker shard: an event heap plus tombstone and clock state."""
+
+    __slots__ = ("index", "heap", "cancelled", "clock", "committed", "hosts", "compactions")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.heap: list[_Entry] = []
+        self.cancelled = 0  # tombstones currently in the heap
+        self.clock = 0.0  # time of the last event this shard committed
+        self.committed = 0
+        self.hosts = 0
+        self.compactions = 0
+
+    def compact(self) -> None:
+        """Drop tombstones in place (drain windows alias the heap list)."""
+        heap = self.heap
+        heap[:] = [e for e in heap if not e.cancelled]
+        heapq.heapify(heap)
+        self.cancelled = 0
+        self.compactions += 1
+
+
+class _ShardTimer:
+    """Timer handle for an entry owned by one shard (same duck type as
+    :class:`repro.netsim.kernel.Timer`)."""
+
+    __slots__ = ("_entry", "_shard", "_sim")
+
+    def __init__(self, entry: _Entry, shard: _Shard, sim: "ShardedSimulator") -> None:
+        self._entry = entry
+        self._shard = shard
+        self._sim = sim
+
+    def cancel(self) -> None:
+        entry = self._entry
+        if entry.cancelled or entry.fired:
+            return
+        entry.cancelled = True
+        shard = self._shard
+        if not shard.heap:
+            # terminal: the shard has drained, the entry cannot be queued —
+            # same no-op contract as the serial Timer
+            return
+        if not entry.daemon:
+            self._sim._live_nondaemon -= 1
+        shard.cancelled += 1
+        if shard.cancelled > _COMPACT_MIN and shard.cancelled * 2 > len(shard.heap):
+            shard.compact()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class ShardedSimulator(Simulator):
+    """Sharded conservative discrete-event backend (see module docstring).
+
+    Args:
+        seed: root seed, as for :class:`Simulator`.
+        shards: number of worker shards hosts are partitioned across.
+    """
+
+    backend_name = "sharded"
+
+    def __init__(self, seed: int = 0, shards: int = 4) -> None:
+        if shards < 1:
+            raise SimulationError(f"shard count must be >= 1, got {shards}")
+        super().__init__(seed)
+        self.shard_count = shards
+        self._shards = [_Shard(i) for i in range(shards)]
+        self._ring = _HashRing(shards) if shards > 1 else None
+        self._host_shard: dict[str, int] = {}
+        # conservative-sync state
+        self._default_lookahead: float | None = None
+        self._pair_lookahead: dict[tuple[int, int], float] = {}
+        self._current: _Shard | None = None  # shard whose window is draining
+        self._limit: _Entry | None = None  # min (time, seq) head of the others
+        # protocol accounting (see shard_stats)
+        self.cross_shard_events = 0
+        self.limit_tightenings = 0
+        self.windows = 0
+
+    # -- host / lookahead topology ----------------------------------------
+
+    def shard_of(self, host: str) -> int:
+        """Shard index owning *host* (consistent hash, cached)."""
+        index = self._host_shard.get(host)
+        if index is None:
+            index = self._ring.shard_of(host) if self._ring is not None else 0
+            self._host_shard[host] = index
+        return index
+
+    def register_host(self, name: str) -> None:
+        shard = self._shards[self.shard_of(name)]
+        shard.hosts += 1
+
+    def register_default_lookahead(self, lookahead: float) -> None:
+        if self.shard_count > 1 and lookahead <= 0.0:
+            raise SimulationError(
+                "zero-lookahead link: the default latency model has "
+                f"base_latency={lookahead!r}, so shards could exchange "
+                "messages with no time in between and conservative "
+                "synchronization would deadlock; give links a positive base "
+                "latency or use the serial backend"
+            )
+        self._default_lookahead = lookahead
+
+    def register_lookahead(self, host_a: str, host_b: str, lookahead: float) -> None:
+        a, b = self.shard_of(host_a), self.shard_of(host_b)
+        if a == b:
+            return  # intra-shard link: no channel, no lookahead constraint
+        if lookahead <= 0.0:
+            raise SimulationError(
+                f"zero-lookahead link {host_a!r}–{host_b!r} crosses shards "
+                f"{a} and {b}: conservative synchronization would deadlock; "
+                "give the route a positive base latency or use the serial "
+                "backend"
+            )
+        for key in ((a, b), (b, a)):
+            known = self._pair_lookahead.get(key)
+            if known is None or lookahead < known:
+                self._pair_lookahead[key] = lookahead
+
+    def lookahead_between(self, src_shard: int, dst_shard: int) -> float | None:
+        """Minimum delay any event can take from *src_shard* into
+        *dst_shard* — the channel's conservative bound."""
+        pair = self._pair_lookahead.get((src_shard, dst_shard))
+        default = self._default_lookahead
+        if pair is None:
+            return default
+        if default is None:
+            return pair
+        return min(pair, default)
+
+    def horizon(self, shard_index: int) -> float | None:
+        """How far shard *shard_index* could safely advance on channel
+        bounds alone: ``min(peer clock + lookahead)`` over incoming
+        channels.  None when unconstrained (single shard or no registered
+        lookahead) — the figure a distributed deployment would gate on, and
+        the per-shard parallelism headroom reported by :meth:`shard_stats`."""
+        bound: float | None = None
+        for peer in self._shards:
+            if peer.index == shard_index:
+                continue
+            lookahead = self.lookahead_between(peer.index, shard_index)
+            if lookahead is None:
+                continue
+            channel_bound = peer.clock + lookahead
+            if bound is None or channel_bound < bound:
+                bound = channel_bound
+        return bound
+
+    # -- scheduling --------------------------------------------------------
+
+    def _target_shard(self, host: str | None) -> _Shard:
+        if host is not None:
+            return self._shards[self.shard_of(host)]
+        # untagged events stay on the shard whose window is draining (the
+        # scheduling context); outside a window they are control-plane
+        # events and land on shard 0
+        current = self._current
+        return current if current is not None else self._shards[0]
+
+    def _push(self, entry: _Entry, shard: _Shard) -> None:
+        heapq.heappush(shard.heap, entry)
+        current = self._current
+        if current is not None and shard is not current:
+            # a cross-shard injection during a drain window: tighten the
+            # window bound in place — the shared-memory analogue of a null
+            # message announcing earlier work on another shard
+            self.cross_shard_events += 1
+            limit = self._limit
+            if limit is None or entry < limit:
+                self._limit = entry
+                self.limit_tightenings += 1
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> _ShardTimer:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, daemon=daemon, host=host)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> _ShardTimer:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        entry = _Entry(time, self._seq, callback, daemon)
+        self._seq += 1
+        shard = self._target_shard(host)
+        self._push(entry, shard)
+        if not daemon:
+            self._live_nondaemon += 1
+        return _ShardTimer(entry, shard, self)
+
+    def call_soon(
+        self,
+        callback: Callable[[], None],
+        daemon: bool = False,
+        host: str | None = None,
+    ) -> _ShardTimer:
+        entry = _Entry(self._now, self._seq, callback, daemon)
+        self._seq += 1
+        shard = self._target_shard(host)
+        self._push(entry, shard)
+        if not daemon:
+            self._live_nondaemon += 1
+        return _ShardTimer(entry, shard, self)
+
+    # -- selection ---------------------------------------------------------
+
+    @staticmethod
+    def _head(shard: _Shard) -> _Entry | None:
+        """Live head of *shard*'s heap, discarding tombstones."""
+        heap = shard.heap
+        while heap:
+            head = heap[0]
+            if not head.cancelled:
+                return head
+            heapq.heappop(heap)
+            shard.cancelled -= 1
+        return None
+
+    def _select(self) -> tuple[_Shard | None, _Entry | None]:
+        """The shard owning the globally minimal (time, seq) entry — always
+        safe to commit — plus the minimal head among the *other* shards
+        (the drain window's channel bound)."""
+        best_shard: _Shard | None = None
+        best: _Entry | None = None
+        second: _Entry | None = None
+        for shard in self._shards:
+            head = self._head(shard)
+            if head is None:
+                continue
+            if best is None or head < best:
+                second = best
+                best = head
+                best_shard = shard
+            elif second is None or head < second:
+                second = head
+        return best_shard, second
+
+    # -- running -----------------------------------------------------------
+
+    def step(self) -> bool:
+        shard, _ = self._select()
+        if shard is None:
+            return False
+        entry = heapq.heappop(shard.heap)
+        if entry.time < self._now:
+            raise SimulationError("event queue produced time in the past")
+        entry.fired = True
+        if not entry.daemon:
+            self._live_nondaemon -= 1
+        self._now = entry.time
+        self._events_processed += 1
+        shard.committed += 1
+        shard.clock = entry.time
+        self._current = shard
+        try:
+            entry.callback()
+        finally:
+            self._current = None
+            self._limit = None
+        return True
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        processed = 0
+        stopped_early = False
+        heappop = heapq.heappop
+        try:
+            while True:
+                shard, limit = self._select()
+                if shard is None:
+                    break
+                heap = shard.heap  # compaction mutates in place; alias is safe
+                entry = heap[0]
+                t = entry.time
+                if until is not None:
+                    if t > until:
+                        break
+                elif self._live_nondaemon == 0:
+                    break  # only daemon events (monitors/samplers) remain
+                if t < self._now:
+                    raise SimulationError("event queue produced time in the past")
+                self._now = t
+                # Drain window: commit this shard's events while they precede
+                # every other shard's head.  Unlike the serial batch this may
+                # advance time mid-window — the bound guarantees no other
+                # shard owns earlier work, and cross-shard scheduling inside
+                # a callback tightens the bound in place (_push).
+                self.windows += 1
+                self._current = shard
+                self._limit = limit
+                while True:
+                    heappop(heap)
+                    entry.fired = True
+                    if not entry.daemon:
+                        self._live_nondaemon -= 1
+                    self._events_processed += 1
+                    shard.committed += 1
+                    shard.clock = entry.time
+                    entry.callback()
+                    processed += 1
+                    if stop_when is not None and stop_when():
+                        stopped_early = True
+                        break
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"max_events={max_events} exceeded; possible livelock"
+                        )
+                    head = self._head(shard)
+                    if head is None:
+                        break
+                    limit = self._limit
+                    if limit is not None and not head < limit:
+                        break  # the window's channel bound: yield to a peer
+                    tt = head.time
+                    if until is not None and tt > until:
+                        break
+                    if until is None and self._live_nondaemon == 0:
+                        break
+                    self._now = tt
+                    entry = head
+                self._current = None
+                self._limit = None
+                if stopped_early:
+                    break
+            if not stopped_early and until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+            self._current = None
+            self._limit = None
+        return self._now
+
+    def _peek_time(self) -> float | None:
+        heads = [self._head(shard) for shard in self._shards]
+        times = [head.time for head in heads if head is not None]
+        return min(times) if times else None
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return sum(len(s.heap) - s.cancelled for s in self._shards)
+
+    @property
+    def compactions(self) -> int:
+        return sum(s.compactions for s in self._shards)
+
+    def shard_stats(self) -> dict:
+        """Protocol observability: per-shard commit/clock/backlog state with
+        conservative horizons, plus channel-traffic totals."""
+        events = self._events_processed
+        return {
+            "backend": self.backend_name,
+            "shards": self.shard_count,
+            "events": events,
+            "windows": self.windows,
+            "events_per_window": round(events / self.windows, 2) if self.windows else 0.0,
+            "cross_shard_events": self.cross_shard_events,
+            "limit_tightenings": self.limit_tightenings,
+            "per_shard": [
+                {
+                    "shard": shard.index,
+                    "hosts": shard.hosts,
+                    "events": shard.committed,
+                    "clock": shard.clock,
+                    "pending": len(shard.heap) - shard.cancelled,
+                    "horizon": self.horizon(shard.index),
+                }
+                for shard in self._shards
+            ],
+        }

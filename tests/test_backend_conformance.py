@@ -1,0 +1,349 @@
+"""Cross-backend conformance suite for the ``SimBackend`` contract.
+
+Every test here runs against every backend (``serial``, ``sharded``) via the
+``sim_factory`` fixture: the contract in :mod:`repro.netsim.backend` — exact
+``(time, seq)`` pop order, FIFO ``call_soon``, lazy/idempotent cancel,
+accurate ``pending``, the daemon-run rule — is what makes replay digests
+backend-invariant, so a backend that passes this suite is safe to put under
+the whole VCE.
+
+The pop-order / pending-count Hypothesis property is the backend-agnostic
+port of the serial-only white-box property in ``test_perf_contract.py``:
+operations carry host tags so the sharded backend actually spreads entries
+across shards rather than conformance-testing one trivial shard.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netsim.backend import BACKEND_NAMES, create_simulator
+from repro.util.errors import SimulationError
+
+#: host names the tests tag events with; under 3 shards the consistent
+#: hash spreads these across more than one shard (asserted below)
+HOSTS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+
+SHARDS = 3
+
+
+def make_sim(backend: str, seed: int = 0):
+    sim = create_simulator(seed, backend=backend, shards=SHARDS)
+    for name in HOSTS:
+        sim.register_host(name)
+    return sim
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request):
+    return request.param
+
+
+def test_host_tags_actually_spread_shards():
+    """Meta-check: the tagged hosts land on >1 shard, otherwise the sharded
+    half of this suite would be vacuous."""
+    sim = make_sim("sharded")
+    assert len({sim.shard_of(name) for name in HOSTS}) > 1
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(SimulationError, match="unknown simulation backend"):
+        create_simulator(0, backend="quantum")
+
+
+class TestPopOrder:
+    def test_fires_in_time_then_seq_order(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        for i, (delay, host) in enumerate(
+            [(3.0, "alpha"), (1.0, "bravo"), (2.0, None), (1.0, "charlie")]
+        ):
+            sim.schedule(delay, lambda i=i: fired.append(i), host=host)
+        sim.run()
+        assert fired == [1, 3, 2, 0]  # by (time, seq)
+        assert sim.now == 3.0
+
+    def test_same_timestamp_batch_drains_in_schedule_order(self, backend):
+        """All entries at one timestamp fire in scheduling (seq) order even
+        when they belong to different hosts/shards."""
+        sim = make_sim(backend)
+        fired = []
+        for i, host in enumerate(HOSTS * 3):
+            sim.schedule_at(5.0, lambda i=i: fired.append(i), host=host)
+        sim.run()
+        assert fired == list(range(len(HOSTS) * 3))
+
+    def test_callback_scheduling_preserves_global_order(self, backend):
+        """Events scheduled from inside callbacks — including onto *other*
+        hosts at times before already-queued work — still fire in global
+        (time, seq) order."""
+        sim = make_sim(backend)
+        fired = []
+
+        def first():
+            fired.append("first")
+            # earlier than the queued 10.0 event, on a different host
+            sim.schedule_at(4.0, lambda: fired.append("cross"), host="bravo")
+            sim.call_soon(lambda: fired.append("soon"), host="charlie")
+
+        sim.schedule_at(2.0, first, host="alpha")
+        sim.schedule_at(10.0, lambda: fired.append("last"), host="delta")
+        sim.run()
+        assert fired == ["first", "soon", "cross", "last"]
+
+    def test_step_pops_single_events_in_order(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"), host="bravo")
+        sim.schedule(1.0, lambda: fired.append("a"), host="alpha")
+        assert sim.step() is True
+        assert fired == ["a"] and sim.now == 1.0
+        assert sim.step() is True
+        assert fired == ["a", "b"] and sim.now == 2.0
+        assert sim.step() is False
+
+    def test_schedule_in_past_rejected(self, backend):
+        sim = make_sim(backend)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before now"):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError, match="negative delay"):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestCallSoonFifo:
+    def test_call_soon_is_fifo(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        for i, host in enumerate(["alpha", "bravo", None, "charlie", "alpha"]):
+            sim.call_soon(lambda i=i: fired.append(i), host=host)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_call_soon_runs_after_queued_events_at_now(self, backend):
+        """A call_soon issued mid-callback lands *behind* events already
+        queued at the current timestamp (seq order), on every backend."""
+        sim = make_sim(backend)
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("q1"), host="alpha")
+        sim.schedule_at(
+            1.0,
+            lambda: (
+                fired.append("q2"),
+                sim.call_soon(lambda: fired.append("soon"), host="bravo"),
+            ),
+            host="bravo",
+        )
+        sim.schedule_at(1.0, lambda: fired.append("q3"), host="charlie")
+        sim.run()
+        assert fired == ["q1", "q2", "q3", "soon"]
+
+
+class TestCancelSemantics:
+    def test_cancel_prevents_firing_and_updates_pending(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        keep = sim.schedule(1.0, lambda: fired.append("keep"), host="alpha")
+        drop = sim.schedule(2.0, lambda: fired.append("drop"), host="bravo")
+        assert sim.pending == 2
+        drop.cancel()
+        assert drop.cancelled is True
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_cancel_is_idempotent(self, backend):
+        sim = make_sim(backend)
+        anchor = sim.schedule(5.0, lambda: None, host="alpha")
+        timer = sim.schedule(1.0, lambda: None, host="bravo")
+        timer.cancel()
+        timer.cancel()  # double-cancel must not double-count
+        assert sim.pending == 1
+        sim.run()
+        assert sim.now == 5.0
+        assert anchor.cancelled is False
+
+    def test_cancel_after_fired_is_inert(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(1), host="alpha")
+        sim.schedule(5.0, lambda: fired.append(2), host="bravo")
+        sim.run(until=2.0)
+        assert fired == [1]
+        timer.cancel()  # already fired: no-op, counters untouched
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_cancel_after_full_drain_is_terminal_noop(self, backend):
+        """Cancelling a fired timer after run() has fully drained the heap
+        must leave ``pending`` at 0 and the next run healthy."""
+        sim = make_sim(backend)
+        timers = [
+            sim.schedule(float(i % 3), lambda: None, host=HOSTS[i % len(HOSTS)])
+            for i in range(12)
+        ]
+        sim.run()
+        assert sim.pending == 0
+        for timer in timers:
+            timer.cancel()
+        assert sim.pending == 0
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1), host="alpha")
+        sim.run()
+        assert fired == [1]
+
+    def test_backend_cancel_method(self, backend):
+        sim = make_sim(backend)
+        timer = sim.schedule(1.0, lambda: None, host="alpha")
+        sim.cancel(timer)  # interface-level sugar for timer.cancel()
+        assert timer.cancelled is True
+        assert sim.pending == 0
+
+    def test_tombstone_churn_keeps_heaps_bounded(self, backend):
+        """Schedule-then-cancel churn must compact tombstones on every
+        backend, not accumulate them (the serial perf contract, generalized)."""
+        sim = make_sim(backend)
+        keep = [
+            sim.schedule(1e6 + i, lambda: None, host=HOSTS[i % len(HOSTS)])
+            for i in range(10)
+        ]
+        for round_ in range(200):
+            batch = [
+                sim.schedule(100.0 + i, lambda: None, host=HOSTS[(round_ + i) % len(HOSTS)])
+                for i in range(50)
+            ]
+            for timer in batch:
+                timer.cancel()
+        assert sim.pending == len(keep)
+        assert sim.compactions > 0
+
+
+class TestRunSemantics:
+    def test_daemon_events_do_not_keep_run_alive(self, backend):
+        sim = make_sim(backend)
+        fired = []
+
+        def heartbeat():
+            fired.append("beat")
+            sim.schedule(1.0, heartbeat, daemon=True, host="alpha")
+
+        sim.schedule(1.0, heartbeat, daemon=True, host="alpha")
+        sim.schedule(3.5, lambda: fired.append("work"), host="bravo")
+        sim.run()
+        # stops at the last non-daemon event, not the endless heartbeat
+        assert fired == ["beat", "beat", "beat", "work"]
+        assert sim.now == 3.5
+
+    def test_run_until_advances_clock_to_deadline(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1), host="alpha")
+        sim.schedule(9.0, lambda: fired.append(2), host="bravo")
+        assert sim.run(until=5.0) == 5.0
+        assert fired == [1] and sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_stop_when_halts_after_current_event(self, backend):
+        sim = make_sim(backend)
+        fired = []
+        for i in range(6):
+            sim.schedule(float(i), lambda i=i: fired.append(i), host=HOSTS[i])
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+        assert sim.pending == 3
+
+    def test_max_events_raises(self, backend):
+        sim = make_sim(backend)
+
+        def spin():
+            sim.call_soon(spin, host="alpha")
+
+        sim.call_soon(spin, host="alpha")
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_reentrant_run_rejected(self, backend):
+        sim = make_sim(backend)
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as err:
+                errors.append(str(err))
+
+        sim.schedule(1.0, reenter, host="alpha")
+        sim.run()
+        assert errors and "re-entrant" in errors[0]
+
+
+# --------------------------------------------------------- property tests
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "schedule_at", "call_soon", "cancel", "cancel_twice"]),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=500),
+        st.sampled_from([None] + HOSTS),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestConformanceProperties:
+    # the `backend` fixture is a plain string parameter, not mutable
+    # state, so sharing it across generated examples is sound
+    @settings(
+        deadline=None,
+        max_examples=60,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=_OPS)
+    def test_pop_order_and_pending_count(self, backend, ops):
+        """Under arbitrary interleavings of the scheduling API — with events
+        tagged onto arbitrary hosts — every backend must (a) report
+        ``pending`` equal to the count of live unfired entries and (b) fire
+        callbacks in exact (time, seq) order."""
+        sim = make_sim(backend)
+        timers = []
+        fired: list[tuple[float, int]] = []
+
+        def make_cb(entry):
+            return lambda: fired.append((entry.time, entry.seq))
+
+        for op, delay, index, host in ops:
+            if op == "schedule":
+                timer = sim.schedule(delay, lambda: None, host=host)
+                timer._entry.callback = make_cb(timer._entry)
+                timers.append(timer)
+            elif op == "schedule_at":
+                timer = sim.schedule_at(delay, lambda: None, host=host)
+                timer._entry.callback = make_cb(timer._entry)
+                timers.append(timer)
+            elif op == "call_soon":
+                timer = sim.call_soon(lambda: None, host=host)
+                timer._entry.callback = make_cb(timer._entry)
+                timers.append(timer)
+            elif op == "cancel" and timers:
+                timers[index % len(timers)].cancel()
+            elif op == "cancel_twice" and timers:
+                timer = timers[index % len(timers)]
+                timer.cancel()
+                timer.cancel()
+            live = sum(
+                1 for t in timers if not t._entry.cancelled and not t._entry.fired
+            )
+            assert sim.pending == live
+
+        expected = sorted(
+            (t._entry.time, t._entry.seq)
+            for t in timers
+            if not t._entry.cancelled
+        )
+        sim.run()
+        assert fired == expected
+        assert sim.pending == 0

@@ -26,14 +26,14 @@ from repro.trace.replay import event_log_digest
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
-def _randomdag(seed: int):
+def _randomdag(seed: int, backend: str = "serial", shards: int = 4):
     from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
     from repro.scheduler.execution_program import RunState
     from repro.workloads import build_random_dag
 
     graph = build_random_dag(layers=8, width=8, seed=seed)
     vce = VirtualComputingEnvironment(
-        workstation_cluster(4), VCEConfig(seed=seed)
+        workstation_cluster(4), VCEConfig(seed=seed, backend=backend, shards=shards)
     ).boot()
     run = vce.submit(graph, class_map={node.name: None for node in graph})
     vce.run_to_completion(run, timeout=100_000.0)
@@ -41,13 +41,19 @@ def _randomdag(seed: int):
     return vce.sim.log
 
 
-def _chaos_mix(seed: int):
+def _chaos_mix(seed: int, backend: str = "serial", shards: int = 4):
     from repro.core import VCEConfig, VirtualComputingEnvironment, heterogeneous_cluster
     from repro.migration.failover import FailoverConfig
     from repro.scheduler.execution_program import RunState
     from repro.workloads import WEATHER_SCRIPT, build_pipeline_graph, weather_programs
 
-    config = VCEConfig(seed=seed, reliable_transport=True, failover=FailoverConfig())
+    config = VCEConfig(
+        seed=seed,
+        backend=backend,
+        shards=shards,
+        reliable_transport=True,
+        failover=FailoverConfig(),
+    )
     vce = VirtualComputingEnvironment(heterogeneous_cluster(), config).boot()
     vce.chaos("chaos-mix", seed=seed)
     runs = [

@@ -384,6 +384,43 @@ class TestDaemonEvents:
         sim.run()  # returns immediately: only a daemon event remains
         assert sim.now == 0.0
 
+    def test_cancel_after_terminal_drain_is_noop(self):
+        """Cancelling timers once run() has fully drained the heap must not
+        corrupt the tombstone or live-event counters for later runs."""
+        sim = Simulator()
+        timers = [sim.schedule(float(i), lambda: None) for i in range(5)]
+        daemon = sim.schedule(100.0, lambda: None, daemon=True)
+        sim.run()
+        assert sim.pending == 1  # the daemon survivor
+        for timer in timers:
+            timer.cancel()  # fired: inert
+        assert sim.pending == 1
+        daemon.cancel()  # live, still in the heap: a real cancel
+        assert sim.pending == 0
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_cancel_of_entry_outside_heap_cannot_underflow_counters(self):
+        """White-box pin of the terminal-cancel guard: an unfired entry that
+        is no longer in any heap must cancel as a pure flag flip. Without
+        the guard ``pending`` would underflow to -1 and the live-event
+        count would go negative, wedging later runs."""
+        sim = Simulator()
+        timer = sim.schedule(5.0, lambda: None)
+        sim._heap.clear()  # simulate a terminal state with the entry gone
+        sim._live_nondaemon = 0
+        timer.cancel()
+        assert timer.cancelled is True
+        assert sim.pending == 0  # not -1
+        assert sim._cancelled_in_heap == 0
+        assert sim._live_nondaemon == 0
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
     def test_daemon_spawning_real_work_keeps_running(self):
         sim = Simulator()
         done = []

@@ -1,0 +1,114 @@
+"""Shard-invariance goldens and deadlock-freedom for the sharded backend.
+
+The sharded backend's headline guarantee (docs/PARALLELISM.md) is that
+partitioning is invisible to the event schedule: the same workload replays
+byte-identically to the serial kernel at *any* shard count. These tests pin
+that against the golden digests in ``tests/golden/`` — recorded from the
+serial backend in a different process — by re-running the golden scenarios
+(random DAG and the chaos-mix fault soak, seeds 3 and 11) on the sharded
+backend at 1, 2, and 4 shards (plus an 8-shard spot check).
+
+Conservative synchronization is deadlock-free only with positive lookahead
+on every cross-shard link; the backend enforces that eagerly, and the
+rejection tests here pin the error's clarity.
+"""
+
+import pytest
+
+from repro.netsim.network import LatencyModel, Network
+from repro.netsim.sharded import ShardedSimulator
+from repro.trace.replay import event_log_digest
+from repro.util.errors import SimulationError
+
+from tests.test_determinism_golden import GOLDEN_DIR, _chaos_mix, _randomdag
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _golden(name: str) -> str:
+    return (GOLDEN_DIR / f"{name}.digest").read_text().strip()
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_randomdag_matches_serial_golden(self, seed, shards):
+        log = _randomdag(seed, backend="sharded", shards=shards)
+        assert event_log_digest(log) == _golden(f"randomdag_seed{seed}"), (
+            f"randomdag seed {seed} at {shards} shards diverged from the "
+            "serial golden digest — shard interleaving leaked into the "
+            "event schedule"
+        )
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_chaos_mix_matches_serial_golden(self, seed, shards):
+        log = _chaos_mix(seed, backend="sharded", shards=shards)
+        assert event_log_digest(log) == _golden(f"chaosmix_seed{seed}"), (
+            f"chaos-mix seed {seed} at {shards} shards diverged from the "
+            "serial golden digest"
+        )
+
+    def test_eight_shards_spot_check(self):
+        log = _randomdag(3, backend="sharded", shards=8)
+        assert event_log_digest(log) == _golden("randomdag_seed3")
+
+
+class TestShardStats:
+    def test_stats_account_for_every_event(self):
+        """Per-shard commit counts must sum to the global event count, and
+        a networked workload must actually cross shards."""
+        import repro.core as core
+
+        vce = core.VirtualComputingEnvironment(
+            core.workstation_cluster(4),
+            core.VCEConfig(seed=3, backend="sharded", shards=4),
+        ).boot()
+        sim = vce.sim
+        assert isinstance(sim, ShardedSimulator)
+        stats = sim.shard_stats()
+        assert stats["events"] == sim.events_processed > 0
+        assert sum(s["events"] for s in stats["per_shard"]) == stats["events"]
+        assert sum(s["hosts"] for s in stats["per_shard"]) == len(vce.network.hosts)
+        assert stats["cross_shard_events"] > 0  # daemons talk across shards
+        # link latencies were registered, so every shard has a finite horizon
+        assert all(s["horizon"] is not None for s in stats["per_shard"])
+
+
+class TestDeadlockFreedom:
+    def test_zero_lookahead_default_link_rejected(self):
+        """A zero-latency default link model would let shards exchange
+        messages with no time in between — conservative sync would deadlock,
+        so the network refuses to build on a multi-shard backend."""
+        sim = ShardedSimulator(0, shards=2)
+        with pytest.raises(SimulationError) as exc:
+            Network(sim, LatencyModel(base_latency=0.0))
+        message = str(exc.value)
+        assert "zero-lookahead" in message
+        assert "serial backend" in message  # the error tells you the way out
+
+    def test_zero_lookahead_route_rejected_across_shards(self):
+        sim = ShardedSimulator(0, shards=2)
+        net = Network(sim)  # default model has positive base latency
+        names = [f"m{i}" for i in range(8)]
+        for name in names:
+            net.add_host(name)
+        by_shard: dict[int, str] = {}
+        for name in names:
+            by_shard.setdefault(sim.shard_of(name), name)
+        a, b = list(by_shard.values())[:2]  # two hosts on different shards
+        with pytest.raises(SimulationError, match="zero-lookahead"):
+            net.set_route(a, b, LatencyModel(base_latency=0.0))
+
+    def test_zero_lookahead_allowed_within_a_shard(self):
+        """Intra-shard links impose no channel bound; a zero-latency route
+        between co-located hosts is fine (and on one shard, always)."""
+        sim = ShardedSimulator(0, shards=1)
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.set_route("a", "b", LatencyModel(base_latency=0.0))  # no raise
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(SimulationError, match="shard count"):
+            ShardedSimulator(0, shards=0)
