@@ -35,14 +35,18 @@ Usage (also via ``python -m repro``):
         daemons crash and reboot, messages drop, partitions open and heal.
         Prints the run outcome plus injected-fault and recovery-action
         counts from the telemetry registry. Schedules: see
-        repro.faults.SCHEDULES (default chaos-mix).
+        repro.faults.SCHEDULES (default chaos-mix). SCRIPT may also be a
+        saved run directory (see --save-run / POST /api/snapshot): the
+        fault and recovery counts are then read from the saved log.
 
     repro trace SCRIPT.vce [run options] [--export PATH]
         Run a script exactly like ``repro run``, then reconstruct the
         causal trace: per-application critical path with time attributed
         to comms / queue-wait / compute / migration, plus the pre-submit
         allocation phase. --export writes Chrome trace-event JSON
-        (load it in chrome://tracing or Perfetto).
+        (load it in chrome://tracing or Perfetto). SCRIPT may also be a
+        saved run directory: traces are reconstructed from the saved log
+        without re-running anything.
 
     repro top SCRIPT.vce [run options] [--snapshot] [--refresh S]
                          [--frames N] [--json PATH] [--prom PATH]
@@ -50,8 +54,19 @@ Usage (also via ``python -m repro``):
         queue / in-flight gauges with sparkline histories, task duration
         quantiles, scheduler and network totals, and active health
         events. --snapshot prints one frame after completion; otherwise
-        a frame prints every --refresh simulated seconds. --json and
-        --prom export the final metrics registry.
+        a frame prints every --refresh simulated seconds. --json writes
+        the shared metrics+health snapshot (the same schema the control
+        plane's /api/metrics serves); --prom writes Prometheus text.
+
+    repro serve [SCRIPT.vce | --workload NAME] [run options] [--port N]
+                [--bind ADDR] [--pace R] [--slice S] [--failover]
+                [--exit-when-done] [--max-wall S]
+        Boot a cluster, start the live control plane (dashboard at /,
+        SSE stream at /events, WebSocket at /ws, control API under
+        /api/), and drive the simulation in slices while streaming
+        entity events. --pace R advances R simulated seconds per wall
+        second (0 = as fast as possible). Works on either simulation
+        backend (--backend serial|sharded).
 
     repro bench [--quick] [--backend {serial,sharded}] [--shards N]
                 [--json PATH] [--check] [--baseline FILE] [--tolerance F]
@@ -74,6 +89,7 @@ workstations + M MIMD + S SIMD machines (default ``hetero:6,2,1``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -216,6 +232,7 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     run = _launch_script(vce, args)
     vce.run_to_completion(run, timeout=args.timeout)
     _print_run(run, vce, out)
+    _maybe_save_run(vce, args, out)
     if args.gantt:
         from repro.metrics import build_timeline, render_gantt
 
@@ -225,18 +242,35 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     return 0 if run.state is RunState.DONE else 1
 
 
-def cmd_trace(args: argparse.Namespace, out) -> int:
+def _load_run_dir_or_exit(path: str, out) -> "object | None":
+    """Load a saved run directory; on truncation print a friendly error
+    (no traceback) and return None so the caller can exit 1."""
+    from repro.controlplane import TruncatedRunError, load_run_dir
+
+    try:
+        return load_run_dir(path)
+    except TruncatedRunError as err:
+        print(f"error: {err}", file=sys.stderr)
+        print(
+            "hint: the run directory looks incomplete — re-save it with "
+            "--save-run or POST /api/snapshot on a live control plane",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _maybe_save_run(vce: VirtualComputingEnvironment, args: argparse.Namespace, out) -> None:
+    if getattr(args, "save_run", None):
+        from repro.controlplane import save_run_dir
+
+        save_run_dir(vce, args.save_run)
+        print(f"saved run directory to {args.save_run}", file=out)
+
+
+def _print_traces(log, makespans: dict, args: argparse.Namespace, out) -> None:
     from repro.trace import TraceAssembler, critical_path, export_chrome_trace
 
-    vce = _boot_vce(args)
-    run = _launch_script(vce, args)
-    vce.run_to_completion(run, timeout=args.timeout)
-    print(f"state: {run.state.value}", file=out)
-    if run.error:
-        print(f"error: {run.error}", file=out)
-
-    traces = TraceAssembler(vce.sim.log).assemble()
-    makespans = vce.metrics().app_makespans()
+    traces = TraceAssembler(log).assemble()
     for trace in traces:
         path = critical_path(trace)
         if path is None:
@@ -273,11 +307,36 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     if args.export:
         export_chrome_trace(traces, args.export)
         print(f"\nwrote Chrome trace-event JSON to {args.export}", file=out)
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    if os.path.isdir(args.script):
+        log = _load_run_dir_or_exit(args.script, out)
+        if log is None:
+            return 1
+        from repro.controlplane import load_manifest
+
+        manifest = load_manifest(args.script)
+        print(
+            f"run directory {args.script}: {manifest.get('records', len(log))} "
+            f"records, t={manifest.get('time', 0.0)}", file=out,
+        )
+        _print_traces(log, {}, args, out)
+        return 0
+
+    vce = _boot_vce(args)
+    run = _launch_script(vce, args)
+    vce.run_to_completion(run, timeout=args.timeout)
+    print(f"state: {run.state.value}", file=out)
+    if run.error:
+        print(f"error: {run.error}", file=out)
+    _print_traces(vce.sim.log, vce.metrics().app_makespans(), args, out)
+    _maybe_save_run(vce, args, out)
     return 0 if run.state is RunState.DONE else 1
 
 
 def cmd_top(args: argparse.Namespace, out) -> int:
-    from repro.telemetry import write_json, write_prometheus
+    from repro.telemetry import write_prometheus
 
     vce = _boot_vce(args)
     telemetry = vce.telemetry
@@ -305,11 +364,19 @@ def cmd_top(args: argparse.Namespace, out) -> int:
             ):
                 break
     if args.json:
-        write_json(telemetry.registry, args.json, time=vce.sim.now)
+        # the shared metrics+health schema (watchdog rule states included,
+        # host_down/stranded and all): identical to GET /api/metrics on
+        # the control plane, so dashboards and scripts parse one format
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(telemetry.snapshot(), fh, indent=2, default=str)
+            fh.write("\n")
         print(f"wrote JSON snapshot to {args.json}", file=out)
     if args.prom:
         write_prometheus(telemetry.registry, args.prom)
         print(f"wrote Prometheus text to {args.prom}", file=out)
+    _maybe_save_run(vce, args, out)
     print(f"state: {run.state.value}", file=out)
     return 0 if run.state is RunState.DONE else 1
 
@@ -327,6 +394,34 @@ def _counter_by_label(registry, name: str) -> dict[str, float]:
 
 def cmd_chaos(args: argparse.Namespace, out) -> int:
     from repro.migration.failover import FailoverConfig
+
+    if os.path.isdir(args.script):
+        log = _load_run_dir_or_exit(args.script, out)
+        if log is None:
+            return 1
+        from repro.controlplane import load_manifest
+
+        manifest = load_manifest(args.script)
+        print(
+            f"run directory {args.script}: {manifest.get('records', len(log))} "
+            f"records, t={manifest.get('time', 0.0)}", file=out,
+        )
+        counts = log.category_counts()
+        injected = {
+            cat.split(".", 1)[1]: n
+            for cat, n in sorted(counts.items())
+            if cat.startswith("fault.") and cat != "fault.schedule"
+        }
+        recovery = {
+            cat.split(".", 1)[1]: n
+            for cat, n in sorted(counts.items())
+            if cat.startswith("recovery.")
+        }
+        injected_s = "  ".join(f"{k}={n}" for k, n in injected.items()) or "(none)"
+        recovery_s = "  ".join(f"{k}={n}" for k, n in recovery.items()) or "(none)"
+        print(f"injected faults: {injected_s}", file=out)
+        print(f"recovery actions: {recovery_s}", file=out)
+        return 0
 
     vce = _boot_vce(args, reliable_transport=True, failover=FailoverConfig())
     fault_seed = args.seed if args.fault_seed is None else args.fault_seed
@@ -364,6 +459,7 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
         stranded = vce.failover.stranded()
         if stranded:
             print(f"still stranded: {stranded}", file=out)
+    _maybe_save_run(vce, args, out)
     return 0 if run.state is RunState.DONE else 1
 
 
@@ -560,13 +656,67 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.controlplane import ControlPlaneServer, ServeSession
+    from repro.netsim.pacing import WallClockPacer
+
+    overrides: dict = {"backend": args.backend, "shards": args.shards}
+    if args.failover:
+        from repro.migration.failover import FailoverConfig
+
+        overrides.update(reliable_transport=True, failover=FailoverConfig())
+    vce = _boot_vce(args, **overrides)
+    session = ServeSession(
+        vce, slice_seconds=args.slice, pacer=WallClockPacer(args.pace)
+    )
+    if args.script:
+        session.track(_launch_script(vce, args))
+    elif args.workload:
+        session.submit(
+            args.workload,
+            layers=args.layers,
+            width=args.width,
+            ranks=args.ranks,
+            iterations=args.iterations,
+        )
+    server = ControlPlaneServer(session, host=args.bind, port=args.port)
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"control plane on http://{args.bind}:{server.port}/ "
+            f"(SSE /events, WebSocket /ws, API /api/) — "
+            f"backend {args.backend}, pace {args.pace or 'free-run'}",
+            file=out,
+            flush=True,
+        )
+        await server.run(
+            exit_when_done=args.exit_when_done, max_wall=args.max_wall
+        )
+
+    asyncio.run(_main())
+    stats = session.hub.stats()
+    print(
+        f"stopped at t={vce.sim.now:.1f}s after {session.slices} slices; "
+        f"hub published {stats['published']} events",
+        file=out,
+    )
+    _maybe_save_run(vce, args, out)
+    return 0
+
+
 def _kv(pair: str) -> tuple[str, int]:
     key, _, value = pair.partition("=")
     return key, int(value)
 
 
-def _add_run_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("script")
+def _add_run_options(parser: argparse.ArgumentParser, script_optional: bool = False) -> None:
+    if script_optional:
+        parser.add_argument("script", nargs="?", default=None)
+    else:
+        parser.add_argument("script")
     parser.add_argument("--cluster", default="hetero:6,2,1")
     parser.add_argument(
         "--cluster-file",
@@ -578,6 +728,10 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--policy", choices=sorted(POLICIES), default="load")
     parser.add_argument("--timeout", type=float, default=10_000.0)
     parser.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
+    parser.add_argument(
+        "--save-run", metavar="DIR",
+        help="save the event log + metrics as a run directory afterwards",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -708,6 +862,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--pump-events", type=int, default=100_000)
     bench.set_defaults(fn=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="start the live control plane (dashboard + SSE + API)"
+    )
+    _add_run_options(serve, script_optional=True)
+    from repro.controlplane.driver import WORKLOAD_NAMES
+
+    serve.add_argument(
+        "--workload", choices=sorted(WORKLOAD_NAMES), default=None,
+        help="built-in workload to submit when no SCRIPT is given",
+    )
+    serve.add_argument("--layers", type=int, default=8, help="randomdag layers")
+    serve.add_argument("--width", type=int, default=8, help="randomdag width")
+    serve.add_argument("--ranks", type=int, default=4, help="stencil ranks")
+    serve.add_argument(
+        "--iterations", type=int, default=8, help="stencil iterations"
+    )
+    serve.add_argument("--bind", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port", type=int, default=8421, help="listen port (0 = pick free)"
+    )
+    serve.add_argument(
+        "--pace", type=float, default=2.0,
+        help="simulated seconds per wall second (0 = as fast as possible)",
+    )
+    serve.add_argument(
+        "--slice", type=float, default=2.0,
+        help="simulated seconds advanced per scheduling slice",
+    )
+    serve.add_argument(
+        "--failover", action="store_true",
+        help="enable reliable transport + lease-based failover (as repro chaos does)",
+    )
+    serve.add_argument(
+        "--exit-when-done", action="store_true",
+        help="stop once every tracked application completes (headless/CI mode)",
+    )
+    serve.add_argument(
+        "--max-wall", type=float, default=None,
+        help="hard wall-clock runtime cap in seconds",
+    )
+    serve.add_argument(
+        "--backend", choices=["serial", "sharded"], default="serial",
+        help="simulation backend (default serial)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --backend sharded (default 4)",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     demo = sub.add_parser("demo", help="run a built-in workload")
     demo.add_argument(

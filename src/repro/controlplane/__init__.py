@@ -1,0 +1,48 @@
+"""Live control plane: entity model, subscription hub, HTTP streaming.
+
+Layers (each usable on its own):
+
+- :mod:`~repro.controlplane.hub` — :class:`SubscriptionHub`, bounded
+  per-subscriber queues with topic filters, coalescing, and drop-oldest
+  backpressure;
+- :mod:`~repro.controlplane.entities` — :class:`ControlPlaneModel`,
+  typed host/daemon/instance/application change events derived from the
+  event log and sampler (deterministic: kernel order in, hub order out);
+- :mod:`~repro.controlplane.driver` — :class:`ServeSession`, slice-wise
+  simulation driving with optional wall-clock pacing;
+- :mod:`~repro.controlplane.server` — :class:`ControlPlaneServer`, the
+  stdlib-asyncio HTTP server (SSE/WebSocket streams + control API) and
+  the single-file dashboard;
+- :mod:`~repro.controlplane.rundir` — saved run directories with
+  truncation-detecting loads.
+"""
+
+from repro.controlplane.driver import WORKLOAD_NAMES, ServeSession, submit_workload
+from repro.controlplane.entities import ControlPlaneModel
+from repro.controlplane.hub import Event, Subscription, SubscriptionHub, topic_matches
+from repro.controlplane.rundir import (
+    TruncatedRunError,
+    load_manifest,
+    load_metrics,
+    load_run_dir,
+    save_run_dir,
+)
+from repro.controlplane.server import ControlPlaneServer, serve
+
+__all__ = [
+    "ControlPlaneModel",
+    "ControlPlaneServer",
+    "Event",
+    "ServeSession",
+    "Subscription",
+    "SubscriptionHub",
+    "TruncatedRunError",
+    "WORKLOAD_NAMES",
+    "load_manifest",
+    "load_metrics",
+    "load_run_dir",
+    "save_run_dir",
+    "serve",
+    "submit_workload",
+    "topic_matches",
+]

@@ -1,0 +1,392 @@
+"""The single-file live dashboard served at ``GET /``.
+
+Plain HTML + hand-rolled SVG/DOM — no external assets, so it works from
+the same offline process that runs the simulation. Views:
+
+- **cluster heatmap** — one cell per host, sequential blue fill by
+  sampled load, status ring for down hosts, drain marker; clicking a
+  cell toggles an operator drain through ``POST /api/drain``;
+- **applications** — per-app progress bars (done / failed / in-flight
+  segments over the task total);
+- **critical path** — flame strip per completed app from
+  ``GET /api/trace``, segments colored by attribution kind;
+- **live feed** — chaos, recovery, health, and control events as they
+  stream over SSE;
+- header controls to inject a chaos recipe and save a run-directory
+  snapshot, plus hub backpressure counters (events dropped/coalesced).
+
+Palette: the skill-validated reference palette (categorical slot order,
+sequential blue ramp, reserved status colors), declared once as CSS
+custom properties with a selected dark mode — see the style block.
+"""
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro control plane</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --page: #f9f9f7;
+    --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --baseline: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+    --series-4: #eda100; --series-5: #e87ba4;
+    --status-good: #0ca30c; --status-warn: #fab219;
+    --status-serious: #ec835a; --status-critical: #d03b3b;
+    --seq-100: #cde2fb; --seq-200: #9ec5f4; --seq-300: #6da7ec;
+    --seq-400: #3987e5; --seq-500: #256abf; --seq-600: #184f95;
+    --seq-700: #0d366b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --page: #0d0d0d;
+      --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --baseline: #383835;
+      --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+      --series-4: #c98500; --series-5: #d55181;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; background: var(--page); color: var(--ink);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header {
+    display: flex; align-items: baseline; gap: 16px; flex-wrap: wrap;
+    padding: 14px 20px; border-bottom: 1px solid var(--grid);
+  }
+  header h1 { font-size: 16px; margin: 0; font-weight: 600; }
+  #clock { font-variant-numeric: tabular-nums; color: var(--ink-2); }
+  #conn { color: var(--muted); }
+  #conn.live { color: var(--status-good); }
+  header .actions { margin-left: auto; display: flex; gap: 8px; }
+  button {
+    font: inherit; color: var(--ink); background: var(--surface-1);
+    border: 1px solid var(--border); border-radius: 6px;
+    padding: 4px 10px; cursor: pointer;
+  }
+  button:hover { border-color: var(--baseline); }
+  main {
+    display: grid; gap: 16px; padding: 16px 20px;
+    grid-template-columns: minmax(340px, 1.2fr) minmax(300px, 1fr);
+  }
+  section {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 14px; min-width: 0;
+  }
+  section h2 {
+    font-size: 12px; font-weight: 600; text-transform: uppercase;
+    letter-spacing: .04em; color: var(--ink-2); margin: 0 0 10px;
+  }
+  #feedbox { grid-row: span 2; }
+  /* heatmap */
+  #heatmap { display: flex; flex-wrap: wrap; gap: 6px; }
+  .cell {
+    width: 92px; border-radius: 4px; padding: 6px 8px; cursor: pointer;
+    border: 1px solid var(--border); position: relative;
+  }
+  .cell .hn { font-size: 12px; font-weight: 600; }
+  .cell .hv { font-variant-numeric: tabular-nums; font-size: 12px; }
+  .cell.lo { color: var(--ink); }
+  .cell.hi { color: #fff; }
+  .cell.down { outline: 2px solid var(--status-critical); outline-offset: 1px; }
+  .cell .flag { position: absolute; top: 4px; right: 6px; font-size: 11px; }
+  .ramp { display: flex; align-items: center; gap: 6px; margin-top: 10px;
+          color: var(--muted); font-size: 11px; }
+  .ramp i { width: 18px; height: 8px; display: inline-block; border-radius: 2px; }
+  /* apps */
+  .app { margin-bottom: 10px; }
+  .app .meta { display: flex; gap: 8px; font-size: 12px; color: var(--ink-2);
+               justify-content: space-between; }
+  .bar {
+    display: flex; height: 14px; border-radius: 4px; overflow: hidden;
+    background: var(--grid); margin-top: 3px; gap: 2px;
+  }
+  .bar i { display: block; height: 100%; }
+  .bar .done { background: var(--status-good); }
+  .bar .failed { background: var(--status-critical); }
+  .bar .run { background: var(--series-1); }
+  .legend { display: flex; gap: 14px; font-size: 11px; color: var(--muted);
+            margin-top: 8px; flex-wrap: wrap; }
+  .legend i { width: 10px; height: 10px; display: inline-block;
+              border-radius: 2px; vertical-align: -1px; margin-right: 4px; }
+  /* critical path */
+  .strip { margin-bottom: 10px; }
+  .strip .meta { font-size: 12px; color: var(--ink-2); margin-bottom: 3px; }
+  .strip svg { width: 100%; height: 18px; display: block; }
+  /* feed */
+  #feed { list-style: none; margin: 0; padding: 0; font-size: 12px;
+          max-height: 520px; overflow-y: auto; }
+  #feed li { padding: 3px 0; border-bottom: 1px solid var(--grid);
+             display: flex; gap: 8px; }
+  #feed .t { color: var(--muted); font-variant-numeric: tabular-nums;
+             flex: none; width: 64px; }
+  #feed .icon { flex: none; }
+  #stats { color: var(--muted); font-size: 12px; margin-top: 8px; }
+  #tooltip {
+    position: fixed; pointer-events: none; display: none; z-index: 10;
+    background: var(--surface-1); color: var(--ink);
+    border: 1px solid var(--border); border-radius: 6px;
+    box-shadow: 0 2px 10px rgba(0,0,0,.18);
+    padding: 6px 9px; font-size: 12px; max-width: 320px;
+  }
+  @media (max-width: 860px) { main { grid-template-columns: 1fr; } }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro control plane</h1>
+  <span id="clock">t = 0.0s</span>
+  <span id="conn">connecting…</span>
+  <div class="actions">
+    <button id="btn-chaos" title="POST /api/chaos chaos-mix">Inject chaos-mix</button>
+    <button id="btn-snap" title="POST /api/snapshot">Save snapshot</button>
+  </div>
+</header>
+<main>
+  <section>
+    <h2>Cluster heatmap — load per host</h2>
+    <div id="heatmap"></div>
+    <div class="ramp">
+      <span>load 0</span>
+      <i style="background:var(--seq-100)"></i><i style="background:var(--seq-200)"></i>
+      <i style="background:var(--seq-300)"></i><i style="background:var(--seq-400)"></i>
+      <i style="background:var(--seq-500)"></i><i style="background:var(--seq-600)"></i>
+      <i style="background:var(--seq-700)"></i>
+      <span>2+</span>
+      <span style="margin-left:12px">click a cell to drain / undrain · ✕ down · ⏸ draining</span>
+    </div>
+  </section>
+  <section id="feedbox">
+    <h2>Live feed — chaos · recovery · health · control</h2>
+    <ul id="feed"></ul>
+    <div id="stats">hub: waiting for events…</div>
+  </section>
+  <section>
+    <h2>Applications</h2>
+    <div id="apps"><span style="color:var(--muted)">no applications yet</span></div>
+    <div class="legend">
+      <span><i style="background:var(--status-good)"></i>done</span>
+      <span><i style="background:var(--status-critical)"></i>failed</span>
+      <span><i style="background:var(--series-1)"></i>in flight</span>
+      <span><i style="background:var(--grid)"></i>not dispatched</span>
+    </div>
+  </section>
+  <section>
+    <h2>Critical path</h2>
+    <div id="paths"><span style="color:var(--muted)">
+      appears when an application completes</span></div>
+    <div class="legend" id="path-legend"></div>
+  </section>
+</main>
+<div id="tooltip"></div>
+<script>
+"use strict";
+const S = { hosts: {}, daemons: {}, apps: {}, now: 0, hub: null };
+const $ = id => document.getElementById(id);
+const tooltip = $("tooltip");
+let dirty = false, pathsFetched = 0;
+
+function esc(s) {
+  return String(s).replace(/[&<>"]/g,
+    c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+}
+function showTip(ev, html) {
+  tooltip.innerHTML = html;
+  tooltip.style.display = "block";
+  const x = Math.min(ev.clientX + 12, innerWidth - 330);
+  tooltip.style.left = x + "px";
+  tooltip.style.top = (ev.clientY + 12) + "px";
+}
+function hideTip() { tooltip.style.display = "none"; }
+
+/* sequential blue ramp: load 0..2+ -> step; text flips at the 400 step */
+const RAMP = ["--seq-100","--seq-200","--seq-300","--seq-400",
+              "--seq-500","--seq-600","--seq-700"];
+function rampVar(load) {
+  const i = Math.min(RAMP.length - 1, Math.floor((load / 2) * RAMP.length));
+  return [RAMP[i], i >= 3];
+}
+
+function renderHeatmap() {
+  const box = $("heatmap");
+  box.textContent = "";
+  for (const name of Object.keys(S.hosts).sort()) {
+    const h = S.hosts[name], d = S.daemons[name] || {};
+    const load = h.load || 0;
+    const [v, hi] = rampVar(load);
+    const cell = document.createElement("div");
+    cell.className = "cell " + (hi ? "hi" : "lo") + (h.up === false ? " down" : "");
+    cell.style.background = h.up === false ? "var(--grid)" : `var(${v})`;
+    const flag = h.up === false ? "✕" : (d.draining ? "⏸" : "");
+    cell.innerHTML = `<span class="hn">${esc(name)}</span>` +
+      (flag ? `<span class="flag">${flag}</span>` : "") +
+      `<div class="hv">${load.toFixed(2)} · ${h.inflight || 0} inst</div>`;
+    cell.onmousemove = ev => showTip(ev,
+      `<b>${esc(name)}</b> ${h.up === false ? "— <b>down</b>" : ""}<br>` +
+      `load ${load.toFixed(2)} · in-flight ${h.inflight || 0}<br>` +
+      `queue ${d.queue_depth || 0}` +
+      (d.draining ? " · <b>draining</b>" : "") +
+      `<br><span style="color:var(--muted)">click to ` +
+      (d.draining ? "undrain" : "drain") + "</span>");
+    cell.onmouseleave = hideTip;
+    cell.onclick = () => post("/api/drain", { host: name, undrain: !!d.draining });
+    box.appendChild(cell);
+  }
+}
+
+function renderApps() {
+  const box = $("apps");
+  const ids = Object.keys(S.apps).sort();
+  if (!ids.length) return;
+  box.textContent = "";
+  for (const id of ids) {
+    const a = S.apps[id];
+    const total = Math.max(a.tasks || 0, (a.done||0)+(a.failed||0)+(a.inflight||0), 1);
+    const pct = n => (100 * (n || 0) / total).toFixed(2) + "%";
+    const el = document.createElement("div");
+    el.className = "app";
+    el.innerHTML =
+      `<div class="meta"><span><b>${esc(id)}</b> — ${esc(a.status)}</span>` +
+      `<span>${a.done || 0}/${total} done` +
+      (a.failed ? ` · ${a.failed} failed` : "") + `</span></div>` +
+      `<div class="bar">` +
+      `<i class="done" style="width:${pct(a.done)}"></i>` +
+      `<i class="failed" style="width:${pct(a.failed)}"></i>` +
+      `<i class="run" style="width:${pct(a.inflight)}"></i></div>`;
+    el.onmousemove = ev => showTip(ev,
+      `<b>${esc(id)}</b><br>status ${esc(a.status)}<br>` +
+      `${a.done || 0} done · ${a.failed || 0} failed · ` +
+      `${a.inflight || 0} in flight · ${total} tasks` +
+      (a.makespan ? `<br>makespan ${(+a.makespan).toFixed(1)}s` : ""));
+    el.onmouseleave = hideTip;
+    box.appendChild(el);
+  }
+}
+
+/* critical path: categorical slots per attribution kind, fixed order */
+const KIND_SLOT = { run: 1, dispatch: 2, alloc: 3, migration: 4, wait: 5 };
+function kindColor(kind) {
+  return `var(--series-${KIND_SLOT[kind] || 5})`;
+}
+async function renderPaths() {
+  let data;
+  try { data = await (await fetch("/api/trace")).json(); }
+  catch (e) { return; }
+  if (!data.paths || !data.paths.length) return;
+  const box = $("paths");
+  box.textContent = "";
+  const kinds = new Set();
+  for (const p of data.paths) {
+    const span = Math.max(p.makespan, 1e-9);
+    let rects = "";
+    for (const s of p.segments) {
+      kinds.add(s.kind);
+      const x = (100 * (s.start - p.start) / span);
+      const w = Math.max(100 * s.duration / span, 0.15);
+      rects += `<rect x="${x.toFixed(3)}%" y="2" width="${w.toFixed(3)}%" ` +
+        `height="14" rx="2" fill="${kindColor(s.kind)}" ` +
+        `data-tip="${esc(s.kind)} · ${esc(s.span)} · ${s.duration.toFixed(2)}s"` +
+        `></rect>`;
+    }
+    const el = document.createElement("div");
+    el.className = "strip";
+    el.innerHTML = `<div class="meta"><b>${esc(p.app)}</b> — ` +
+      `makespan ${p.makespan.toFixed(1)}s</div>` +
+      `<svg preserveAspectRatio="none">${rects}</svg>`;
+    el.querySelectorAll("rect").forEach(r => {
+      r.addEventListener("mousemove",
+        ev => showTip(ev, esc(r.getAttribute("data-tip"))));
+      r.addEventListener("mouseleave", hideTip);
+    });
+    box.appendChild(el);
+  }
+  $("path-legend").innerHTML = [...kinds].sort().map(k =>
+    `<span><i style="background:${kindColor(k)}"></i>${esc(k)}</span>`).join("");
+}
+
+const FEED_ICON = { chaos: "⚡", recovery: "↻", health: "⚠", control: "◇" };
+function feedItem(topic, e) {
+  const li = document.createElement("li");
+  const d = e.data || {};
+  let icon = FEED_ICON[topic] || "·";
+  if (topic === "health" && d.category === "health.cleared") icon = "✓";
+  const what = d.category || topic;
+  li.innerHTML = `<span class="t">${e.time.toFixed(1)}s</span>` +
+    `<span class="icon">${icon}</span>` +
+    `<span>${esc(what)} <b>${esc(d.source || e.key || "")}</b>` +
+    (d.severity ? ` <span style="color:var(--muted)">[${esc(d.severity)}]</span>` : "") +
+    `</span>`;
+  const feed = $("feed");
+  feed.prepend(li);
+  while (feed.children.length > 200) feed.lastChild.remove();
+}
+
+function render() {
+  dirty = false;
+  $("clock").textContent = `t = ${S.now.toFixed(1)}s`;
+  renderHeatmap();
+  renderApps();
+  if (S.hub) {
+    const dropped = S.hub.subscriptions
+      ? S.hub.subscriptions.reduce((n, s) => n + s.dropped, 0) : 0;
+    $("stats").textContent =
+      `hub: ${S.hub.published} published · ${dropped} dropped (backpressure)`;
+  }
+}
+function mark() {
+  if (!dirty) { dirty = true; requestAnimationFrame(render); }
+}
+
+function applySnapshot(snap) {
+  for (const h of snap.hosts || []) S.hosts[h.name] = h;
+  for (const d of snap.daemons || []) S.daemons[d.host] = d;
+  for (const a of snap.apps || []) S.apps[a.id] = a;
+  S.now = snap.time || 0;
+  S.hub = snap.hub || null;
+  mark();
+}
+
+function onEvent(e) {
+  const topic = e.topic, d = e.data || {};
+  S.now = Math.max(S.now, e.time);
+  if (topic.startsWith("entity.host.")) S.hosts[e.key] = d;
+  else if (topic.startsWith("entity.daemon.")) S.daemons[e.key] = d;
+  else if (topic.startsWith("entity.app.")) {
+    S.apps[e.key] = d;
+    if ((d.action === "done" || d.action === "failed") &&
+        pathsFetched++ < 50) renderPaths();
+  }
+  else if (topic === "chaos" || topic === "recovery" ||
+           topic === "health" || topic === "control") feedItem(topic, e);
+  else if (topic === "sim") { /* clock only */ }
+  mark();
+}
+
+async function post(path, body) {
+  try {
+    const r = await fetch(path, { method: "POST",
+      headers: { "Content-Type": "application/json" },
+      body: JSON.stringify(body || {}) });
+    const out = await r.json();
+    if (out.error) console.warn(path, out.error);
+  } catch (e) { console.warn(path, e); }
+}
+$("btn-chaos").onclick = () => post("/api/chaos", { schedule: "chaos-mix" });
+$("btn-snap").onclick = () => post("/api/snapshot", { path: "run-snapshot" });
+
+const es = new EventSource("/events");
+es.onopen = () => { $("conn").textContent = "● live"; $("conn").className = "live"; };
+es.onerror = () => { $("conn").textContent = "reconnecting…"; $("conn").className = ""; };
+es.addEventListener("snapshot", ev => applySnapshot(JSON.parse(ev.data)));
+es.onmessage = ev => onEvent(JSON.parse(ev.data));
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,347 @@
+"""The control-plane entity model: live cluster state as typed events.
+
+A :class:`ControlPlaneModel` attaches to a running VCE through two
+read-only seams — an :class:`~repro.util.eventlog.EventLog` observer and
+a :class:`~repro.telemetry.sampler.ClusterSampler` listener — and
+maintains small entity tables for **hosts**, **daemons**, **instances**,
+and **applications**. Every state change is published to a
+:class:`~repro.controlplane.hub.SubscriptionHub` as a typed event:
+
+========================  ====================================================
+topic                     meaning
+========================  ====================================================
+``entity.host.<name>``    host up/down, incarnation, sampled load/in-flight
+``entity.daemon.<host>``  daemon liveness, drain flag, queue depth, load
+``entity.app.<id>``       application lifecycle + instance progress counters
+``entity.instance.<key>`` one instance's state transitions (evicted once
+                          terminal — counts persist on the app entity)
+``chaos``                 the fault-injection feed (``fault.*`` records)
+``recovery``              the failover feed (``recovery.*`` records)
+``health``                watchdog raise/clear events
+``control``               operator actions (drain, undrain, restarts)
+``metrics``               per-sample cluster aggregates (coalescable)
+========================  ====================================================
+
+Gauge-style updates (sampler ticks, metrics) publish with
+``coalescable=True`` so slow subscribers skip intermediate states;
+lifecycle transitions never coalesce. The model mints no ids, draws no
+randomness, and reads no wall clock: publish order is exactly the
+kernel's ``(time, seq)`` order, so replay digests are unchanged by an
+attached model.
+
+Instance entities are evicted when terminal, which bounds the table at
+the number of *live* instances rather than the size of the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.controlplane.hub import SubscriptionHub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.environment import VirtualComputingEnvironment
+    from repro.util.eventlog import LogRecord
+
+#: task.* categories that mark an instance terminal (entity evicted)
+_TERMINAL_TASK = {"task.done", "task.failed", "task.killed", "task.host_crashed"}
+
+
+class ControlPlaneModel:
+    """See module docstring.
+
+    Args:
+        vce: the environment to observe (must have telemetry enabled for
+            sampler-driven gauge updates; event-driven state works
+            regardless).
+        hub: the subscription hub to publish into; one is created (wired
+            to the VCE's metric registry) when not given.
+    """
+
+    def __init__(
+        self,
+        vce: "VirtualComputingEnvironment",
+        hub: SubscriptionHub | None = None,
+    ) -> None:
+        self.vce = vce
+        if hub is None:
+            hub = SubscriptionHub(
+                vce.telemetry.registry if vce.telemetry is not None else None
+            )
+        self.hub = hub
+        self.hosts: dict[str, dict] = {}
+        self.daemons: dict[str, dict] = {}
+        self.apps: dict[str, dict] = {}
+        self.instances: dict[str, dict] = {}
+        self._attached = False
+        for name, host in vce.network.hosts.items():
+            self.hosts[name] = {
+                "name": name,
+                "up": host.up,
+                "incarnation": 0,
+                "load": 0.0,
+                "inflight": 0,
+            }
+        for name, daemon in vce.daemons.items():
+            self.daemons[name] = {
+                "host": name,
+                "alive": daemon.alive,
+                "draining": daemon.draining,
+                "queue_depth": 0,
+                "load": 0.0,
+            }
+
+    # ------------------------------------------------------------- attachment
+
+    def attach(self) -> "ControlPlaneModel":
+        """Start observing (idempotent); returns self for chaining."""
+        if not self._attached:
+            self.vce.sim.log.add_observer(self._on_record)
+            if self.vce.telemetry is not None:
+                self.vce.telemetry.sampler.listeners.append(self._on_sample)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.vce.sim.log.remove_observer(self._on_record)
+            if self.vce.telemetry is not None:
+                listeners = self.vce.telemetry.sampler.listeners
+                if self._on_sample in listeners:
+                    listeners.remove(self._on_sample)
+            self._attached = False
+
+    # ------------------------------------------------------- record translation
+
+    def _on_record(self, record: "LogRecord") -> None:
+        category = record.category
+        if category.startswith("entity.") or category.startswith("metrics"):
+            return  # never re-translate our own vocabulary
+        if category.startswith("app."):
+            self._on_app(record)
+        elif category == "runtime.dispatch":
+            self._on_dispatch(record)
+        elif category.startswith("task."):
+            self._on_task(record)
+        elif category.startswith("host."):
+            self._on_host(record)
+        elif category == "sched.daemon_restart":
+            self._on_daemon_restart(record)
+        elif category.startswith("control."):
+            self._on_control(record)
+        elif category.startswith("fault."):
+            self._publish_feed("chaos", record)
+        elif category.startswith("recovery."):
+            self._publish_feed("recovery", record)
+        elif category.startswith("health."):
+            self._publish_feed("health", record)
+
+    def _publish_app(self, app: dict, time: float, action: str) -> None:
+        self.hub.publish(
+            f"entity.app.{app['id']}",
+            app["id"],
+            time,
+            {"action": action, **app},
+        )
+
+    def _on_app(self, record: "LogRecord") -> None:
+        app_id = record.source
+        action = record.category.split(".", 1)[1]  # submit|done|failed|terminate
+        app = self.apps.get(app_id)
+        if app is None:
+            app = self.apps[app_id] = {
+                "id": app_id,
+                "status": "running",
+                "tasks": record.get("tasks", 0),
+                "submitted_at": record.time,
+                "finished_at": None,
+                "dispatched": 0,
+                "done": 0,
+                "failed": 0,
+                "inflight": 0,
+            }
+        if action in ("done", "failed", "terminate"):
+            app["status"] = "terminated" if action == "terminate" else action
+            app["finished_at"] = record.time
+            if action == "done":
+                app["makespan"] = record.get("makespan")
+            # drop this app's surviving instance entities in one sweep
+            for key in [k for k, v in self.instances.items() if v["app"] == app_id]:
+                del self.instances[key]
+            app["inflight"] = 0
+        self._publish_app(app, record.time, action)
+
+    def _instance_key(self, record: "LogRecord") -> str:
+        app = record.get("app", record.source)
+        return f"{app}.{record.get('task')}[{record.get('rank')}]"
+
+    def _on_dispatch(self, record: "LogRecord") -> None:
+        app_id = record.source
+        key = f"{app_id}.{record.get('task')}[{record.get('rank')}]"
+        inst = self.instances.get(key)
+        if inst is None:
+            inst = self.instances[key] = {"key": key, "app": app_id}
+        inst.update(
+            task=record.get("task"),
+            rank=record.get("rank"),
+            state="pending",
+            host=record.get("host"),
+            incarnation=record.get("incarnation", 0),
+        )
+        app = self.apps.get(app_id)
+        if app is not None:
+            app["dispatched"] += 1
+            app["inflight"] = sum(
+                1 for v in self.instances.values() if v["app"] == app_id
+            )
+            self._publish_app(app, record.time, "dispatch")
+        self.hub.publish(f"entity.instance.{key}", key, record.time, dict(inst))
+
+    def _on_task(self, record: "LogRecord") -> None:
+        category = record.category
+        key = self._instance_key(record)
+        state = category.split(".", 1)[1]  # start|done|failed|...
+        app = self.apps.get(record.get("app", record.source))
+        if category in _TERMINAL_TASK:
+            inst = self.instances.pop(key, None)
+            if app is not None:
+                if state == "done":
+                    app["done"] += 1
+                elif state in ("failed", "host_crashed"):
+                    app["failed"] += 1
+                app["inflight"] = sum(
+                    1 for v in self.instances.values() if v["app"] == app["id"]
+                )
+                self._publish_app(app, record.time, state)
+            data = dict(inst) if inst is not None else {"key": key, "app": record.get("app")}
+            data["state"] = "failed" if state == "host_crashed" else state
+            data["terminal"] = True
+            self.hub.publish(f"entity.instance.{key}", key, record.time, data)
+            return
+        if state in ("start", "suspend", "resume"):
+            inst = self.instances.get(key)
+            if inst is None:
+                inst = self.instances[key] = {
+                    "key": key,
+                    "app": record.get("app"),
+                    "task": record.get("task"),
+                    "rank": record.get("rank"),
+                }
+            inst["state"] = "running" if state in ("start", "resume") else "suspended"
+            if record.get("host") is not None:
+                inst["host"] = record.get("host")
+            self.hub.publish(f"entity.instance.{key}", key, record.time, dict(inst))
+        # checkpoint / file_fetch ticks stay off the entity feed by design
+
+    def _on_host(self, record: "LogRecord") -> None:
+        name = record.source
+        host = self.hosts.get(name)
+        if host is None:
+            host = self.hosts[name] = {"name": name, "incarnation": 0}
+        if record.category == "host.crash":
+            host["up"] = False
+            daemon = self.daemons.get(name)
+            if daemon is not None:
+                daemon["alive"] = False
+                self._publish_daemon(daemon, record.time)
+        elif record.category == "host.recover":
+            host["up"] = True
+            host["incarnation"] = record.get("incarnation", host.get("incarnation", 0))
+        self.hub.publish(f"entity.host.{name}", name, record.time, dict(host))
+
+    def _publish_daemon(self, daemon: dict, time: float, coalescable: bool = False) -> None:
+        self.hub.publish(
+            f"entity.daemon.{daemon['host']}",
+            daemon["host"],
+            time,
+            dict(daemon),
+            coalescable=coalescable,
+        )
+
+    def _on_daemon_restart(self, record: "LogRecord") -> None:
+        name = record.source
+        daemon = self.daemons.get(name)
+        if daemon is None:
+            daemon = self.daemons[name] = {"host": name, "queue_depth": 0, "load": 0.0}
+        daemon["alive"] = True
+        daemon["draining"] = False
+        self._publish_daemon(daemon, record.time)
+
+    def _on_control(self, record: "LogRecord") -> None:
+        name = record.source
+        daemon = self.daemons.get(name)
+        if daemon is not None and record.category in ("control.drain", "control.undrain"):
+            daemon["draining"] = record.category == "control.drain"
+            self._publish_daemon(daemon, record.time)
+        self._publish_feed("control", record)
+
+    def _publish_feed(self, topic: str, record: "LogRecord") -> None:
+        self.hub.publish(
+            topic,
+            record.source,
+            record.time,
+            {"category": record.category, "source": record.source, **record.data},
+        )
+
+    # --------------------------------------------------------- sampler updates
+
+    def _on_sample(self, now: float) -> None:
+        """Refresh gauges from the live daemons each sampler tick; these
+        publish coalescable so a slow stream sees only the latest state."""
+        vce = self.vce
+        inflight: dict[str, int] = {}
+        for inst in self.instances.values():
+            host = inst.get("host")
+            if host is not None and inst.get("state") in ("pending", "running"):
+                inflight[host] = inflight.get(host, 0) + 1
+        for name, daemon in sorted(vce.daemons.items()):
+            load = daemon.current_load() if daemon.alive else 0.0
+            entry = self.daemons.get(name)
+            if entry is None:
+                entry = self.daemons[name] = {"host": name}
+            entry.update(
+                alive=daemon.alive,
+                draining=daemon.draining,
+                queue_depth=len(daemon.pending_queue),
+                load=load,
+            )
+            self._publish_daemon(entry, now, coalescable=True)
+            host = self.hosts.get(name)
+            if host is not None:
+                host["load"] = load
+                host["inflight"] = inflight.get(name, 0)
+                self.hub.publish(
+                    f"entity.host.{name}", name, now, dict(host), coalescable=True
+                )
+        network = vce.network
+        running = sum(1 for a in self.apps.values() if a["status"] == "running")
+        self.hub.publish(
+            "metrics",
+            "cluster",
+            now,
+            {
+                "apps_running": running,
+                "instances_inflight": len(self.instances),
+                "messages_sent": network.messages_sent,
+                "messages_delivered": network.messages_delivered,
+                "bytes_sent": network.bytes_sent,
+            },
+            coalescable=True,
+        )
+
+    # ---------------------------------------------------------------- queries
+
+    def snapshot(self) -> dict:
+        """Full JSON-able state for ``GET /api/state`` — the same shape a
+        subscriber would reconstruct by replaying the entity stream."""
+        out = {
+            "time": self.vce.sim.now,
+            "hosts": [dict(v) for _, v in sorted(self.hosts.items())],
+            "daemons": [dict(v) for _, v in sorted(self.daemons.items())],
+            "apps": [dict(v) for _, v in sorted(self.apps.items())],
+            "instances": [dict(v) for _, v in sorted(self.instances.items())],
+            "hub": self.hub.stats(),
+        }
+        if self.vce.telemetry is not None:
+            out["health"] = self.vce.telemetry.watchdog.snapshot()
+        return out

@@ -1,0 +1,163 @@
+"""Run directories: a simulation's event log + metrics saved to disk.
+
+``save_run_dir`` writes three files:
+
+- ``manifest.json`` — record count, the replay digest of the saved
+  records (:func:`~repro.trace.replay.event_log_digest`), final sim
+  time, and the seed/backend that produced the run,
+- ``events.jsonl`` — one JSON object per stored log record,
+- ``metrics.json`` — the shared telemetry snapshot (metrics + health),
+  when the run had telemetry enabled.
+
+``load_run_dir`` reconstructs an :class:`~repro.util.eventlog.EventLog`
+and *verifies* it: a missing manifest, unparseable line, record-count
+mismatch, or digest mismatch raises :class:`TruncatedRunError` — the
+offline CLIs (``repro trace RUNDIR``, ``repro chaos RUNDIR``) catch it
+and exit with a friendly message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+from repro.trace.replay import event_log_digest
+from repro.util.errors import VCEError
+from repro.util.eventlog import EventLog, LogRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.environment import VirtualComputingEnvironment
+
+MANIFEST = "manifest.json"
+EVENTS = "events.jsonl"
+METRICS = "metrics.json"
+
+
+class TruncatedRunError(VCEError):
+    """A run directory is incomplete or corrupt (truncated event log,
+    record-count or digest mismatch, missing manifest)."""
+
+
+def save_run_dir(vce: "VirtualComputingEnvironment", path: str) -> str:
+    """Snapshot *vce*'s stored event log (and telemetry, when enabled)
+    into directory *path* (created if needed). Returns *path*.
+
+    Only the *stored* records are saved: a bounded-ring log saves its
+    retained window, and the manifest digest covers exactly what was
+    written, so a saved bounded run still verifies on load.
+    """
+    os.makedirs(path, exist_ok=True)
+    # the manifest digest must cover what the *file* will deserialize to
+    # (tuples become lists, exotic values become strings), so each record
+    # is digested after a JSON round trip — a clean save always verifies
+    saved: list[LogRecord] = []
+    with open(os.path.join(path, EVENTS), "w") as fh:
+        for record in vce.sim.log:
+            line = json.dumps(
+                {
+                    "time": record.time,
+                    "category": record.category,
+                    "source": record.source,
+                    "data": record.data,
+                },
+                default=str,
+            )
+            fh.write(line)
+            fh.write("\n")
+            obj = json.loads(line)
+            saved.append(
+                LogRecord(obj["time"], obj["category"], obj["source"], obj["data"])
+            )
+    manifest = {
+        "version": 1,
+        "records": len(saved),
+        "digest": event_log_digest(saved),
+        "time": vce.sim.now,
+        "seed": vce.config.seed,
+        "backend": vce.config.backend,
+    }
+    with open(os.path.join(path, MANIFEST), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    if vce.telemetry is not None:
+        with open(os.path.join(path, METRICS), "w") as fh:
+            json.dump(vce.telemetry.snapshot(refresh=False), fh, default=str)
+            fh.write("\n")
+    return path
+
+
+def load_manifest(path: str) -> dict:
+    manifest_path = os.path.join(path, MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise TruncatedRunError(
+            f"{path!r} is not a run directory: no {MANIFEST} found"
+        )
+    try:
+        with open(manifest_path) as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise TruncatedRunError(f"unreadable {MANIFEST} in {path!r}: {exc}") from exc
+
+
+def load_run_dir(path: str) -> EventLog:
+    """Load and verify the event log saved in run directory *path*.
+
+    Raises:
+        TruncatedRunError: the directory is missing files, a JSONL line
+            is cut off mid-record, or the record count/digest disagrees
+            with the manifest (an interrupted ``save_run_dir`` or a
+            partially-copied directory).
+    """
+    manifest = load_manifest(path)
+    events_path = os.path.join(path, EVENTS)
+    if not os.path.exists(events_path):
+        raise TruncatedRunError(f"run directory {path!r} has no {EVENTS}")
+    log = EventLog()
+    count = 0
+    with open(events_path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TruncatedRunError(
+                    f"truncated event log in {path!r}: line {lineno} is not "
+                    f"valid JSON ({exc.msg}) — the run was likely interrupted "
+                    "mid-write"
+                ) from exc
+            log.emit(
+                obj.get("time", 0.0),
+                obj.get("category", "?"),
+                obj.get("source", "?"),
+                **obj.get("data", {}),
+            )
+            count += 1
+    expected = manifest.get("records")
+    if expected is not None and count != expected:
+        raise TruncatedRunError(
+            f"truncated event log in {path!r}: manifest promises {expected} "
+            f"records but {EVENTS} holds {count}"
+        )
+    expected_digest = manifest.get("digest")
+    if expected_digest is not None:
+        actual = event_log_digest(log)
+        if actual != expected_digest:
+            raise TruncatedRunError(
+                f"corrupt event log in {path!r}: digest mismatch "
+                f"(manifest {expected_digest[:12]}…, file {actual[:12]}…)"
+            )
+    return log
+
+
+def load_metrics(path: str) -> dict | None:
+    """The saved telemetry snapshot, or None when the run had none."""
+    metrics_path = os.path.join(path, METRICS)
+    if not os.path.exists(metrics_path):
+        return None
+    try:
+        with open(metrics_path) as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise TruncatedRunError(f"unreadable {METRICS} in {path!r}: {exc}") from exc

@@ -398,6 +398,24 @@ class VirtualComputingEnvironment:
         self.sim.emit("sched.daemon_restart", host_name)
         return daemon
 
+    def drain_host(self, host_name: str) -> SchedulerDaemon:
+        """Operator drain: the daemon on *host_name* stops bidding for new
+        work (running instances finish normally) until :meth:`undrain_host`.
+        Emits a ``control.drain`` event; idempotent."""
+        daemon = self.daemons[host_name]
+        if not daemon.draining:
+            daemon.draining = True
+            self.sim.emit("control.drain", host_name)
+        return daemon
+
+    def undrain_host(self, host_name: str) -> SchedulerDaemon:
+        """Lift an operator drain set by :meth:`drain_host` (idempotent)."""
+        daemon = self.daemons[host_name]
+        if daemon.draining:
+            daemon.draining = False
+            self.sim.emit("control.undrain", host_name)
+        return daemon
+
     def chaos(
         self,
         schedule: FaultSchedule | str,

@@ -1,0 +1,56 @@
+"""Sim-time → wall-time pacing for live streaming.
+
+The simulator normally runs as fast as the host CPU allows; a live
+dashboard wants simulated time to advance at a human-watchable rate.
+:class:`WallClockPacer` maps simulated seconds onto wall-clock seconds at
+a configurable *rate* and tells the serve driver how long to sleep
+between simulation slices.
+
+Pacing is strictly a presentation concern: it decides *when* the driver
+calls ``sim.run``, never *what* the simulation computes, so enabling it
+cannot perturb event order or replay digests.  That is why the wall-clock
+reads below carry ``detlint: ok(D001)`` suppressions — they are outside
+the deterministic core by construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClockPacer:
+    """Map simulated seconds to wall seconds at a fixed rate.
+
+    Args:
+        rate: simulated seconds per wall-clock second. ``0`` (or any
+            non-positive value) means free-run: :meth:`sleep_for` always
+            answers 0 and the driver advances as fast as it can.
+    """
+
+    def __init__(self, rate: float = 0.0) -> None:
+        self.rate = rate
+        self._origin_wall: float | None = None
+        self._origin_sim = 0.0
+
+    @property
+    def free_running(self) -> bool:
+        return self.rate <= 0.0
+
+    def start(self, sim_now: float) -> None:
+        """Anchor the schedule: *sim_now* corresponds to this wall instant."""
+        self._origin_sim = sim_now
+        self._origin_wall = time.perf_counter()  # detlint: ok(D001)
+
+    def sleep_for(self, sim_now: float) -> float:
+        """Wall seconds the driver should sleep before advancing past
+        *sim_now* (0 when free-running, behind schedule, or not started)."""
+        if self.free_running or self._origin_wall is None:
+            return 0.0
+        target_wall = self._origin_wall + (sim_now - self._origin_sim) / self.rate
+        return max(0.0, target_wall - time.perf_counter())  # detlint: ok(D001)
+
+    def resync(self, sim_now: float) -> None:
+        """Re-anchor after a stall (e.g. a long blocking control action) so
+        the pacer does not sprint to catch up on the lost wall time."""
+        if self._origin_wall is not None:
+            self.start(sim_now)

@@ -99,6 +99,10 @@ class SchedulerDaemon(IsisMember):
         self._bid_spans: dict[str, TraceContext] = {}  # req_id -> bidding span
         self.bids_made = 0
         self.requests_led = 0
+        #: operator drain: a draining daemon declines every new bid (its
+        #: running instances finish normally) until undrained — flipped by
+        #: ``VirtualComputingEnvironment.drain_host`` / the control plane
+        self.draining = False
         #: called with each departed member's host name when this daemon,
         #: as group coordinator, sees the member drop out of the view —
         #: the failover layer hooks here for peer takeover of orphaned
@@ -131,6 +135,7 @@ class SchedulerDaemon(IsisMember):
     def can_bid(self) -> bool:
         return (
             self.daemon_config.accepts_remote
+            and not self.draining
             and self.current_load() < self.daemon_config.busy_threshold
         )
 

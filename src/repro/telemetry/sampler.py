@@ -61,6 +61,10 @@ class ClusterSampler(SimProcess):
         self.store = store if store is not None else SeriesStore()
         self.watchdog = watchdog
         self.ticks = 0
+        #: callbacks invoked with the sample time after each tick — the
+        #: control plane's metric-stream hook.  Listeners run inside the
+        #: simulation's deterministic event order and must only read.
+        self.listeners: list = []
         self._g_load = registry.gauge(
             "host_load", "background + VCE-hosted load fraction", labels=("host",)
         )
@@ -204,3 +208,5 @@ class ClusterSampler(SimProcess):
 
         if self.watchdog is not None:
             self.watchdog.evaluate(now, self.store)
+        for listener in self.listeners:
+            listener(now)

@@ -79,10 +79,16 @@ class Telemetry:
             self.registry, self.store, self.watchdog, now=self.sim.now, title=title
         )
 
-    def snapshot(self, refresh: bool = True) -> dict:
+    def snapshot(self, refresh: bool = True, include_health: bool = True) -> dict:
+        """Metric snapshot plus (by default) the watchdog's rule states —
+        the one schema ``repro top --json`` and the control-plane dashboard
+        share (see :meth:`HealthWatchdog.snapshot`)."""
         if refresh:
             self.refresh()
-        return snapshot(self.registry, time=self.sim.now)
+        out = snapshot(self.registry, time=self.sim.now)
+        if include_health:
+            out["health"] = self.watchdog.snapshot()
+        return out
 
     def prometheus(self) -> str:
         return to_prometheus(self.registry)

@@ -39,6 +39,17 @@ INFO = "info"
 WARNING = "warning"
 CRITICAL = "critical"
 
+#: every rule the watchdog evaluates, in evaluation order — the canonical
+#: key set of the ``rules`` map in :meth:`HealthWatchdog.snapshot`
+RULES = (
+    "straggler",
+    "queue_saturation",
+    "bid_starvation",
+    "alloc_errors",
+    "host_down",
+    "stranded",
+)
+
 #: signature of the event sink: (category, severity, detail-fields)
 EmitFn = Callable[..., None]
 
@@ -166,6 +177,39 @@ class HealthWatchdog:
     def active(self) -> list[HealthEvent]:
         """Currently-raised conditions, oldest first."""
         return sorted(self._active.values(), key=lambda e: e.time)
+
+    def snapshot(self) -> dict:
+        """JSON-able health state: the active conditions plus a per-rule
+        summary covering every rule in :data:`RULES` (``host_down`` and
+        ``stranded`` included even when quiet).  This is the one schema the
+        ``repro top --json`` export and the control-plane dashboard share.
+        """
+        active = self.active()
+        rules: dict[str, dict] = {
+            rule: {"active": 0, "severity": None} for rule in RULES
+        }
+        for event in active:
+            state = rules.setdefault(
+                event.rule, {"active": 0, "severity": None}
+            )
+            state["active"] += 1
+            if state["severity"] != CRITICAL:
+                state["severity"] = (
+                    CRITICAL if event.severity == CRITICAL else event.severity
+                )
+        return {
+            "active": [
+                {
+                    "rule": e.rule,
+                    "key": e.key,
+                    "severity": e.severity,
+                    "time": e.time,
+                    "detail": dict(e.detail),
+                }
+                for e in active
+            ],
+            "rules": rules,
+        }
 
     # ----------------------------------------------------------------- rules
 

@@ -16,9 +16,16 @@ Two properties matter at scale:
 - **Bounded memory.** ``set_bounded(n)`` switches the log to a ring buffer
   of the last *n* records while per-category counters and first/last
   records stay exact for the whole run — throughput benchmarks keep their
-  memory flat without blinding the metrics and telemetry layers. The old
-  ``disable()`` (drop everything) is deprecated and now means
-  ``set_bounded(0)``.
+  memory flat without blinding the metrics and telemetry layers
+  (``n=0`` keeps counters only; the historical ``disable()`` alias has
+  been removed).
+- **Live observers.** ``add_observer(fn)`` registers a callback invoked
+  with every stored-or-ring-buffered record at emit time, in the kernel's
+  deterministic event order.  This is the push seam the control plane's
+  :class:`~repro.controlplane.SubscriptionHub` taps: observers only read,
+  so attaching one never changes what the log stores — replay digests are
+  observer-invariant.  Suppressed categories never reach observers (no
+  record object exists for them).
 - **Emit cost.** ``suppress(prefix, ...)`` turns matching categories into a
   counter increment — no record object, no payload formatting.  Emitters
   with expensive payloads can pass callables as data values; they are
@@ -31,7 +38,6 @@ Two properties matter at scale:
 from __future__ import annotations
 
 import heapq
-import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
@@ -76,6 +82,8 @@ class EventLog:
         self._index: dict[str, list[int]] = {}
         # category prefixes whose emits are counted but not stored
         self._suppressed: tuple[str, ...] = ()
+        # push subscribers, called with each surviving record at emit time
+        self._observers: list[Callable[[LogRecord], None]] = []
         if capacity is not None:
             self.set_bounded(capacity)
 
@@ -103,12 +111,29 @@ class EventLog:
         if category not in self._first:
             self._first[category] = record
         self._last[category] = record
+        if self._observers:
+            for observer in self._observers:
+                observer(record)
         if self._ring is not None:
             if self._ring.maxlen != 0:
                 self._ring.append(record)
             return
         self._index.setdefault(category, []).append(len(self._records))
         self._records.append(record)
+
+    def add_observer(self, observer: Callable[[LogRecord], None]) -> None:
+        """Call *observer* with every surviving record at emit time, in
+        emission (kernel ``(time, seq)``) order.  Observers see records in
+        every storage mode — including a ``set_bounded(0)`` counters-only
+        log — but never suppressed categories.  Observers must only read;
+        they run inside the hot emit path."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[LogRecord], None]) -> None:
+        """Detach *observer* (no-op when it was never attached)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def suppress(self, *prefixes: str) -> None:
         """Stop storing records whose category starts with any of *prefixes*.
@@ -171,22 +196,6 @@ class EventLog:
     @property
     def capacity(self) -> int | None:
         return self._ring.maxlen if self._ring is not None else None
-
-    def disable(self) -> None:
-        """Deprecated: equivalent to ``set_bounded(0)``. Counters and
-        first/last stay exact, so metrics are no longer blinded."""
-        warnings.warn(
-            "EventLog.disable() is deprecated; use set_bounded(n) for a ring "
-            "buffer of the last n records (0 keeps per-category counters only)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.set_bounded(0)
-
-    def enable(self) -> None:
-        """Deprecated counterpart of :meth:`disable`; use
-        :meth:`set_unbounded`."""
-        self.set_unbounded()
 
     # -- reading -----------------------------------------------------------
 

@@ -100,21 +100,23 @@ class TestEventLog:
         assert log.first("x").get("i") == 0
         assert log.last("x").get("i") == 1
 
-    def test_disable_enable(self):
+    def test_counters_only_mode_round_trip(self):
         log = EventLog()
-        with pytest.deprecated_call():
-            log.disable()
+        log.set_bounded(0)
         log.emit(0.0, "x", "s")
         assert len(log) == 0
-        log.enable()
+        log.set_unbounded()
         log.emit(0.0, "x", "s")
         assert len(log) == 1
 
-    def test_disabled_log_keeps_exact_counts(self):
+    def test_deprecated_disable_is_gone(self):
+        assert not hasattr(EventLog, "disable")
+        assert not hasattr(EventLog, "enable")
+
+    def test_counters_only_log_keeps_exact_counts(self):
         log = EventLog()
         log.emit(0.0, "x", "s", i=0)
-        with pytest.deprecated_call():
-            log.disable()
+        log.set_bounded(0)
         log.emit(1.0, "x", "s", i=1)
         log.emit(2.0, "y", "s")
         assert len(log) == 0  # no records retained...
@@ -122,6 +124,23 @@ class TestEventLog:
         assert log.first("x").get("i") == 0
         assert log.last("x").get("i") == 1
         assert log.category_counts() == {"x": 2, "y": 1}
+
+    def test_observers_see_records_in_every_mode(self):
+        log = EventLog()
+        seen: list[tuple[float, str]] = []
+        observer = lambda r: seen.append((r.time, r.category))  # noqa: E731
+        log.add_observer(observer)
+        log.add_observer(observer)  # idempotent
+        log.emit(0.0, "x", "s")
+        log.set_bounded(0)  # counters-only: still observed
+        log.emit(1.0, "y", "s")
+        log.suppress("z")
+        log.emit(2.0, "z", "s")  # suppressed: never observed
+        assert seen == [(0.0, "x"), (1.0, "y")]
+        log.remove_observer(observer)
+        log.remove_observer(observer)  # no-op second time
+        log.emit(3.0, "y", "s")
+        assert len(seen) == 2
 
     def test_clear(self):
         log = EventLog()
