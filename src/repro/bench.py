@@ -389,3 +389,160 @@ def sharded_scaling(
         "serial_events_per_sec": serial.events_per_sec,
         "per_shards": per_shards,
     }
+
+
+# ------------------------------------------------------------- scale suite
+
+
+#: scenario name -> SoakConfig keyword overrides, per mode.  The quick
+#: scenarios are the CI scale-smoke gate (a couple of minutes end to end);
+#: the full scenarios add the headline run: 50 tenants / 2000 apps on 256
+#: workstations, six-figure concurrent instances under hierarchical
+#: bidding.  Every mode carries a flat (fanout=1) twin of its hier
+#: scenario so ``fanout_reduction`` — flat members polled per round over
+#: hier members polled per round — is measured, not assumed.
+SCALE_SCENARIOS: dict[str, dict[str, dict]] = {
+    "quick": {
+        "flat": dict(
+            tenants=8, apps=120, machines=48, fanout=1, seed=0,
+            instances=(16, 32), work=(8.0, 16.0), arrival_span=90.0,
+            telemetry_interval=300.0, settle=30.0,
+        ),
+        "hier": dict(
+            tenants=8, apps=120, machines=48, fanout=4, seed=0,
+            instances=(16, 32), work=(8.0, 16.0), arrival_span=90.0,
+            telemetry_interval=300.0, settle=30.0,
+        ),
+    },
+    "full": {
+        "flat": dict(
+            tenants=20, apps=500, machines=128, fanout=1, seed=0,
+            instances=(48, 96), work=(8.0, 16.0), arrival_span=150.0,
+            telemetry_interval=600.0, settle=40.0,
+        ),
+        "hier": dict(
+            tenants=20, apps=500, machines=128, fanout=8, seed=0,
+            instances=(48, 96), work=(8.0, 16.0), arrival_span=150.0,
+            telemetry_interval=600.0, settle=40.0,
+        ),
+        "hier-2000": dict(),  # SoakConfig() defaults: the headline run
+    },
+}
+
+#: flat/hier members-polled-per-round ratio the scale gate requires —
+#: hierarchical bidding must poll well under half of what flat polls
+MIN_FANOUT_REDUCTION = 2.0
+
+
+def run_scale_suite(quick: bool = False, shards: int = 2) -> dict:
+    """Run the soak scale scenarios; returns the ``BENCH_scale.json``
+    payload shape.
+
+    Each scenario is one :func:`repro.soak.run_soak` run; its report
+    (completion counts, peak concurrency, bid fan-out per round, replay
+    digest) is deterministic, so everything but ``wall_seconds`` is
+    gate-able. The ``hier`` scenario is additionally replayed on the
+    sharded backend and its digest recorded — backend invariance is part
+    of the scale contract.
+    """
+    from repro.soak import SoakConfig, run_soak
+
+    mode = "quick" if quick else "full"
+    scenarios: dict[str, dict] = {}
+    for name, overrides in SCALE_SCENARIOS[mode].items():
+        t0 = time.perf_counter()  # detlint: ok(D001) — wall clock IS the measurement
+        vce, driver, report = run_soak(SoakConfig(**overrides))
+        wall = time.perf_counter() - t0  # detlint: ok(D001)
+        entry = report.to_dict()
+        del entry["tenants"]  # per-tenant detail is for `repro soak --json`
+        entry["wall_seconds"] = round(wall, 2)
+        entry["events_per_sec"] = round(vce.sim.events_processed / wall, 1)
+        scenarios[name] = entry
+    sharded_cfg = SoakConfig(
+        **SCALE_SCENARIOS[mode]["hier"], backend="sharded", shards=shards
+    )
+    scenarios["hier@sharded"] = {
+        "backend": "sharded",
+        "shards": shards,
+        "digest": run_soak(sharded_cfg)[2].digest,
+    }
+    flat, hier = scenarios["flat"], scenarios["hier"]
+    reduction = flat["bid_fanout_per_round"] / max(
+        hier["bid_fanout_per_round"], 1e-9
+    )
+    return {
+        "mode": mode,
+        "shards": shards,
+        "fanout_reduction": round(reduction, 3),
+        "scenarios": scenarios,
+    }
+
+
+def check_scale_suite(current: dict) -> list[str]:
+    """Self-contained invariants of a scale suite run (no baseline needed):
+    every admitted application completes, the flat and hier twins place
+    identical workloads, hierarchy polls at most half of what flat polls,
+    and the sharded replay matches the serial one byte for byte."""
+    failures: list[str] = []
+    scenarios = current.get("scenarios", {})
+    for name, entry in scenarios.items():
+        if "completed" not in entry:
+            continue
+        if entry["failed"]:
+            failures.append(f"{name}: {entry['failed']} applications failed")
+        if entry["completed"] != entry["admitted"]:
+            failures.append(
+                f"{name}: {entry['admitted']} admitted but only "
+                f"{entry['completed']} completed — the soak did not drain"
+            )
+        if entry["submitted"] != entry["config_apps"]:
+            failures.append(
+                f"{name}: submitted {entry['submitted']} of "
+                f"{entry['config_apps']} configured arrivals"
+            )
+    reduction = current.get("fanout_reduction", 0.0)
+    if reduction < MIN_FANOUT_REDUCTION:
+        failures.append(
+            f"bid fan-out reduction {reduction:.2f}x fell below "
+            f"{MIN_FANOUT_REDUCTION:.1f}x — hierarchical bidding is no "
+            "longer sub-linear against the flat broadcast"
+        )
+    hier = scenarios.get("hier")
+    sharded = scenarios.get("hier@sharded")
+    if hier and sharded and hier["digest"] != sharded["digest"]:
+        failures.append(
+            "hier soak replay digest diverged between the serial and "
+            "sharded backends — backend invariance broken"
+        )
+    return failures
+
+
+def check_scale_baseline(current: dict, baseline: dict) -> list[str]:
+    """Gate a scale suite against the checked-in ``BENCH_scale.json``.
+
+    Deterministic quantities (replay digest, event counts, peak
+    concurrency, fan-out per round) must match the baseline exactly for
+    shared scenarios — any drift means scheduling behaviour changed and
+    the baseline must be consciously regenerated. Wall-clock numbers are
+    never gated.
+    """
+    failures: list[str] = list(check_scale_suite(current))
+    base_scenarios = baseline.get("scenarios", {})
+    for name, entry in current.get("scenarios", {}).items():
+        base = base_scenarios.get(name)
+        if base is None or "completed" not in entry:
+            continue
+        for key in (
+            "digest",
+            "events",
+            "peak_admitted_instances",
+            "peak_live_instances",
+            "bid_fanout_per_round",
+            "completed",
+        ):
+            if entry.get(key) != base.get(key):
+                failures.append(
+                    f"{name}: {key} changed {base.get(key)} -> {entry.get(key)} "
+                    "(update BENCH_scale.json if this is intended)"
+                )
+    return failures

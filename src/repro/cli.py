@@ -575,6 +575,12 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         run_suite,
     )
 
+    if args.baseline is None:
+        args.baseline = (
+            "BENCH_scale.json" if args.suite == "scale" else "BENCH_kernel.json"
+        )
+    if args.suite == "scale":
+        return _bench_scale(args, out)
     suite = run_suite(
         quick=args.quick,
         pump_events=args.pump_events,
@@ -656,6 +662,139 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _bench_scale(args: argparse.Namespace, out) -> int:
+    """``repro bench --suite scale``: soak scenarios + scale-conformance gate."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.bench import check_scale_baseline, check_scale_suite, run_scale_suite
+
+    suite = run_scale_suite(quick=args.quick, shards=args.shards)
+    rows = [
+        [
+            name,
+            f"{r['machines']}/{r['fanout']}",
+            f"{r['admitted']}",
+            f"{r['peak_live_instances']:,}",
+            f"{r['bid_fanout_per_round']:.1f}",
+            f"{r['sched_event_share'] * 100:.1f}%",
+            f"{r['wall_seconds']:.1f}s",
+            r["digest"][:12],
+        ]
+        for name, r in suite["scenarios"].items()
+        if "completed" in r
+    ]
+    print(
+        format_table(
+            ["scenario", "mach/fan", "apps", "peak live", "fan-out/rd", "sched share", "wall", "digest"],
+            rows,
+            title=(
+                f"scale bench ({suite['mode']}, "
+                f"fan-out reduction {suite['fanout_reduction']:.2f}x)"
+            ),
+        ),
+        file=out,
+    )
+    if args.json:
+        Path(args.json).write_text(_json.dumps(suite, indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
+    if args.check:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            baseline = _json.loads(baseline_path.read_text())
+            section = baseline.get(suite["mode"], {})
+            failures = check_scale_baseline(suite, section)
+        else:
+            print(
+                f"note: baseline {args.baseline} not found; "
+                "checking self-contained invariants only",
+                file=out,
+            )
+            failures = check_scale_suite(suite)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=out)
+        if failures:
+            return 1
+        print(f"scale check passed ({suite['mode']})", file=out)
+    return 0
+
+
+def cmd_soak(args: argparse.Namespace, out) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.soak import SoakConfig, run_soak
+
+    kw: dict = dict(
+        tenants=args.tenants,
+        apps=args.apps,
+        machines=args.machines,
+        fanout=args.fanout,
+        seed=args.seed,
+        backend=args.backend,
+        shards=args.shards,
+        chaos=args.chaos,
+    )
+    if args.arrival_span is not None:
+        kw["arrival_span"] = args.arrival_span
+    if args.instances is not None:
+        kw["instances"] = args.instances
+    if args.work is not None:
+        kw["work"] = args.work
+    cfg = SoakConfig(**kw)
+    vce, driver, report = run_soak(cfg)
+    tenants = report.tenants
+    held_waits = report.max_admission_wait
+    rows = [
+        [
+            name,
+            f"{t['quota']}",
+            f"{t['priority']:+.0f}",
+            f"{t['apps_admitted']}/{t['apps_submitted']}",
+            f"{t['apps_completed']}",
+            f"{t['peak_admitted']:,}",
+            f"{t['denials']}",
+        ]
+        for name, t in sorted(tenants.items())[: args.top]
+    ]
+    print(
+        format_table(
+            ["tenant", "quota", "prio", "admitted", "done", "peak inst", "held"],
+            rows,
+            title=(
+                f"soak: {report.config_tenants} tenants, "
+                f"{report.submitted} apps on {report.machines} machines "
+                f"(fanout {report.fanout}, {report.backend})"
+            ),
+        ),
+        file=out,
+    )
+    print(
+        f"completed {report.completed}/{report.admitted} admitted "
+        f"({report.held} held at quota, max wait {held_waits:.0f}s), "
+        f"peak {report.peak_live_instances:,} live / "
+        f"{report.peak_admitted_instances:,} admitted instances",
+        file=out,
+    )
+    print(
+        f"bidding: {report.requests_led} rounds, "
+        f"{report.bid_fanout_per_round:.1f} members polled/round "
+        f"({report.delegations} delegations, {report.escalations} escalations), "
+        f"sched event share {report.sched_event_share * 100:.1f}%",
+        file=out,
+    )
+    print(
+        f"makespan {report.makespan:,.0f}s sim, {report.events:,} log records, "
+        f"{report.net_messages:,} messages, digest {report.digest[:16]}",
+        file=out,
+    )
+    if args.json:
+        Path(args.json).write_text(_json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
+    ok = report.failed == 0 and report.completed == report.admitted
+    return 0 if ok else 1
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     import asyncio
 
@@ -710,6 +849,16 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
 def _kv(pair: str) -> tuple[str, int]:
     key, _, value = pair.partition("=")
     return key, int(value)
+
+
+def _int_pair(text: str) -> tuple[int, int]:
+    lo, _, hi = text.partition(",")
+    return int(lo), int(hi)
+
+
+def _float_pair(text: str) -> tuple[float, float]:
+    lo, _, hi = text.partition(",")
+    return float(lo), float(hi)
 
 
 def _add_run_options(parser: argparse.ArgumentParser, script_optional: bool = False) -> None:
@@ -839,6 +988,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="measure kernel/scheduler throughput on canonical workloads"
     )
     bench.add_argument(
+        "--suite", choices=["kernel", "scale"], default="kernel",
+        help="kernel: canonical workloads vs BENCH_kernel.json; "
+             "scale: multi-tenant soak scenarios vs BENCH_scale.json",
+    )
+    bench.add_argument(
         "--quick", action="store_true",
         help="reduced workload sizes (the CI perf-smoke gate)",
     )
@@ -855,13 +1009,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="compare normalized ratios against --baseline; exit 1 on regression",
     )
-    bench.add_argument("--baseline", default="BENCH_kernel.json")
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON (default BENCH_kernel.json or BENCH_scale.json "
+             "per --suite)",
+    )
     bench.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed normalized-ratio drop before --check fails (default 0.25)",
     )
     bench.add_argument("--pump-events", type=int, default=100_000)
     bench.set_defaults(fn=cmd_bench)
+
+    soak = sub.add_parser(
+        "soak", help="multi-tenant soak: tenant populations load the scheduler"
+    )
+    soak.add_argument("--tenants", type=int, default=50, help="tenant populations")
+    soak.add_argument("--apps", type=int, default=2000, help="total applications")
+    soak.add_argument("--machines", type=int, default=256, help="workstation count")
+    soak.add_argument(
+        "--fanout", type=int, default=8,
+        help="sub-leader cells (1 = the paper's flat bidding)",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--backend", choices=["serial", "sharded"], default="serial"
+    )
+    soak.add_argument("--shards", type=int, default=4)
+    soak.add_argument(
+        "--arrival-span", type=float, default=None, metavar="SECONDS",
+        help="compress arrivals into this window (default 200)",
+    )
+    soak.add_argument(
+        "--instances", type=_int_pair, default=None, metavar="LO,HI",
+        help="per-app instance range (default 96,192)",
+    )
+    soak.add_argument(
+        "--work", type=_float_pair, default=None, metavar="LO,HI",
+        help="per-instance compute seconds range (default 8,16)",
+    )
+    from repro.faults.schedule import SCHEDULES as _SCHEDULES
+
+    soak.add_argument(
+        "--chaos", choices=sorted(_SCHEDULES), default=None,
+        help="run under a named fault schedule (enables reliable "
+             "transport + failover)",
+    )
+    soak.add_argument(
+        "--top", type=int, default=12, help="tenant rows to print (default 12)"
+    )
+    soak.add_argument("--json", metavar="PATH", help="write the full report as JSON")
+    soak.set_defaults(fn=cmd_soak)
 
     serve = sub.add_parser(
         "serve", help="start the live control plane (dashboard + SSE + API)"

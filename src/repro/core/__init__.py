@@ -21,6 +21,12 @@ from repro.core.config import VCEConfig
 from repro.core.cluster import heterogeneous_cluster, multi_site_cluster, workstation_cluster
 from repro.core.environment import VirtualComputingEnvironment, materialize_description
 from repro.core.spec import load_cluster_file, machines_from_spec
+from repro.core.tenancy import (
+    QuotaExceededError,
+    TenantRegistry,
+    TenantSpec,
+    TenantState,
+)
 
 __all__ = [
     "VirtualComputingEnvironment",
@@ -31,4 +37,8 @@ __all__ = [
     "multi_site_cluster",
     "machines_from_spec",
     "load_cluster_file",
+    "TenantSpec",
+    "TenantState",
+    "TenantRegistry",
+    "QuotaExceededError",
 ]

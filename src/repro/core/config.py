@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.tenancy import TenantSpec
 from repro.isis.member import IsisConfig
 from repro.migration.failover import FailoverConfig
 from repro.netsim.network import LatencyModel, TransportConfig
@@ -25,6 +26,15 @@ class VCEConfig:
             by ``serial``).
         latency: LAN latency/bandwidth model.
         daemon: scheduler-daemon policy knobs.
+        leader_fanout: sub-leader cells per group leader (hierarchical
+            bidding; see :mod:`repro.scheduler.hierarchy` and
+            docs/SCALE.md).  1 — the default — keeps the paper's flat
+            full-group broadcast byte-identical to earlier builds; >1
+            overrides :attr:`DaemonConfig.leader_fanout` on every daemon.
+        tenants: tenant populations for multi-tenant runs (see
+            :class:`~repro.core.tenancy.TenantSpec`).  The environment
+            builds a :class:`~repro.core.tenancy.TenantRegistry` from them
+            and ``submit(..., tenant=...)`` charges quotas against it.
         isis: group-protocol timing.
         settle_time: simulated seconds given to group formation at boot.
         anticipatory: run the anticipatory engine (compile-ahead + file
@@ -69,6 +79,8 @@ class VCEConfig:
     shards: int = 4
     latency: LatencyModel = field(default_factory=LatencyModel)
     daemon: DaemonConfig = field(default_factory=DaemonConfig)
+    leader_fanout: int = 1
+    tenants: tuple[TenantSpec, ...] = ()
     isis: IsisConfig = field(default_factory=IsisConfig)
     settle_time: float = 15.0
     anticipatory: bool = False

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from dataclasses import replace
+
 from repro.compilation.anticipatory import AnticipatoryEngine
 from repro.compilation.manager import CompilationManager
 from repro.core.config import VCEConfig
+from repro.core.tenancy import TenantRegistry
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import ChaosController, FaultSchedule, build_schedule
 from repro.loadbalance.balancer import LoadBalancer
@@ -60,6 +63,20 @@ class VirtualComputingEnvironment:
                 f"unknown simulation backend {self.config.backend!r} "
                 f"(expected one of {', '.join(BACKEND_NAMES)})"
             )
+        if self.config.leader_fanout < 1:
+            raise ConfigurationError(
+                f"leader_fanout must be >= 1, got {self.config.leader_fanout}"
+            )
+        # VCEConfig.leader_fanout overrides the per-daemon knob so callers
+        # can flip hierarchy on without rebuilding a DaemonConfig
+        self._daemon_config = self.config.daemon
+        if (
+            self.config.leader_fanout != 1
+            and self._daemon_config.leader_fanout != self.config.leader_fanout
+        ):
+            self._daemon_config = replace(
+                self._daemon_config, leader_fanout=self.config.leader_fanout
+            )
         self.sim = create_simulator(
             self.config.seed, backend=self.config.backend, shards=self.config.shards
         )
@@ -91,6 +108,7 @@ class VirtualComputingEnvironment:
             self.sim, self.network, restart_daemon=self.restart_daemon
         )
         self.failover: FailoverManager | None = None
+        self.tenants = TenantRegistry(self.config.tenants, self.sim.telemetry)
         self.daemons: dict[str, SchedulerDaemon] = {}
         self.balancer: LoadBalancer | None = None
         self._booted = False
@@ -113,7 +131,7 @@ class VirtualComputingEnvironment:
             )
             daemon = SchedulerDaemon(
                 "vced", machine, self.directory, contacts,
-                self.config.daemon, self.config.isis,
+                self._daemon_config, self.config.isis,
             )
             host.spawn(daemon)
             first_of_class.setdefault(machine.arch_class, daemon.address)
@@ -258,8 +276,17 @@ class VirtualComputingEnvironment:
         priority: float = 0.0,
         queue_if_insufficient: bool = False,
         on_finished: Callable[[AppRun], None] | None = None,
+        tenant: str | None = None,
     ) -> AppRun:
         """Launch an execution program for *graph*; returns its AppRun.
+
+        With *tenant* set, the application is charged against that
+        tenant's concurrent-instance quota (the planned maximum: range
+        highs where *ranges* gives one, the graph's fixed count
+        otherwise) and released when the run finishes either way; an
+        over-quota submit raises
+        :class:`~repro.core.tenancy.QuotaExceededError` before anything
+        dispatches.
 
         With :attr:`VCEConfig.verify` set to ``warn`` or ``strict`` the
         static verifier runs here, before the execution program exists;
@@ -268,6 +295,26 @@ class VirtualComputingEnvironment:
         """
         if not self._booted:
             raise ConfigurationError("call boot() before submitting applications")
+        if tenant is not None:
+            charge = 0
+            for node in graph:
+                planned = (ranges or {}).get(node.name)
+                charge += planned[1] if planned is not None else node.instances
+            state = self.tenants.state(tenant)
+            state.apps_submitted += 1
+            self.tenants.admit(tenant, charge)  # raises when over quota
+            finish_cb = on_finished
+
+            def _settle_tenant(run: AppRun) -> None:
+                if run.state is RunState.DONE:
+                    state.apps_completed += 1
+                else:
+                    state.apps_failed += 1
+                self.tenants.release(tenant, charge)
+                if finish_cb is not None:
+                    finish_cb(run)
+
+            on_finished = _settle_tenant
         if self.config.verify != "off":
             self._enforce_verification(graph, self.config.verify)
         else:
@@ -388,7 +435,7 @@ class VirtualComputingEnvironment:
                 break
         daemon = SchedulerDaemon(
             "vced", machine, self.directory, contacts,
-            self.config.daemon, self.config.isis,
+            self._daemon_config, self.config.isis,
         )
         host.spawn(daemon)
         # in place: the telemetry sampler/watchdog hold this same dict

@@ -1,0 +1,221 @@
+"""Multi-tenant accounting: tenant specs, quotas, and admission state.
+
+The soak generator (:mod:`repro.soak`) simulates user *populations*: each
+tenant is a body of users submitting applications with a seeded arrival
+process, a concurrent-instance quota, and a base scheduling priority.  The
+:class:`TenantRegistry` lives on the
+:class:`~repro.core.environment.VirtualComputingEnvironment` (built from
+``VCEConfig(tenants=...)``) and enforces the hard quota invariant — a
+tenant's admitted concurrent instances never exceed its quota — while
+publishing per-tenant gauges/counters into the live metrics registry.
+
+Admission *ordering* (who waits, and how waiting tenants age so none
+starves) is policy, not accounting, and lives with the soak driver; the
+registry only answers "may this tenant add N instances right now" and
+keeps the books when the answer was yes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.util.errors import ConfigurationError, VCEError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.registry import MetricsRegistry
+
+#: Legal arrival-process kinds for a tenant population.
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+
+class QuotaExceededError(VCEError):
+    """An admission would push a tenant past its concurrent-instance quota."""
+
+    def __init__(self, tenant: str, requested: int, admitted: int, quota: int):
+        super().__init__(
+            f"tenant {tenant!r} quota exceeded: "
+            f"{admitted} admitted + {requested} requested > quota {quota}"
+        )
+        self.tenant = tenant
+        self.requested = requested
+        self.admitted = admitted
+        self.quota = quota
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One simulated user population.
+
+    Attributes:
+        name: tenant id (unique within a VCE).
+        quota: maximum concurrently admitted task instances.
+        rate: mean application arrivals per simulated second.
+        arrival: ``"poisson"`` (exponential inter-arrival gaps) or
+            ``"bursty"`` (exponential gaps between bursts of ``burst``
+            near-simultaneous arrivals — a class submitting at a deadline).
+        burst: applications per burst when ``arrival="bursty"``.
+        priority: base scheduling priority of this tenant's requests; the
+            soak driver's admission queue ages it (§4.3) so low-priority
+            tenants wait longer but never starve.
+        instances: (min, max) task instances drawn per application.
+        work: (min, max) simulated compute seconds drawn per instance.
+    """
+
+    name: str
+    quota: int
+    rate: float = 0.1
+    arrival: str = "poisson"
+    burst: int = 4
+    priority: float = 0.0
+    instances: tuple[int, int] = (8, 24)
+    work: tuple[float, float] = (60.0, 180.0)
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.quota < 1:
+            raise ConfigurationError(f"tenant {self.name!r}: quota must be >= 1")
+        if self.rate <= 0:
+            raise ConfigurationError(f"tenant {self.name!r}: rate must be > 0")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: arrival must be one of {ARRIVAL_KINDS}"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(f"tenant {self.name!r}: burst must be >= 1")
+        lo, hi = self.instances
+        if not (1 <= lo <= hi):
+            raise ConfigurationError(
+                f"tenant {self.name!r}: instances range {self.instances} invalid"
+            )
+
+
+@dataclass
+class TenantState:
+    """Live accounting for one tenant."""
+
+    spec: TenantSpec
+    admitted: int = 0  # concurrently admitted instances
+    peak_admitted: int = 0
+    apps_submitted: int = 0
+    apps_admitted: int = 0
+    apps_completed: int = 0
+    apps_failed: int = 0
+    denials: int = 0  # admissions refused (quota full)
+
+
+class TenantRegistry:
+    """Quota accounting and per-tenant metrics for one VCE."""
+
+    def __init__(
+        self,
+        specs: Sequence[TenantSpec] = (),
+        telemetry: "MetricsRegistry | None" = None,
+    ) -> None:
+        self._states: dict[str, TenantState] = {}
+        self.admitted_total = 0
+        self.peak_admitted_total = 0
+        self._g_admitted = None
+        self._c_apps = None
+        self._c_denials = None
+        if telemetry is not None:
+            self._g_admitted = telemetry.gauge(
+                "tenant_admitted_instances",
+                "concurrently admitted task instances",
+                labels=("tenant",),
+            )
+            self._c_apps = telemetry.counter(
+                "tenant_apps_admitted_total",
+                "applications admitted",
+                labels=("tenant",),
+            )
+            self._c_denials = telemetry.counter(
+                "tenant_quota_denials_total",
+                "admissions refused at the quota",
+                labels=("tenant",),
+            )
+        for spec in specs:
+            self.add(spec)
+
+    # ------------------------------------------------------------- population
+
+    def add(self, spec: TenantSpec) -> TenantState:
+        spec.validate()
+        if spec.name in self._states:
+            raise ConfigurationError(f"duplicate tenant {spec.name!r}")
+        state = TenantState(spec)
+        self._states[spec.name] = state
+        return state
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterable[TenantState]:
+        return iter(self._states.values())
+
+    def state(self, name: str) -> TenantState:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown tenant {name!r}") from None
+
+    def spec(self, name: str) -> TenantSpec:
+        return self.state(name).spec
+
+    # -------------------------------------------------------------- admission
+
+    def can_admit(self, name: str, instances: int) -> bool:
+        state = self.state(name)
+        return state.admitted + instances <= state.spec.quota
+
+    def admit(self, name: str, instances: int) -> None:
+        """Charge *instances* against the tenant's quota, or raise
+        :class:`QuotaExceededError` — the registry never over-admits."""
+        state = self.state(name)
+        if state.admitted + instances > state.spec.quota:
+            state.denials += 1
+            if self._c_denials is not None:
+                self._c_denials.labels(name).inc()
+            raise QuotaExceededError(
+                name, instances, state.admitted, state.spec.quota
+            )
+        state.admitted += instances
+        state.apps_admitted += 1
+        if state.admitted > state.peak_admitted:
+            state.peak_admitted = state.admitted
+        self.admitted_total += instances
+        if self.admitted_total > self.peak_admitted_total:
+            self.peak_admitted_total = self.admitted_total
+        if self._g_admitted is not None:
+            self._g_admitted.labels(name).set(state.admitted)
+            self._c_apps.labels(name).inc()
+
+    def release(self, name: str, instances: int) -> None:
+        state = self.state(name)
+        state.admitted = max(0, state.admitted - instances)
+        self.admitted_total = max(0, self.admitted_total - instances)
+        if self._g_admitted is not None:
+            self._g_admitted.labels(name).set(state.admitted)
+
+    # --------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict[str, dict[str, int | float]]:
+        """Per-tenant accounting as plain data (report/JSON friendly)."""
+        out: dict[str, dict[str, int | float]] = {}
+        for name, st in sorted(self._states.items()):
+            out[name] = {
+                "quota": st.spec.quota,
+                "priority": st.spec.priority,
+                "admitted": st.admitted,
+                "peak_admitted": st.peak_admitted,
+                "apps_submitted": st.apps_submitted,
+                "apps_admitted": st.apps_admitted,
+                "apps_completed": st.apps_completed,
+                "apps_failed": st.apps_failed,
+                "denials": st.denials,
+            }
+        return out

@@ -44,23 +44,12 @@ and its tests carry over unchanged.
 
 from __future__ import annotations
 
-import bisect
-import hashlib
 import heapq
 from typing import Callable
 
 from repro.netsim.kernel import _COMPACT_MIN, Simulator, _Entry
 from repro.util.errors import SimulationError
-
-#: virtual nodes per shard on the consistent-hash ring; enough that host
-#: counts in the hundreds spread within a few percent of even
-_RING_REPLICAS = 64
-
-
-def _stable_hash(key: str) -> int:
-    """Process-independent 64-bit hash (``hash()`` is salted per process,
-    which would make shard assignment — and shard stats — irreproducible)."""
-    return int.from_bytes(hashlib.md5(key.encode()).digest()[:8], "big")
+from repro.util.hashing import ConsistentHashRing
 
 
 class _HashRing:
@@ -68,21 +57,18 @@ class _HashRing:
 
     Consistent hashing keeps almost every host→shard assignment stable when
     the shard count changes — the property that makes shard-count sweeps
-    (and, later, elastic re-sharding) cheap to reason about.
+    (and, later, elastic re-sharding) cheap to reason about.  The ring
+    itself lives in :mod:`repro.util.hashing` (shared with the scheduler's
+    leader hierarchy); node names ``shard-{i}`` keep the virtual points —
+    and therefore every host→shard assignment and shard stat — identical
+    to the ones recorded before the extraction.
     """
 
-    def __init__(self, shards: int, replicas: int = _RING_REPLICAS) -> None:
-        points = sorted(
-            (_stable_hash(f"shard-{index}#{replica}"), index)
-            for index in range(shards)
-            for replica in range(replicas)
-        )
-        self._keys = [point for point, _ in points]
-        self._shards = [index for _, index in points]
+    def __init__(self, shards: int) -> None:
+        self._ring = ConsistentHashRing([f"shard-{index}" for index in range(shards)])
 
     def shard_of(self, host: str) -> int:
-        i = bisect.bisect(self._keys, _stable_hash(host)) % len(self._keys)
-        return self._shards[i]
+        return int(self._ring.lookup(host).removeprefix("shard-"))
 
 
 class _Shard:

@@ -33,8 +33,12 @@ from repro.scheduler.messages import (
     AllocationError_,
     AllocationReply,
     Allocation,
+    CellBids,
+    DelegateRequest,
+    DiscloseProbe,
     ExecutionInfo,
     ModuleNeed,
+    ProbeReply,
     ResourceRequest,
     MachineBid,
     SetPriority,
@@ -42,6 +46,7 @@ from repro.scheduler.messages import (
 )
 from repro.scheduler.directory import GroupDirectory
 from repro.scheduler.daemon import DaemonConfig, SchedulerDaemon
+from repro.scheduler.hierarchy import CellMap, build_cells
 from repro.scheduler.policies import (
     PlacementPolicy,
     greedy_assignment,
@@ -78,4 +83,10 @@ __all__ = [
     "site_packed_assignment",
     "AgingQueue",
     "QueuedRequest",
+    "CellMap",
+    "build_cells",
+    "DelegateRequest",
+    "DiscloseProbe",
+    "ProbeReply",
+    "CellBids",
 ]

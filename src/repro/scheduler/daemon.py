@@ -16,18 +16,23 @@ Unsatisfiable requests flagged ``queue_if_insufficient`` enter the leader's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.isis.member import ALL, IsisConfig, IsisMember
 from repro.isis.views import View
 from repro.netsim.host import Address
 from repro.scheduler.directory import GroupDirectory
+from repro.scheduler.hierarchy import CellMap, build_cells
 from repro.scheduler.messages import (
     AllocationError_,
     AllocationReply,
+    CellBids,
+    DelegateRequest,
+    DiscloseProbe,
     ExecutionInfo,
     MachineBid,
+    ProbeReply,
     ResourceRequest,
     SetPriority,
     TerminateNotice,
@@ -52,6 +57,12 @@ class DaemonConfig:
         retry_interval: queued-request retry period.
         aging_rate: priority gained per second of queue wait (§4.3).
         accepts_remote: whether this machine hosts remote executions at all.
+        leader_fanout: number of sub-leader cells the group leader splits
+            its view into (see :mod:`repro.scheduler.hierarchy`).  1 (the
+            default) keeps the paper's flat full-group broadcast,
+            byte-identical to pre-hierarchy builds; >1 delegates each
+            bidding round to consistent-hash-assigned cells and escalates
+            in cached-load order only while bids run short.
     """
 
     busy_threshold: float = 0.8
@@ -60,6 +71,29 @@ class DaemonConfig:
     retry_interval: float = 2.0
     aging_rate: float = 0.1
     accepts_remote: bool = True
+    leader_fanout: int = 1
+
+
+@dataclass
+class _HierRound:
+    """Root-leader state for one hierarchical bidding round."""
+
+    request: ResourceRequest
+    cell_map: CellMap
+    order: list[int]  # cells in polling order (primary first)
+    next_index: int = 0  # next cell in *order* to delegate to
+    awaiting: int | None = None  # delegated cell that has not reported
+    reports: dict[int, tuple[MachineBid, ...]] = field(default_factory=dict)
+    polled: int = 0  # members covered by reported cells
+
+
+@dataclass
+class _CellRound:
+    """Sub-leader state for one delegated cell poll."""
+
+    delegate: DelegateRequest
+    pending: int = 0  # probes still outstanding
+    bids: list[MachineBid] = field(default_factory=list)
 
 
 class SchedulerDaemon(IsisMember):
@@ -96,9 +130,26 @@ class SchedulerDaemon(IsisMember):
         self.pending_queue = AgingQueue(self.daemon_config.aging_rate)
         self._collecting: dict[str, ResourceRequest] = {}
         self._first_enqueued: dict[str, float] = {}
+        #: coordinatorship as of the last view change — a daemon that led a
+        #: minority view and lost the merge must hand its queue mirror over
+        self._led_previous_view = False
         self._bid_spans: dict[str, TraceContext] = {}  # req_id -> bidding span
+        # hierarchical bidding (leader_fanout > 1): the view's cell
+        # partition, live rounds at this root, live cell polls at this
+        # sub-leader, and the cached per-cell aggregate load that orders
+        # escalation (see repro.scheduler.hierarchy)
+        self._cell_map: CellMap | None = None
+        self._hier_rounds: dict[str, _HierRound] = {}
+        self._cell_rounds: dict[str, _CellRound] = {}
+        self._cell_loads: dict[int, float] = {}
+        self.delegations_sent = 0
         self.bids_made = 0
         self.requests_led = 0
+        #: members covered by this leader's disclosure fan-outs (flat: the
+        #: whole view per round; hierarchical: only the cells polled) — the
+        #: quantity the hierarchy makes sub-linear, reported per round by
+        #: the scale bench as ``bid_fanout_per_round``
+        self.members_polled = 0
         #: operator drain: a draining daemon declines every new bid (its
         #: running instances finish normally) until undrained — flipped by
         #: ``VirtualComputingEnvironment.drain_host`` / the control plane
@@ -172,6 +223,22 @@ class SchedulerDaemon(IsisMember):
                     ).inc()
                 for observer in self.host_lost_observers:
                     observer(member.host)
+        elif self._led_previous_view and self.pending_queue:
+            # A group merge after a partition can strand queue entries that
+            # were replicated only on our side of the split: we led a
+            # minority view, queued work there, and lost coordinatorship in
+            # the merge — the winning coordinator never saw those entries.
+            # Re-replicate our mirror in the merged view: push is idempotent
+            # by req_id, the original enqueue time rides along so aging is
+            # preserved, and the new coordinator's queue_add handler arms
+            # its own retry timer.
+            for item in self.pending_queue.items():
+                self.cbcast(
+                    "queue_add",
+                    (item.request, self._first_enqueued.get(item.request.req_id, item.enqueued_at)),
+                    size=512,
+                )
+        self._led_previous_view = self.is_coordinator
 
     # ----------------------------------------------------------- leader side
 
@@ -187,6 +254,18 @@ class SchedulerDaemon(IsisMember):
             return
         if isinstance(payload, SetPriority):
             self._on_set_priority(payload)
+            return
+        if isinstance(payload, DelegateRequest):
+            self._on_delegate(payload)
+            return
+        if isinstance(payload, DiscloseProbe):
+            self.send(payload.reply_to, ProbeReply(payload.req_id, self._disclose_bid()), size=256)
+            return
+        if isinstance(payload, ProbeReply):
+            self._on_probe_reply(payload)
+            return
+        if isinstance(payload, CellBids):
+            self._on_cell_bids(payload)
             return
         if isinstance(payload, TerminateNotice):
             if payload.app in self.hosted:
@@ -249,6 +328,15 @@ class SchedulerDaemon(IsisMember):
                   needed=request.total_min,
                   **trace_fields(self._bid_spans.get(request.req_id)))
         self._collecting[request.req_id] = request
+        if (
+            self.daemon_config.leader_fanout > 1
+            and self.view is not None
+            and len(self.view.members) > 1
+        ):
+            self._start_hier_round(request)
+            return
+        if self.view is not None:
+            self.members_polled += len(self.view.members)
         self.group_request(
             ("disclose", request.req_id),
             n_wanted=ALL,
@@ -269,6 +357,16 @@ class SchedulerDaemon(IsisMember):
         if not self.alive or not self.is_coordinator:
             return
         bids = [b for (_, b) in replies if isinstance(b, MachineBid)]
+        self._finish_round(request, bids, bid_span)
+
+    def _finish_round(
+        self,
+        request: ResourceRequest,
+        bids: list[MachineBid],
+        bid_span: TraceContext | None,
+    ) -> None:
+        """Shared decision tail of a bidding round (flat or hierarchical):
+        sort, reply-or-error, and queue maintenance."""
         # sortBidsByLoad(); ties broken by speed (faster first), then name
         bids.sort(key=lambda b: (b.load, -b.speed, b.machine))
         tel = self._tel()
@@ -316,6 +414,177 @@ class SchedulerDaemon(IsisMember):
         if self.pending_queue:
             self.set_timer(self.daemon_config.retry_interval, "retry-queue")
 
+    # ---------------------------------------------- hierarchical bidding root
+
+    def _cell_map_for_view(self) -> CellMap:
+        assert self.view is not None
+        if self._cell_map is None or self._cell_map.view_id != self.view.view_id:
+            self._cell_map = build_cells(
+                list(self.view.members),
+                self.daemon_config.leader_fanout,
+                self.view.view_id,
+            )
+            tel = self._tel()
+            if tel is not None:
+                tel.gauge(
+                    "sched_cells", "occupied sub-leader cells in the current view"
+                ).set(len(self._cell_map.cell_ids))
+        return self._cell_map
+
+    def _start_hier_round(self, request: ResourceRequest) -> None:
+        if request.req_id in self._hier_rounds:
+            return  # a requester retry raced an in-flight round
+        cell_map = self._cell_map_for_view()
+        round_ = _HierRound(
+            request,
+            cell_map,
+            cell_map.escalation_order(request.req_id, self._cell_loads),
+        )
+        self._hier_rounds[request.req_id] = round_
+        self._delegate_next(round_)
+
+    def _delegate_next(self, round_: _HierRound) -> None:
+        cell = round_.order[round_.next_index]
+        round_.next_index += 1
+        round_.awaiting = cell
+        members = round_.cell_map.members_of(cell)
+        sub_leader = round_.cell_map.sub_leader(cell)
+        escalated = round_.next_index > 1
+        self.delegations_sent += 1
+        self.members_polled += len(members)
+        tel = self._tel()
+        if tel is not None:
+            tel.counter("sched_delegations_total", "cell polls delegated").inc()
+            if escalated:
+                tel.counter(
+                    "sched_escalations_total",
+                    "delegations beyond a request's primary cell",
+                ).inc()
+        req_id = round_.request.req_id
+        self.emit(
+            "sched.delegate",
+            req_id=req_id,
+            cell=cell,
+            sub_leader=sub_leader.host,
+            members=len(members),
+            escalated=escalated,
+            **trace_fields(self._bid_spans.get(req_id)),
+        )
+        # generous bound: delegate hop + the sub-leader's own collection
+        # window + report hop; a dead sub-leader costs one window, not the
+        # round
+        self.set_timer(self.daemon_config.bid_timeout * 2 + 0.5, f"hier:{req_id}")
+        message = DelegateRequest(round_.request, cell, members, self.address)
+        if sub_leader == self.address:
+            self._on_delegate(message)
+        else:
+            self.send(sub_leader, message, size=768)
+
+    def _on_cell_bids(self, msg: CellBids) -> None:
+        # cache the aggregate even when the round is gone: stale reports
+        # still teach the root where capacity is
+        self._cell_loads[msg.cell] = msg.mean_load
+        round_ = self._hier_rounds.get(msg.req_id)
+        if round_ is None or msg.cell in round_.reports:
+            return
+        round_.reports[msg.cell] = msg.bids
+        round_.polled += msg.polled
+        if round_.awaiting == msg.cell:
+            round_.awaiting = None
+            self.cancel_timer(f"hier:{msg.req_id}")
+        self.emit(
+            "sched.cell_bids",
+            req_id=msg.req_id,
+            cell=msg.cell,
+            bids=len(msg.bids),
+            polled=msg.polled,
+        )
+        self._hier_check(round_)
+
+    def _hier_timeout(self, req_id: str) -> None:
+        round_ = self._hier_rounds.get(req_id)
+        if round_ is None or round_.awaiting is None:
+            return
+        tel = self._tel()
+        if tel is not None:
+            tel.counter(
+                "sched_cell_timeouts_total", "cell polls that never reported"
+            ).inc()
+        self.emit("sched.cell_timeout", req_id=req_id, cell=round_.awaiting)
+        round_.awaiting = None
+        self._hier_check(round_)
+
+    def _hier_check(self, round_: _HierRound) -> None:
+        request = round_.request
+        bids = [
+            bid
+            for cell in round_.order
+            if cell in round_.reports
+            for bid in round_.reports[cell]
+        ]
+        if len(bids) < request.total_min:
+            if round_.awaiting is not None:
+                return  # a cell is still being polled
+            if round_.next_index < len(round_.order):
+                self._delegate_next(round_)
+                return
+        # enough bids, or every cell polled: decide
+        self._hier_rounds.pop(request.req_id, None)
+        self.cancel_timer(f"hier:{request.req_id}")
+        self._collecting.pop(request.req_id, None)
+        bid_span = self._bid_spans.pop(request.req_id, None)
+        if not self.alive or not self.is_coordinator:
+            return
+        self._finish_round(request, bids, bid_span)
+
+    # ---------------------------------------------------- hierarchy sub-leader
+
+    def _on_delegate(self, msg: DelegateRequest) -> None:
+        if not self.alive or msg.request.req_id in self._cell_rounds:
+            return
+        round_ = _CellRound(msg)
+        self._cell_rounds[msg.request.req_id] = round_
+        self.emit(
+            "sched.cell_poll",
+            req_id=msg.request.req_id,
+            cell=msg.cell,
+            members=len(msg.members),
+        )
+        own = self._disclose_bid()
+        if own is not None:
+            round_.bids.append(own)
+        probe = DiscloseProbe(msg.request.req_id, self.address)
+        for member in msg.members:
+            if member == self.address:
+                continue
+            round_.pending += 1
+            self.send(member, probe, size=128)
+        if round_.pending == 0:
+            self._cell_finish(round_)
+        else:
+            self.set_timer(self.daemon_config.bid_timeout, f"cell:{msg.request.req_id}")
+
+    def _on_probe_reply(self, msg: ProbeReply) -> None:
+        round_ = self._cell_rounds.get(msg.req_id)
+        if round_ is None:
+            return
+        if msg.bid is not None:
+            round_.bids.append(msg.bid)
+        round_.pending -= 1
+        if round_.pending == 0:
+            self.cancel_timer(f"cell:{msg.req_id}")
+            self._cell_finish(round_)
+
+    def _cell_finish(self, round_: _CellRound) -> None:
+        msg = round_.delegate
+        req_id = msg.request.req_id
+        self._cell_rounds.pop(req_id, None)
+        report = CellBids(req_id, msg.cell, tuple(round_.bids), polled=len(msg.members))
+        if msg.root == self.address:
+            self._on_cell_bids(report)
+        else:
+            self.send(msg.root, report, size=1024)
+
     # ------------------------------------------------------------ member side
 
     def on_cbcast(self, sender: Address, kind: str, payload: Any) -> None:
@@ -337,20 +606,27 @@ class SchedulerDaemon(IsisMember):
                 if self.is_coordinator:
                     self.emit("sched.reprioritized", req_id=req_id, priority=priority)
 
+    def _disclose_bid(self) -> MachineBid | None:
+        """Answer one state disclosure (flat broadcast or hierarchy probe):
+        a bid when "not already excessively loaded", else a decline."""
+        tel = self._tel()
+        if self.can_bid():
+            self.bids_made += 1
+            if tel is not None:
+                tel.counter("sched_bids_total", "bids offered").inc()
+            return self.make_bid()
+        if tel is not None:
+            tel.counter(
+                "sched_declines_total", "disclosures declined (too loaded)"
+            ).inc()
+        self.emit("sched.decline", load=self.current_load())
+        return None
+
     def on_group_request(self, requester: Address, body: Any, reply: Callable[[Any], None]) -> None:
         if isinstance(body, tuple) and body and body[0] == "disclose":
-            tel = self._tel()
-            if self.can_bid():
-                self.bids_made += 1
-                if tel is not None:
-                    tel.counter("sched_bids_total", "bids offered").inc()
-                reply(self.make_bid())
-            else:
-                if tel is not None:
-                    tel.counter(
-                        "sched_declines_total", "disclosures declined (too loaded)"
-                    ).inc()
-                self.emit("sched.decline", load=self.current_load())
+            bid = self._disclose_bid()
+            if bid is not None:
+                reply(bid)
             return
 
     # ---------------------------------------------------------------- timers
@@ -358,6 +634,12 @@ class SchedulerDaemon(IsisMember):
     def on_timer(self, key: str) -> None:
         if key == "retry-queue":
             self._retry_queued()
+        elif key.startswith("hier:"):
+            self._hier_timeout(key[len("hier:"):])
+        elif key.startswith("cell:"):
+            round_ = self._cell_rounds.get(key[len("cell:"):])
+            if round_ is not None:
+                self._cell_finish(round_)
         else:
             super().on_timer(key)
 

@@ -111,6 +111,58 @@ class TerminateNotice:
 
 
 @dataclass(frozen=True, slots=True)
+class DelegateRequest:
+    """Root leader → sub-leader: poll your cell for bids on this request
+    (hierarchical bidding, ``DaemonConfig.leader_fanout > 1``).
+
+    The root freezes the cell's member list at delegation time so a view
+    change mid-round cannot split the two ends' idea of the cell.
+    """
+
+    request: ResourceRequest
+    cell: int
+    members: tuple[Address, ...]
+    root: Address
+
+
+@dataclass(frozen=True, slots=True)
+class DiscloseProbe:
+    """Sub-leader → cell member: the direct (point-to-point) equivalent of
+    the flat leader's state-disclosure broadcast — the hierarchy exists so
+    this fan-out covers one cell, not the whole group."""
+
+    req_id: str
+    reply_to: Address
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeReply:
+    """Cell member → sub-leader: a bid, or a decline (``bid=None``)."""
+
+    req_id: str
+    bid: MachineBid | None
+
+
+@dataclass(frozen=True, slots=True)
+class CellBids:
+    """Sub-leader → root leader: one cell's collected bids plus the
+    aggregate the root caches for escalation ordering."""
+
+    req_id: str
+    cell: int
+    bids: tuple[MachineBid, ...]
+    polled: int
+
+    @property
+    def mean_load(self) -> float:
+        """Average bid load — the cached per-cell aggregate the root uses
+        to order escalation; a cell with no bids reports saturated."""
+        if not self.bids:
+            return 1e9
+        return sum(b.load for b in self.bids) / len(self.bids)
+
+
+@dataclass(frozen=True, slots=True)
 class SetPriority:
     """Authorized user → group leader: change a queued request's base
     priority ("authorized users will be able to modify the priorities of

@@ -83,6 +83,10 @@ class ClusterSampler(SimProcess):
         self._c_alloc_errors = registry.counter(
             "sched_alloc_errors_total", "bidding rounds with too few bids"
         )
+        self._g_sched_share = registry.gauge(
+            "sched_event_share",
+            "fraction of all log records from scheduling (sched.* + isis.*)",
+        )
         # per-tick handles (gauge children + ring series), resolved once on
         # the first sample — the sampler runs inside the hot loop, so the
         # steady-state tick does no dict/label lookups at all
@@ -144,6 +148,8 @@ class ClusterSampler(SimProcess):
             store.series("net_bytes_sent", ""),
             self._c_alloc_errors.labels(),
             store.series("sched_alloc_errors_total", ""),
+            self._g_sched_share.labels(),
+            store.series("sched_event_share", ""),
         )
 
     def _inflight_row(self, host_name: str):
@@ -194,6 +200,8 @@ class ClusterSampler(SimProcess):
             s_bytes,
             c_alloc,
             s_alloc,
+            g_share,
+            s_share,
         ) = self._solo
         g_running.value = running
         s_running.append(now, running)
@@ -205,6 +213,21 @@ class ClusterSampler(SimProcess):
         s_sent.append(now, network.messages_sent)
         s_bytes.append(now, network.bytes_sent)
         s_alloc.append(now, c_alloc.value)
+
+        # scheduler event share: what fraction of everything the run logs
+        # is scheduling machinery (the quantity hierarchical bidding keeps
+        # sub-linear at scale; category_counts is maintained incrementally,
+        # so this never re-scans the log)
+        counts = self.sim.log.category_counts()
+        total = sum(counts.values())
+        sched = sum(
+            v
+            for k, v in counts.items()
+            if k.startswith("sched.") or k.startswith("isis.")
+        )
+        share = sched / total if total else 0.0
+        g_share.value = share
+        s_share.append(now, share)
 
         if self.watchdog is not None:
             self.watchdog.evaluate(now, self.store)

@@ -18,6 +18,7 @@ from repro.workloads.pipeline import build_diamond_graph, build_pipeline_graph
 from repro.workloads.randomdag import build_random_dag
 from repro.workloads.stencil import build_stencil_graph, heat_reference
 from repro.workloads.sweep import build_sweep_graph
+from repro.workloads.tenants import arrival_times, build_population, tenant_app
 
 __all__ = [
     "build_stencil_graph",
@@ -31,4 +32,7 @@ __all__ = [
     "build_diamond_graph",
     "build_random_dag",
     "build_sweep_graph",
+    "build_population",
+    "arrival_times",
+    "tenant_app",
 ]

@@ -1,12 +1,21 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Cluster *wiring* (hosts + machine database) is shared with
+``tests/helpers_sched.py`` — ``make_cluster`` builds a runtime-only
+bundle (no scheduler daemons) for placement/runtime tests, while
+``helpers_sched.make_vce`` adds the daemon layer and
+``helpers_sched.make_full_vce`` boots the full environment facade.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.machines import ConstantLoad, Machine, MachineClass, MachineDatabase
+from repro.machines import Machine, MachineDatabase
 from repro.netsim import Network, Simulator
 from repro.runtime import Placement, RuntimeManager
+
+from tests.helpers_sched import make_full_vce, wire_machines, workstation_farm
 
 
 class Cluster:
@@ -42,27 +51,12 @@ def make_cluster(
     sim = Simulator(seed)
     net = Network(sim)
     db = MachineDatabase()
-    hosts = {}
-    for i in range(n_workstations):
-        name = f"ws{i}"
-        speed = speeds[i] if speeds else 1.0
-        host = net.add_host(name, speed=speed)
-        machine = Machine(
-            name,
-            MachineClass.WORKSTATION,
-            speed=speed,
-            memory_mb=256,
-            background_load=(loads[i] if loads else ConstantLoad(0.0)),
-        )
-        host.machine = machine
-        db.register(machine)
-        hosts[name] = host
-    for name, arch, speed in extra_machines:
-        host = net.add_host(name, speed=speed)
-        machine = Machine(name, arch, speed=speed, memory_mb=4096)
-        host.machine = machine
-        db.register(machine)
-        hosts[name] = host
+    machines = workstation_farm(n_workstations, loads=loads, speeds=speeds)
+    machines += [
+        Machine(name, arch, speed=speed, memory_mb=4096)
+        for name, arch, speed in extra_machines
+    ]
+    hosts = wire_machines(net, db, machines)
     manager = RuntimeManager(sim, net, binary_service=binary_service)
     return Cluster(sim, net, db, manager, hosts)
 
@@ -89,3 +83,21 @@ def round_robin_placement(graph, host_names):
 @pytest.fixture
 def cluster():
     return make_cluster()
+
+
+@pytest.fixture
+def tenant_population():
+    """A small deterministic tenant mix (heavy/steady/batch archetypes)
+    sized for unit tests: tight quotas so admission control is exercised."""
+    from repro.workloads import build_population
+
+    return build_population(
+        6, seed=0, mean_quota=120, instances=(4, 8), work=(8.0, 16.0)
+    )
+
+
+@pytest.fixture
+def hier_vce():
+    """A booted full VCE with hierarchical bidding (9 workstations,
+    fanout 3) — the shared cluster for hierarchy tests."""
+    return make_full_vce(n_machines=9, fanout=3, settle=20.0)

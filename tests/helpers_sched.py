@@ -1,10 +1,20 @@
 """Helpers to stand up a full VCE (daemons + directory + runtime) in tests
-and benchmarks."""
+and benchmarks.
+
+Machine *composition* lives in :mod:`repro.core.cluster` — the helpers here
+only add what tests need on top: per-machine load/speed overrides
+(:func:`workstation_farm`), the low-level daemon wiring of
+:func:`make_vce` for tests that poke at scheduler internals, and
+:func:`make_full_vce` for tests that want the real
+:class:`~repro.core.environment.VirtualComputingEnvironment` facade
+(tenancy, hierarchy, telemetry) on a small cluster.
+"""
 
 from __future__ import annotations
 
-
-from repro.machines import ConstantLoad, Machine, MachineClass, MachineDatabase
+from repro.core import VCEConfig, VirtualComputingEnvironment
+from repro.core.cluster import heterogeneous_cluster, workstation_cluster
+from repro.machines import Machine, MachineClass, MachineDatabase
 from repro.netsim import Network, Simulator
 from repro.runtime import RuntimeManager
 from repro.scheduler import DaemonConfig, GroupDirectory, SchedulerDaemon
@@ -34,6 +44,20 @@ class VCECluster:
         return self.daemons[addr.host]
 
 
+def wire_machines(net: Network, db: MachineDatabase, machines) -> dict:
+    """Register *machines* onto *net* hosts and into *db*; returns
+    machine name -> Host. The one wiring loop every cluster builder
+    shares (the environment facade has its own copy because it also
+    spawns daemons inline)."""
+    hosts = {}
+    for machine in machines:
+        host = net.add_host(machine.name, speed=machine.speed)
+        host.machine = machine
+        db.register(machine)
+        hosts[machine.name] = host
+    return hosts
+
+
 def make_vce(
     machines=None,
     seed=0,
@@ -57,24 +81,19 @@ def make_vce(
     isis_config = isis_config or IsisConfig()
 
     if machines is None:
-        machines = [
-            Machine(f"ws{i}", MachineClass.WORKSTATION, background_load=ConstantLoad(0.0))
-            for i in range(4)
-        ]
+        machines = workstation_cluster(4)
 
+    hosts = wire_machines(net, db, machines)
     daemons = {}
     first_of_class = {}
     for machine in machines:
-        host = net.add_host(machine.name, speed=machine.speed)
-        host.machine = machine
-        db.register(machine)
         contacts = None
         if machine.arch_class in first_of_class:
             contacts = [first_of_class[machine.arch_class]]
         daemon = SchedulerDaemon(
             "vced", machine, directory, contacts, daemon_config, isis_config
         )
-        host.spawn(daemon)
+        hosts[machine.name].spawn(daemon)
         if machine.arch_class not in first_of_class:
             first_of_class[machine.arch_class] = daemon.address
         daemons[machine.name] = daemon
@@ -87,17 +106,44 @@ def make_vce(
     return VCECluster(sim, net, db, directory, runtime, daemons, user_host)
 
 
+def make_full_vce(
+    n_machines=8,
+    seed=0,
+    fanout=1,
+    settle=20.0,
+    machines=None,
+    **config_kw,
+) -> VirtualComputingEnvironment:
+    """Boot the real environment facade on a small workstation cluster —
+    the builder for hierarchy/tenancy/soak tests (``leader_fanout``,
+    ``tenants=``, backend selection all flow through *config_kw*)."""
+    config = VCEConfig(
+        seed=seed, leader_fanout=fanout, settle_time=settle, **config_kw
+    )
+    return VirtualComputingEnvironment(
+        machines if machines is not None else workstation_cluster(n_machines),
+        config,
+    ).boot()
+
+
 def workstation_farm(n, loads=None, speeds=None):
-    """n workstation Machine objects with optional per-machine load/speed."""
+    """n workstation Machine objects with optional per-machine load/speed.
+
+    With neither override this is exactly
+    :func:`repro.core.cluster.workstation_cluster`.
+    """
+    if loads is None and speeds is None:
+        return workstation_cluster(n)
+    machines = workstation_cluster(n)
     out = []
-    for i in range(n):
+    for i, machine in enumerate(machines):
         out.append(
             Machine(
-                f"ws{i}",
-                MachineClass.WORKSTATION,
-                speed=(speeds[i] if speeds else 1.0),
-                background_load=(loads[i] if loads else ConstantLoad(0.0)),
-                memory_mb=256,
+                machine.name,
+                machine.arch_class,
+                speed=(speeds[i] if speeds else machine.speed),
+                background_load=(loads[i] if loads else machine.background_load),
+                memory_mb=machine.memory_mb,
             )
         )
     return out
@@ -105,10 +151,6 @@ def workstation_farm(n, loads=None, speeds=None):
 
 def heterogeneous_site(n_ws=4, n_mimd=2, n_simd=1):
     """The paper's 'typical heterogeneous environment': a workstation
-    group, a MIMD group and a SIMD group."""
-    machines = workstation_farm(n_ws)
-    for i in range(n_mimd):
-        machines.append(Machine(f"mimd{i}", MachineClass.MIMD, speed=10.0, memory_mb=2048))
-    for i in range(n_simd):
-        machines.append(Machine(f"simd{i}", MachineClass.SIMD, speed=40.0, memory_mb=4096))
-    return machines
+    group, a MIMD group and a SIMD group (delegates to
+    :func:`repro.core.cluster.heterogeneous_cluster`)."""
+    return heterogeneous_cluster(n_ws, n_mimd, n_simd)

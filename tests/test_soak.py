@@ -256,3 +256,144 @@ class TestShardedChaosSoak:
         busy = [s for s in stats["per_shard"] if s["events"] > 0]
         assert len(busy) > 1
         assert stats["cross_shard_events"] > 0
+
+
+# ----------------------------------------- multi-tenant soak (repro soak)
+#
+# A small seeded multi-tenant soak run (~200 applications, ~2.4k drawn
+# instances on 24 workstations, fanout-4 hierarchical bidding, quotas
+# tight enough that admissions must wait) is driven to completion once
+# per module; the classes below assert the pinned end-state against that
+# shared run: determinism across repeats and backends, exactly-once
+# completion, and the quota/aging invariants actually engaging.
+
+import dataclasses
+
+from repro.soak import SoakConfig, run_soak
+
+SMALL_SOAK = SoakConfig(
+    tenants=6,
+    apps=200,
+    machines=24,
+    fanout=4,
+    seed=0,
+    instances=(8, 16),
+    work=(4.0, 8.0),
+    mean_quota=80,  # tight: forces a visible admission backlog
+    arrival_span=120.0,
+    telemetry_interval=200.0,
+    pulse=2.0,
+    settle=20.0,
+)
+
+
+@pytest.fixture(scope="module")
+def small_soak():
+    return run_soak(SMALL_SOAK)
+
+
+class TestTenantSoakEndState:
+    def test_everything_admitted_completes(self, small_soak):
+        _, driver, report = small_soak
+        assert report.submitted == SMALL_SOAK.apps
+        assert report.failed == 0
+        assert report.completed == report.admitted == SMALL_SOAK.apps
+        assert driver.finished
+
+    def test_exactly_once_completion(self, small_soak):
+        _, driver, report = small_soak
+        assert driver._duplicate_finishes == 0
+        assert len(driver._done_app_ids) == report.completed + report.failed
+
+    def test_admission_control_engaged(self, small_soak):
+        vce, driver, report = small_soak
+        # tight quotas: some arrivals waited, all were eventually admitted
+        assert report.held > 0
+        assert report.max_admission_wait > 0.0
+        assert not driver.pending
+        waited = vce.sim.log.records(category="soak.admit_held")
+        assert len(waited) == report.held
+
+    def test_no_tenant_exceeds_quota_and_none_starves(self, small_soak):
+        _, _, report = small_soak
+        assert report.tenants  # snapshot present
+        for name, t in report.tenants.items():
+            assert t["peak_admitted"] <= t["quota"], name
+            assert t["admitted"] == 0, name  # all capacity released at end
+            assert t["apps_completed"] == t["apps_admitted"], name
+            assert t["apps_failed"] == 0, name
+
+    def test_hierarchy_engaged(self, small_soak):
+        _, _, report = small_soak
+        assert report.delegations > 0
+        # per-round polling well under the flat broadcast's fan-out
+        assert 0 < report.bid_fanout_per_round < SMALL_SOAK.machines
+        assert 0.0 < report.sched_event_share < 1.0
+
+    def test_live_instance_peak_recorded(self, small_soak):
+        _, _, report = small_soak
+        assert report.peak_live_instances > 0
+        assert report.peak_admitted_instances >= report.peak_live_instances
+
+
+class TestTenantSoakDeterminism:
+    def test_repeat_run_is_byte_identical(self, small_soak):
+        _, _, first = small_soak
+        _, _, second = run_soak(SMALL_SOAK)
+        assert second.digest == first.digest
+        assert second.to_dict() == first.to_dict()
+
+    def test_sharded_backend_is_byte_identical(self, small_soak):
+        _, _, serial = small_soak
+        for shards in (2, 3):
+            cfg = dataclasses.replace(SMALL_SOAK, backend="sharded", shards=shards)
+            _, _, sharded = run_soak(cfg)
+            assert sharded.digest == serial.digest, shards
+            assert dict(sharded.to_dict(), backend="serial") == serial.to_dict()
+
+    def test_seed_changes_the_schedule(self, small_soak):
+        _, _, base = small_soak
+        _, _, other = run_soak(dataclasses.replace(SMALL_SOAK, seed=1))
+        assert other.digest != base.digest
+        # but the same invariants hold on any seed
+        assert other.failed == 0
+        assert other.completed == other.admitted == SMALL_SOAK.apps
+
+
+class TestTenantSoakUnderChaos:
+    def test_partition_merge_does_not_strand_queued_requests(self):
+        """Regression: a request age-queued by the leader of a minority
+        partition view must survive the group merge — the ex-leader hands
+        its replicated queue mirror to the winning coordinator — instead
+        of wedging the run until max_sim_time with one app never placed.
+        At seed 0 this config partitions the group right as an allocation
+        falls short and gets queued on the minority side."""
+        cfg = SoakConfig(
+            tenants=4,
+            apps=30,
+            machines=16,
+            fanout=4,
+            seed=0,
+            instances=(8, 16),
+            work=(4.0, 8.0),
+            arrival_span=30.0,
+            chaos="chaos-mix",
+            max_sim_time=5_000.0,
+        )
+        _, driver, report = run_soak(cfg)
+        assert driver.finished
+        assert report.completed == report.admitted == cfg.apps
+        assert report.makespan < cfg.max_sim_time
+
+    def test_chaos_mix_still_completes_exactly_once(self):
+        cfg = dataclasses.replace(
+            SMALL_SOAK, apps=60, arrival_span=60.0, chaos="chaos-mix"
+        )
+        _, driver, report = run_soak(cfg)
+        assert report.submitted == cfg.apps
+        assert report.completed + report.failed == report.admitted == cfg.apps
+        assert report.completed == cfg.apps  # failover keeps every app alive
+        assert driver._duplicate_finishes == 0
+        assert len(driver._done_app_ids) == cfg.apps
+        for name, t in report.tenants.items():
+            assert t["peak_admitted"] <= t["quota"], name
