@@ -11,7 +11,11 @@ at the repo root:
 - ``controlplane``: telemetry on vs. telemetry on **plus** an attached
   :class:`~repro.controlplane.entities.ControlPlaneModel` with a slow
   bounded subscriber — the worst case, where every published event pays
-  the translate + offer + drop-oldest path.
+  the translate + offer + drop-oldest path,
+- ``sanitizer``: telemetry on vs. telemetry on **plus** the happens-before
+  sanitizer (``VCEConfig.hb_sanitizer``) — the schedule-parent appends on
+  every scheduling fast path, the instrumented read/write notes, and the
+  protocol-FSM log observer together must stay under the same bound.
 
 A single weather run is ~20 ms of wall clock, and shared/virtualised CI
 hosts see one-sided contention bursts (co-tenants, vCPU time-slicing)
@@ -51,11 +55,14 @@ MAX_OVERHEAD = 0.10
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 
 
-def _weather_run(telemetry: bool, controlplane: bool = False) -> float:
+def _weather_run(
+    telemetry: bool, controlplane: bool = False, hb_sanitizer: bool = False
+) -> float:
     """One full E1 weather run; returns its wall-clock seconds."""
     t0 = time.perf_counter()
     vce = fresh_vce(
-        heterogeneous_cluster(n_workstations=6), seed=5, telemetry=telemetry
+        heterogeneous_cluster(n_workstations=6), seed=5,
+        telemetry=telemetry, hb_sanitizer=hb_sanitizer,
     )
     if controlplane:
         from repro.controlplane import ControlPlaneModel
@@ -74,6 +81,10 @@ def _weather_run(telemetry: bool, controlplane: bool = False) -> float:
     elapsed = time.perf_counter() - t0
     if controlplane:
         assert model.hub.published > 0 and slow.matched > 0
+    if hb_sanitizer:
+        # sanity: the tracker actually followed the run
+        assert vce.hb_tracker is not None and vce.hb_tracker.nodes > 100
+        assert vce.protocol_monitor is not None
     if telemetry:
         # sanity: the run actually produced live metrics
         assert vce.telemetry is not None
@@ -205,4 +216,17 @@ def bench_controlplane_overhead(benchmark):
         ("telemetry on", "telemetry + hub"),
         {"telemetry": True},
         {"telemetry": True, "controlplane": True},
+    )
+
+
+def bench_sanitizer_overhead(benchmark):
+    """Happens-before sanitizer overhead: HB tracking on every scheduled
+    event, the instrumented access notes, and the protocol-FSM observer
+    must cost < 10% on top of plain telemetry."""
+    _gate(
+        benchmark,
+        "sanitizer",
+        ("telemetry on", "telemetry + hb sanitizer"),
+        {"telemetry": True},
+        {"telemetry": True, "hb_sanitizer": True},
     )

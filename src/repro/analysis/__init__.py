@@ -14,6 +14,13 @@ Two prongs (see ``docs/ANALYSIS.md`` for the full rule catalog):
   flags determinism hazards (wall-clock calls, process-global randomness,
   unordered-set iteration in scheduling paths), protecting the
   byte-identical-replay guarantees the chaos harness depends on.
+
+- :mod:`repro.analysis.hb` / :mod:`repro.analysis.protocol` /
+  :mod:`repro.analysis.sanitize` — the dynamic prong: happens-before
+  race detection over the backends' schedule-parent tree, protocol FSM
+  conformance over event logs (live or saved run directories), and the
+  tie-shuffle harness that classifies candidate races as real or benign.
+  Surfaced by ``repro sanitize`` and ``repro lint --hb``.
 """
 
 from repro.analysis.detlint import (
@@ -28,7 +35,16 @@ from repro.analysis.graphcheck import (
     GraphVerifier,
     verify_graph,
 )
+from repro.analysis.hb import RACE_RULES, HBTracker
+from repro.analysis.protocol import (
+    DEFAULT_FSMS,
+    ProtocolFSM,
+    ProtocolMonitor,
+    check_protocol_sources,
+    check_records,
+)
 from repro.analysis.report import AnalysisReport, Finding, Severity
+from repro.analysis.sanitize import SCENARIOS, outcome_digest, sanitize_scenario
 
 __all__ = [
     "AnalysisReport",
@@ -42,4 +58,14 @@ __all__ = [
     "lint_source",
     "load_baseline",
     "iter_python_files",
+    "HBTracker",
+    "RACE_RULES",
+    "ProtocolFSM",
+    "ProtocolMonitor",
+    "DEFAULT_FSMS",
+    "check_records",
+    "check_protocol_sources",
+    "SCENARIOS",
+    "outcome_digest",
+    "sanitize_scenario",
 ]

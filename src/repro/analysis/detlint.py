@@ -24,6 +24,12 @@ Rules (stable ids, see ``docs/ANALYSIS.md``):
   ``dict.keys()`` view algebra) inside the ordering-sensitive subsystems
   (``scheduler/``, ``netsim/``, ``migration/``, ``faults/``). Wrap the
   iterable in ``sorted(...)`` to fix.
+- D004 identity-keyed ordering (WARNING): ``sorted``/``.sort``/``min``/
+  ``max`` whose ``key=`` is ``id`` or ``hash`` (directly or via a
+  trivial lambda) in the same ordering-sensitive subsystems. ``id()``
+  is an allocation address and ``hash()`` inherits it for objects
+  without ``__hash__`` overrides, so the resulting order varies run to
+  run. Key on a stable attribute (name, seq, time) instead.
 
 Suppression: append ``# detlint: ok(D003)`` (comma-separate several rule
 ids; a justification may follow the closing parenthesis) to the flagged
@@ -124,6 +130,25 @@ def is_set_expr(node: ast.AST, resolve=lambda name, attr: False) -> bool:
     if isinstance(node, ast.Attribute):
         return resolve(node.attr, True)
     return False
+
+
+def _identity_key(node: ast.AST) -> str:
+    """``'id()'``/``'hash()'`` when *node* is an identity-based sort key:
+    a bare ``id``/``hash`` reference, or a lambda whose body is (or whose
+    tuple body contains) a call to one of them."""
+    if isinstance(node, ast.Name) and node.id in ("id", "hash"):
+        return f"{node.id}()"
+    if isinstance(node, ast.Lambda):
+        body = node.body
+        candidates = body.elts if isinstance(body, ast.Tuple) else [body]
+        for expr in candidates:
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("id", "hash")
+            ):
+                return f"{expr.func.id}()"
+    return ""
 
 
 def _is_keys_view(node: ast.AST) -> bool:
@@ -232,6 +257,7 @@ class _Linter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_clock_and_random(node)
+        self._check_identity_key(node)
         self.generic_visit(node)
 
     def _check_clock_and_random(self, node: ast.Call) -> None:
@@ -291,6 +317,29 @@ class _Linter(ast.NodeVisitor):
                  "explicitly seeded random.Random(seed)",
         )
 
+    # -- D004 ------------------------------------------------------------------
+
+    def _check_identity_key(self, node: ast.Call) -> None:
+        if not self.order_sensitive:
+            return
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            ordering = fn.id in ("sorted", "min", "max")
+        elif isinstance(fn, ast.Attribute):
+            ordering = fn.attr == "sort"
+        else:
+            ordering = False
+        if not ordering:
+            return
+        for kw in node.keywords:
+            if kw.arg == "key" and (what := _identity_key(kw.value)):
+                self._report(
+                    node, "D004", Severity.WARNING,
+                    f"ordering keyed on {what} is allocation-address order",
+                    hint="key on a stable attribute (name, seq, time) instead "
+                         "of object identity",
+                )
+
     # -- D003 ------------------------------------------------------------------
 
     def visit_For(self, node: ast.For) -> None:
@@ -337,13 +386,29 @@ def lint_source(
     return sorted(linter.findings, key=lambda f: (f.locus, f.rule))
 
 
+#: Directory names never descended into when expanding a directory target.
+_SKIP_DIR_PARTS = frozenset({"__pycache__", ".git", ".tox", ".venv", "venv", "node_modules"})
+
+
+def _keep(p: Path) -> bool:
+    return not any(
+        part in _SKIP_DIR_PARTS or part.startswith(".") or part.endswith(".egg-info")
+        for part in p.parts[:-1]
+    )
+
+
 def iter_python_files(paths: list[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directory expansion skips ``__pycache__``, hidden directories, and
+    packaging litter (``.egg-info``, virtualenvs) so that a directory
+    target lints the same file set on every machine; the sorted return
+    keeps report (and ``--json``) order stable."""
     out: set[Path] = set()
     for path in paths:
         p = Path(path)
         if p.is_dir():
-            out.update(p.rglob("*.py"))
+            out.update(f for f in p.rglob("*.py") if _keep(f))
         elif p.suffix == ".py":
             out.add(p)
         else:

@@ -310,6 +310,53 @@ def pass_program_comms(graph: TaskGraph) -> list[Finding]:
     return out
 
 
+def pass_comm_reachability(graph: TaskGraph) -> list[Finding]:
+    """P004: Send/Recv sites that can never be reached in the program.
+
+    The protocol FSMs (:mod:`repro.analysis.protocol`) model a task's
+    communication as open → send/recv* → close; a comm call that appears
+    after a terminal statement (``return``/``raise``/``break``/``continue``)
+    in the same block is statically unreachable — the FSM can never take
+    that transition, so the declared protocol and the program disagree.
+    """
+    out: list[Finding] = []
+    terminal = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+    for node in graph:
+        tree = _program_ast(node)
+        if tree is None:
+            continue
+        dead: list[tuple[str, int]] = []
+        for owner in ast.walk(tree):
+            for block_field in ("body", "orelse", "finalbody"):
+                body = getattr(owner, block_field, None)
+                if not isinstance(body, list):
+                    continue
+                seen_terminal = False
+                for stmt in body:
+                    if seen_terminal and isinstance(stmt, ast.stmt):
+                        for call in ast.walk(stmt):
+                            if isinstance(call, ast.Call) and _call_name(call) in (
+                                "Send", "Recv"
+                            ):
+                                dead.append((_call_name(call), call.lineno))
+                    if isinstance(stmt, terminal):
+                        seen_terminal = True
+        for kind, lineno in sorted(set(dead)):
+            out.append(
+                Finding(
+                    "P004",
+                    Severity.WARNING,
+                    f"{kind} at program line {lineno} of task {node.name!r} "
+                    "is unreachable (follows a terminal statement) — the "
+                    "comm site can never be taken in the protocol FSM",
+                    locus=f"task {node.name}",
+                    hint="delete the dead comm call or move it before the "
+                         "return/raise",
+                )
+            )
+    return out
+
+
 # -------------------------------------------------------------- annotations
 
 
@@ -381,6 +428,7 @@ DEFAULT_PASSES: tuple[GraphPass, ...] = (
     pass_orphans,
     pass_channel_misuse,
     pass_program_comms,
+    pass_comm_reachability,
     pass_annotations,
 )
 

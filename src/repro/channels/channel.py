@@ -74,6 +74,9 @@ class Channel:
     # -- attachment -----------------------------------------------------------
 
     def attach(self, port: Port) -> Port:
+        hb = self.network.sim.hb
+        if hb is not None:
+            hb.write(f"chan:{self.name}", "R005", "channel.attach")
         table = self._senders if port.direction is PortDirection.SEND else self._receivers
         if port.name in table:
             raise CommunicationError(
@@ -83,6 +86,9 @@ class Channel:
         return port
 
     def detach(self, port_name: str) -> None:
+        hb = self.network.sim.hb
+        if hb is not None:
+            hb.write(f"chan:{self.name}", "R005", "channel.detach")
         self._senders.pop(port_name, None)
         self._receivers.pop(port_name, None)
 
@@ -97,6 +103,11 @@ class Channel:
             raise CommunicationError(
                 f"channel {self.name!r}: cannot rebind unknown port {port_name!r}"
             )
+        hb = self.network.sim.hb
+        if hb is not None:
+            # rebind targets an existing port by name (see _bind_port's
+            # membership check); racing an attach of a different port is safe
+            hb.write(f"chan:{self.name}", "R005", "channel.rebind")  # hbrace: ok(R005)
         port = Port(port_name, new_owner, PortDirection.RECEIVE)
         self._receivers[port_name] = port
         return port
@@ -185,6 +196,9 @@ class Channel:
                 size=size,
             )
             return
+        hb = self.network.sim.hb
+        if hb is not None:
+            hb.read(f"chan:{self.name}", "R005", "channel.route")
         targets = (
             [self._receivers[to]]
             if to is not None and to in self._receivers

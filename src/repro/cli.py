@@ -18,6 +18,7 @@ Usage (also via ``python -m repro``):
 
     repro lint TARGET... [--cluster SPEC] [--json] [--strict]
     repro lint --det PATH... [--baseline FILE] [--json] [--strict]
+    repro lint --hb RUN_DIR... [--json] [--strict]
         Static analysis (see repro.analysis and docs/ANALYSIS.md). The
         first form verifies task graphs before any dispatch: a TARGET is
         a .vce script (interpreted against --cluster / --cluster-file)
@@ -26,8 +27,23 @@ Usage (also via ``python -m repro``):
         problems, and problem-class -> machine-class infeasibility.
         The second form runs the determinism linter over Python sources
         (wall-clock calls, unseeded randomness, unordered-set iteration
-        in scheduling paths). Exit status: 1 if any error-severity
-        finding (or, with --strict, any finding at all), else 0.
+        in scheduling paths). The third form replays saved run
+        directories (--save-run / POST /api/snapshot) through the
+        protocol conformance FSMs (P001-P003). Exit status: 1 if any
+        error-severity finding (or, with --strict, any finding at all),
+        else 0.
+
+    repro sanitize [SCENARIO...] [--backend B] [--shards N] [--seed N]
+                   [--shuffles K] [--baseline FILE] [--json PATH]
+        Happens-before race sanitizer (see docs/ANALYSIS.md): runs each
+        scenario with the HB tracker + protocol monitor attached, then
+        re-runs it K times with seeded permutations of same-timestamp
+        ties and classifies every candidate race as real (outcome digest
+        diverges under reorder -> error) or benign (digest-stable ->
+        warning). Also runs the static FSM/code drift check (P005).
+        Default scenarios: all of repro.analysis.sanitize.SCENARIOS —
+        the golden determinism workloads plus the injected-race
+        self-test fixture. Exit status: 1 on any unsuppressed finding.
 
     repro chaos SCRIPT.vce [run options] [--schedule NAME] [--fault-seed N]
         Run a script under a named fault schedule with the fault-tolerant
@@ -498,7 +514,19 @@ def _lint_graph_target(target: str, compilation, variables, default_work: float)
 def cmd_lint(args: argparse.Namespace, out) -> int:
     import json
 
-    if args.det:
+    if args.hb:
+        from repro.analysis import check_records
+        from repro.analysis.report import AnalysisReport
+
+        reports = []
+        for target in args.targets:
+            log = _load_run_dir_or_exit(target, out)
+            if log is None:
+                return 1
+            report = AnalysisReport(subject=f"{target} (protocol conformance)")
+            report.extend(check_records(list(log)))
+            reports.append(report)
+    elif args.det:
         from repro.analysis import lint_paths
 
         reports = [lint_paths(args.targets, baseline=args.baseline)]
@@ -526,6 +554,67 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
     else:
         print("\n\n".join(r.render_text() for r in reports), file=out)
     return max(r.exit_code(strict=args.strict) for r in reports)
+
+
+def cmd_sanitize(args: argparse.Namespace, out) -> int:
+    import json as _json
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.protocol import check_protocol_sources
+    from repro.analysis.report import AnalysisReport
+    from repro.analysis.sanitize import SCENARIOS, sanitize_scenario
+
+    names = args.scenarios or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)} "
+            f"(expected: {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
+    results = [
+        sanitize_scenario(
+            name,
+            seed=args.seed,
+            backend=args.backend,
+            shards=args.shards,
+            shuffles=args.shuffles,
+            baseline=args.baseline,
+        )
+        for name in names
+    ]
+    combined = AnalysisReport(subject=f"sanitize ({args.backend}, seed {args.seed})")
+    static_findings = []
+    if not args.no_static:
+        static_findings = check_protocol_sources(Path(repro.__file__).parent)
+        combined.extend(static_findings)
+    for result in results:
+        combined.merge(result.report)
+    for result in results:
+        shuffled = len(result.shuffle_runs)
+        diverged = sum(1 for r in result.shuffle_runs if r["diverged"])
+        print(
+            f"{result.scenario}[{result.backend}]: {result.classification} — "
+            f"{result.races} race(s), {result.suppressed} suppressed, "
+            f"{diverged}/{shuffled} shuffles diverged",
+            file=out,
+        )
+    print(combined.render_text(), file=out)
+    if args.json:
+        payload = {
+            "backend": args.backend,
+            "seed": args.seed,
+            "shuffles": args.shuffles,
+            "scenarios": [r.to_dict() for r in results],
+            "static": [f.to_dict() for f in static_findings],
+            "errors": len(combined.errors),
+            "warnings": len(combined.warnings),
+        }
+        Path(args.json).write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
+    return combined.exit_code(strict=True)
 
 
 def cmd_demo(args: argparse.Namespace, out) -> int:
@@ -967,6 +1056,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the determinism linter over Python sources instead of "
              "verifying task graphs",
     )
+    lint.add_argument(
+        "--hb", action="store_true",
+        help="treat targets as saved run directories and replay them "
+             "through the protocol conformance FSMs (P001-P003)",
+    )
     lint.add_argument("--json", action="store_true", help="emit findings as JSON")
     lint.add_argument(
         "--strict", action="store_true", help="exit non-zero on warnings too"
@@ -983,6 +1077,42 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--default-work", type=float, default=10.0)
     lint.add_argument("--var", action="append", type=_kv, metavar="NAME=INT")
     lint.set_defaults(fn=cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="happens-before race sanitizer with tie-shuffle confirmation",
+    )
+    sanitize.add_argument(
+        "scenarios", nargs="*",
+        help="scenarios to sanitize (default: all; see "
+             "repro.analysis.sanitize.SCENARIOS)",
+    )
+    sanitize.add_argument("--seed", type=int, default=3)
+    sanitize.add_argument(
+        "--backend", choices=["serial", "sharded"], default="serial",
+        help="simulation backend (default serial)",
+    )
+    sanitize.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --backend sharded (default 4)",
+    )
+    sanitize.add_argument(
+        "--shuffles", type=int, default=4,
+        help="tie-shuffle confirmation reruns per scenario (default 4)",
+    )
+    sanitize.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file of grandfathered races (detlint format: "
+             "'RULE path[:line]' per line)",
+    )
+    sanitize.add_argument(
+        "--json", metavar="PATH", help="write the full result set as JSON"
+    )
+    sanitize.add_argument(
+        "--no-static", action="store_true",
+        help="skip the static FSM/code drift check (P005)",
+    )
+    sanitize.set_defaults(fn=cmd_sanitize)
 
     bench = sub.add_parser(
         "bench", help="measure kernel/scheduler throughput on canonical workloads"

@@ -72,6 +72,19 @@ class VCEConfig:
             additionally refuses to dispatch graphs with error-severity
             findings by raising
             :class:`~repro.util.errors.VerificationError`.
+        hb_sanitizer: attach the happens-before race sanitizer and the
+            protocol conformance monitor (see :mod:`repro.analysis.hb`
+            and :mod:`repro.analysis.protocol`). The tracker threads
+            through the backend scheduling seam and instrumented
+            component accesses; findings are read back from
+            ``vce.hb_tracker`` / ``vce.protocol_monitor`` after the run.
+            Off by default — the hooks cost nothing when detached.
+        tie_shuffle: nonzero salt permutes the firing order of
+            same-timestamp events scheduled by *different* parent events
+            (FIFO among events scheduled by the same parent is
+            preserved). Used by ``repro sanitize`` to confirm whether a
+            reported race actually changes run outcomes. 0 (default)
+            keeps the historical byte-identical order.
     """
 
     seed: int = 0
@@ -95,6 +108,8 @@ class VCEConfig:
     transport: TransportConfig = field(default_factory=TransportConfig)
     failover: FailoverConfig | None = None
     verify: str = "off"
+    hb_sanitizer: bool = False
+    tie_shuffle: int = 0
 
     #: Legal values of :attr:`verify`.
     VERIFY_MODES = ("off", "warn", "strict")

@@ -86,6 +86,21 @@ class VirtualComputingEnvironment:
             from repro.telemetry.registry import MetricsRegistry
 
             self.sim.telemetry = MetricsRegistry()
+        self.hb_tracker = None
+        self.protocol_monitor = None
+        if self.config.hb_sanitizer:
+            # attached before anything is scheduled, so node 0 (setup
+            # code) is the ancestor of every event
+            from repro.analysis.hb import HBTracker
+            from repro.analysis.protocol import ProtocolMonitor
+
+            self.hb_tracker = HBTracker(telemetry=self.sim.telemetry)
+            self.sim.hb = self.hb_tracker
+            self.protocol_monitor = ProtocolMonitor(
+                self.sim, telemetry=self.sim.telemetry
+            )
+        if self.config.tie_shuffle:
+            self.sim.set_tie_shuffle(self.config.tie_shuffle)
         self.network = Network(
             self.sim,
             self.config.latency,

@@ -94,6 +94,14 @@ class FailoverManager:
         )
 
     def _check_lease(self, app: Application, record: InstanceRecord, epoch: int) -> None:
+        hb = self.context.sim.hb
+        if hb is not None:
+            # a lease check racing a strand/redispatch is a no-op: the epoch
+            # comparison below drops checks against superseded allocations
+            hb.read(  # hbrace: ok(R004)
+                f"lease:{app.id}:{record.task}:{record.rank}",
+                "R004", "failover.check_lease",
+            )
         if app.status.terminal or record.epoch != epoch:
             return  # app over, or this allocation was already superseded
         if record.state in (InstanceState.DONE, InstanceState.KILLED):
@@ -138,9 +146,12 @@ class FailoverManager:
 
     def _strand(self, app: Application, record: InstanceRecord, reason: str) -> None:
         key = (app.id, record.task, record.rank)
+        sim = self.context.sim
+        hb = sim.hb
+        if hb is not None:
+            hb.write(f"lease:{':'.join(map(str, key))}", "R004", "failover.strand")
         if key in self._stranded:
             return
-        sim = self.context.sim
         self._stranded[key] = (app, record, record.epoch, sim.now)
         self._tel_count("strand")
         sim.emit(
@@ -167,6 +178,9 @@ class FailoverManager:
             self._redispatch(key, "daemon-takeover")
 
     def _redispatch(self, key: tuple[str, str, int], via: str) -> None:
+        hb = self.context.sim.hb
+        if hb is not None:
+            hb.write(f"lease:{':'.join(map(str, key))}", "R004", "failover.redispatch")
         entry = self._stranded.pop(key, None)
         if entry is None:
             return  # already handled by the other path

@@ -27,6 +27,26 @@ The contract every backend must keep (the conformance suite in
   already cancelled, or past any chance of being in a heap).
 - ``pending`` equals the number of live (uncancelled, unfired) entries.
 - Daemon events never keep ``run()`` alive.
+
+Sanitizer seams (see :mod:`repro.analysis.hb` and docs/ANALYSIS.md) — two
+further obligations every backend must honour so the happens-before race
+sanitizer and the tie-shuffle harness work unchanged on top of it:
+
+- **Schedule-parent feed.**  When a tracker is attached (``sim.hb`` is not
+  None), every scheduling call allocates a tracker node recording the
+  currently-firing event as its parent (``entry.hb = len(hb._parents);
+  hb._parents.append(hb._current); hb._node_hosts.append(host)`` — or the
+  :meth:`~repro.analysis.hb.HBTracker.on_schedule` method form), and every
+  fire publishes its node (``hb._current = entry.hb``) before invoking the
+  callback.  Ancestry in that tree is the happens-before relation; the
+  tracker is a pure observer, so digests must be identical with it on.
+- **Tie shuffle.**  ``set_tie_shuffle(salt)`` (non-zero *salt*) commits
+  same-timestamp events whose scheduling parents differ in a seeded
+  pseudo-random permutation instead of global scheduling order, while
+  same-parent ties keep FIFO (the ``call_soon`` contract).  Every salt
+  must yield a deterministic total order so shuffled runs are themselves
+  reproducible; ``repro sanitize`` diffs outcome digests across salts to
+  classify candidate races as real or benign.
 """
 
 from __future__ import annotations

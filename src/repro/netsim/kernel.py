@@ -16,6 +16,26 @@ once they dominate it so cancel-heavy workloads (retry timers, heartbeat
 reschedules) cannot grow the heap without bound.  None of this changes the
 pop order — the (time, seq) total order is unique, so compaction and batching
 are invisible to replay digests.
+
+Two opt-in sanitizer seams ride the same hot path (both cost one predictable
+branch per event when disabled):
+
+- **Happens-before tracking** (``sim.hb``): when an
+  :class:`repro.analysis.hb.HBTracker` is attached, every scheduled entry
+  records the tracker node of the event that scheduled it, and the loop
+  publishes the firing entry's node before its callback runs.  The resulting
+  schedule-parent tree *is* the happens-before relation of the run (message
+  send→receive, timer create→fire, and program order are all schedule
+  edges), which the race detector queries.  The tracker only observes — it
+  emits no events, so replay digests are unchanged with it attached.
+- **Tie-shuffle** (:meth:`Simulator.set_tie_shuffle`): entries are ordered by
+  ``(time, skey)`` where ``skey`` defaults to ``seq`` (byte-identical to the
+  historical order).  A non-zero shuffle salt mixes the *scheduling parent's*
+  sequence number into the high bits of ``skey``, permuting same-timestamp
+  ties across different causal parents while preserving FIFO order among
+  events scheduled by the same parent (the ``call_soon`` contract).  Any
+  behavioural difference between salts is real order-dependence — the
+  confirmation signal ``repro sanitize`` uses to classify races.
 """
 
 from __future__ import annotations
@@ -37,23 +57,32 @@ from repro.util.rng import RngStreams
 _COMPACT_MIN = 64
 
 
+#: Knuth's multiplicative-hash constant; mixes the scheduling parent's seq
+#: into the tie-shuffle sort key (bijective over 32 bits, so keys stay unique).
+_TIE_MIX_MUL = 0x9E3779B1
+
+
 class _Entry:
-    __slots__ = ("time", "seq", "callback", "cancelled", "daemon", "fired")
+    __slots__ = ("time", "seq", "skey", "callback", "cancelled", "daemon", "fired", "hb")
 
     def __init__(
-        self, time: float, seq: int, callback: Callable[[], None], daemon: bool
+        self, time: float, seq: int, skey: int, callback: Callable[[], None], daemon: bool
     ) -> None:
         self.time = time
         self.seq = seq
+        #: tie-break sort key — equals ``seq`` unless tie-shuffle is active
+        self.skey = skey
         self.callback = callback
         self.cancelled = False
         self.daemon = daemon
         self.fired = False
+        #: happens-before tracker node of the scheduling event (0 = root)
+        self.hb = 0
 
     def __lt__(self, other: "_Entry") -> bool:
         if self.time != other.time:
             return self.time < other.time
-        return self.seq < other.seq
+        return self.skey < other.skey
 
 
 class Timer:
@@ -131,6 +160,13 @@ class Simulator(SimBackend):
         #: live metrics registry, installed by the telemetry service; None
         #: when telemetry is off — instrumented components must None-check
         self.telemetry: "MetricsRegistry | None" = None
+        #: attached happens-before tracker (``repro.analysis.hb.HBTracker``)
+        #: or None; instrumented components must None-check before noting
+        #: accesses, and the scheduling/firing hot paths below feed it
+        self.hb: Any = None
+        # tie-shuffle state: 0 = historical (time, seq) order
+        self._tie_mix = 0
+        self._firing_seq = 0
 
     # -- time --------------------------------------------------------------
 
@@ -142,6 +178,33 @@ class Simulator(SimBackend):
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    # -- sanitizer seams ---------------------------------------------------
+
+    def set_tie_shuffle(self, salt: int) -> None:
+        """Install a tie-shuffle *salt* (0 disables — the default order).
+
+        With a non-zero salt, same-timestamp events whose *scheduling
+        parents* differ are committed in a seeded pseudo-random permutation
+        instead of scheduling order, while events scheduled by the same
+        parent keep their FIFO order.  Every salt still yields a unique
+        deterministic total order, so a shuffled run is itself perfectly
+        reproducible — ``repro sanitize`` diffs runs across salts to confirm
+        or clear suspected races.
+        """
+        if self._running:
+            raise SimulationError("cannot change tie-shuffle while running")
+        if salt < 0:
+            raise SimulationError(f"tie-shuffle salt must be >= 0, got {salt}")
+        self._tie_mix = salt & 0xFFFFFFFF
+
+    def _skey(self, seq: int) -> int:
+        """Sort key for a new entry (inlined in the scheduling fast paths)."""
+        mix = self._tie_mix
+        if not mix:
+            return seq
+        parent = ((self._firing_seq ^ mix) * _TIE_MIX_MUL) & 0xFFFFFFFF
+        return (parent << 32) | (seq & 0xFFFFFFFF)
 
     # -- scheduling --------------------------------------------------------
 
@@ -165,7 +228,7 @@ class Simulator(SimBackend):
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, daemon=daemon)
+        return self.schedule_at(self._now + delay, callback, daemon=daemon, host=host)
 
     def schedule_at(
         self,
@@ -179,8 +242,16 @@ class Simulator(SimBackend):
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        entry = _Entry(time, self._seq, callback, daemon)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        entry = _Entry(time, seq, seq if not self._tie_mix else self._skey(seq),
+                       callback, daemon)
+        hb = self.hb
+        if hb is not None:
+            parents = hb._parents
+            entry.hb = len(parents)
+            parents.append(hb._current)
+            hb._node_hosts.append(host)
         heapq.heappush(self._heap, entry)
         if not daemon:
             self._live_nondaemon += 1
@@ -196,8 +267,16 @@ class Simulator(SimBackend):
         this timestamp.  Fast path: skips the delay/deadline validation that
         ``schedule``/``schedule_at`` perform, since ``now`` is always legal.
         """
-        entry = _Entry(self._now, self._seq, callback, daemon)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        entry = _Entry(self._now, seq, seq if not self._tie_mix else self._skey(seq),
+                       callback, daemon)
+        hb = self.hb
+        if hb is not None:
+            parents = hb._parents
+            entry.hb = len(parents)
+            parents.append(hb._current)
+            hb._node_hosts.append(host)
         heapq.heappush(self._heap, entry)
         if not daemon:
             self._live_nondaemon += 1
@@ -221,6 +300,11 @@ class Simulator(SimBackend):
                 self._live_nondaemon -= 1
             self._now = entry.time
             self._events_processed += 1
+            hb = self.hb
+            if hb is not None:
+                hb._current = entry.hb
+            if self._tie_mix:
+                self._firing_seq = entry.seq
             entry.callback()
             return True
         return False
@@ -249,6 +333,11 @@ class Simulator(SimBackend):
         stopped_early = False
         heap = self._heap  # _compact mutates in place, so this alias is safe
         heappop = heapq.heappop
+        # sanitizer seams, hoisted: both are fixed for the duration of a run
+        # (attachment happens at VCE construction, set_tie_shuffle rejects
+        # changes mid-run), so the disabled case costs one local check
+        hb = self.hb
+        mix = self._tie_mix
         try:
             while heap:
                 entry = heap[0]
@@ -274,6 +363,10 @@ class Simulator(SimBackend):
                     if not entry.daemon:
                         self._live_nondaemon -= 1
                     self._events_processed += 1
+                    if hb is not None:
+                        hb._current = entry.hb
+                    if mix:
+                        self._firing_seq = entry.seq
                     entry.callback()
                     processed += 1
                     if stop_when is not None and stop_when():
@@ -311,8 +404,9 @@ class Simulator(SimBackend):
         In-place (slice assignment) because ``run`` holds an alias to the
         heap list across callbacks, and a callback may cancel enough timers
         to trigger compaction mid-loop.  Rebuilding preserves the pop order:
-        (time, seq) keys are unique, so any valid heap over the same live
-        entries pops identically.
+        (time, skey) keys are unique (skey is seq, or a bijective mix of it
+        under tie-shuffle), so any valid heap over the same live entries
+        pops identically.
         """
         heap = self._heap
         heap[:] = [e for e in heap if not e.cancelled]

@@ -274,8 +274,16 @@ class ShardedSimulator(Simulator):
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        entry = _Entry(time, self._seq, callback, daemon)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        entry = _Entry(time, seq, seq if not self._tie_mix else self._skey(seq),
+                       callback, daemon)
+        hb = self.hb
+        if hb is not None:
+            parents = hb._parents
+            entry.hb = len(parents)
+            parents.append(hb._current)
+            hb._node_hosts.append(host)
         shard = self._target_shard(host)
         self._push(entry, shard)
         if not daemon:
@@ -288,8 +296,16 @@ class ShardedSimulator(Simulator):
         daemon: bool = False,
         host: str | None = None,
     ) -> _ShardTimer:
-        entry = _Entry(self._now, self._seq, callback, daemon)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        entry = _Entry(self._now, seq, seq if not self._tie_mix else self._skey(seq),
+                       callback, daemon)
+        hb = self.hb
+        if hb is not None:
+            parents = hb._parents
+            entry.hb = len(parents)
+            parents.append(hb._current)
+            hb._node_hosts.append(host)
         shard = self._target_shard(host)
         self._push(entry, shard)
         if not daemon:
@@ -345,6 +361,11 @@ class ShardedSimulator(Simulator):
         self._events_processed += 1
         shard.committed += 1
         shard.clock = entry.time
+        hb = self.hb
+        if hb is not None:
+            hb._current = entry.hb
+        if self._tie_mix:
+            self._firing_seq = entry.seq
         self._current = shard
         try:
             entry.callback()
@@ -365,6 +386,9 @@ class ShardedSimulator(Simulator):
         processed = 0
         stopped_early = False
         heappop = heapq.heappop
+        # sanitizer seams, hoisted exactly as in the serial kernel
+        hb = self.hb
+        mix = self._tie_mix
         try:
             while True:
                 shard, limit = self._select()
@@ -397,6 +421,10 @@ class ShardedSimulator(Simulator):
                     self._events_processed += 1
                     shard.committed += 1
                     shard.clock = entry.time
+                    if hb is not None:
+                        hb._current = entry.hb
+                    if mix:
+                        self._firing_seq = entry.seq
                     entry.callback()
                     processed += 1
                     if stop_when is not None and stop_when():

@@ -252,6 +252,12 @@ class RuntimeManager:
         for channel in named.values():
             self._bind_port(channel, f"{record.task}[{record.rank}]", address)
 
+        hb = self.sim.hb
+        if hb is not None:
+            hb.write(
+                f"epoch:{app.id}:{record.task}:{record.rank}",
+                "R003", "runtime.dispatch_commit",
+            )
         record.instance = instance
         record.epoch = incarnation
         app.commit_state(record, InstanceState.PENDING)
@@ -336,6 +342,14 @@ class RuntimeManager:
         if record.instance is not instance:
             # a superseded incarnation (killed during migration) — ignore
             return
+        hb = self.sim.hb
+        if hb is not None:
+            # a stale incarnation's exit racing a re-dispatch is absorbed by
+            # the allocation-epoch guard just below (runtime.stale_commit)
+            hb.write(  # hbrace: ok(R003)
+                f"epoch:{app.id}:{record.task}:{record.rank}",
+                "R003", "runtime.exit_commit",
+            )
         if getattr(instance, "allocation_epoch", record.epoch) != record.epoch:
             # an exit from a stale allocation epoch must not commit: the
             # failover layer already re-dispatched this (task, rank)

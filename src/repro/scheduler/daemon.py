@@ -174,6 +174,12 @@ class SchedulerDaemon(IsisMember):
     def current_load(self) -> float:
         """Background (locally-initiated) load plus VCE-hosted work.
         Cached per simulation timestamp (hosting changes invalidate)."""
+        hb = self.sim.hb
+        if hb is not None:
+            # racy-by-design heuristic: a bid may read the load before or
+            # after a concurrent hosting update lands; either answer is a
+            # legal bid
+            hb.read(f"load:{self.machine.name}", "R002", "daemon.current_load")  # hbrace: ok(R002)
         now = self.now
         if now != self._load_cache_time:
             self._load_cache = (
@@ -232,6 +238,9 @@ class SchedulerDaemon(IsisMember):
             # by req_id, the original enqueue time rides along so aging is
             # preserved, and the new coordinator's queue_add handler arms
             # its own retry timer.
+            hb = self.sim.hb
+            if hb is not None:
+                hb.read(f"queue:{self.machine.name}", "R001", "daemon.queue_mirror")
             for item in self.pending_queue.items():
                 self.cbcast(
                     "queue_add",
@@ -247,6 +256,11 @@ class SchedulerDaemon(IsisMember):
             self._on_resource_request(payload)
             return
         if isinstance(payload, ExecutionInfo):
+            hb = self.sim.hb
+            if hb is not None:
+                # commutative increment: hosting updates from concurrent
+                # allocations may land in any order
+                hb.write(f"load:{self.machine.name}", "R002", "daemon.hosting")  # hbrace: ok(R002)
             self.hosted[payload.app] = self.hosted.get(payload.app, 0) + len(payload.tasks)
             self._hosted_total += len(payload.tasks)
             self._load_cache_time = -1.0
@@ -269,6 +283,11 @@ class SchedulerDaemon(IsisMember):
             return
         if isinstance(payload, TerminateNotice):
             if payload.app in self.hosted:
+                hb = self.sim.hb
+                if hb is not None:
+                    # guarded pop (`payload.app in self.hosted`): a release
+                    # arriving before/after an unrelated hosting update is safe
+                    hb.write(f"load:{self.machine.name}", "R002", "daemon.released")  # hbrace: ok(R002)
                 self._hosted_total -= self.hosted.pop(payload.app)
                 self._load_cache_time = -1.0
                 self.emit("sched.released", app=payload.app)
@@ -591,17 +610,24 @@ class SchedulerDaemon(IsisMember):
         """Queue replication: every daemon mirrors the leader's pending
         queue, so a new leader resumes queued work after a takeover
         ("fault-tolerance of the group leader ... through redundancy")."""
+        hb = self.sim.hb
         if kind == "queue_add":
             request, first = payload
             self._first_enqueued.setdefault(request.req_id, first)
+            if hb is not None:
+                hb.write(f"queue:{self.machine.name}", "R001", "daemon.queue_add")
             self.pending_queue.push(request, first)
             if self.is_coordinator and not self._collecting and not self.has_timer("retry-queue"):
                 self.set_timer(self.daemon_config.retry_interval, "retry-queue")
         elif kind == "queue_remove":
+            if hb is not None:
+                hb.write(f"queue:{self.machine.name}", "R001", "daemon.queue_remove")
             self.pending_queue.remove(payload)
             self._first_enqueued.pop(payload, None)
         elif kind == "queue_reprioritize":
             req_id, priority = payload
+            if hb is not None:
+                hb.write(f"queue:{self.machine.name}", "R001", "daemon.queue_reprioritize")
             if self.pending_queue.reprioritize(req_id, priority):
                 if self.is_coordinator:
                     self.emit("sched.reprioritized", req_id=req_id, priority=priority)
@@ -651,6 +677,9 @@ class SchedulerDaemon(IsisMember):
             # by overlapping disclosure rounds
             self.set_timer(self.daemon_config.retry_interval, "retry-queue")
             return
+        hb = self.sim.hb
+        if hb is not None:
+            hb.write(f"queue:{self.machine.name}", "R001", "daemon.queue_retry")
         item = self.pending_queue.peek(self.now)
         if item is None or item.request.req_id in self._collecting:
             return
