@@ -890,6 +890,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     from repro.controlplane import ControlPlaneServer, ServeSession
     from repro.netsim.pacing import WallClockPacer
 
+    if args.backend == "network":
+        return _cmd_serve_network(args, out)
     overrides: dict = {"backend": args.backend, "shards": args.shards}
     if args.failover:
         from repro.migration.failover import FailoverConfig
@@ -933,6 +935,45 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     )
     _maybe_save_run(vce, args, out)
     return 0
+
+
+def _cmd_serve_network(args: argparse.Namespace, out) -> int:
+    """``repro serve --backend network``: the 3-process parity quickstart."""
+    from repro.netexec.frames import WorkloadSpec
+    from repro.netexec.quickstart import default_workload, run_quickstart
+
+    if args.workload not in (None, "randomdag"):
+        print(
+            f"--backend network runs the randomdag quickstart; "
+            f"--workload {args.workload} is not supported (see docs/NETWORK.md)",
+            file=out,
+        )
+        return 2
+    # one instance per machine at allocation time: size the chain to the
+    # daemon count so the sim reference stays allocatable (docs/NETWORK.md)
+    workload = WorkloadSpec(
+        kind="randomdag",
+        kwargs=(
+            ("layers", min(args.layers, args.processes)), ("width", 1),
+            ("seed", args.seed), ("min_work", 1.0), ("max_work", 4.0),
+        ),
+    ) if args.workload else default_workload(args.seed, args.processes)
+    timeout = args.max_wall if args.max_wall else 120.0
+    print(
+        f"network backend: {args.processes} daemon processes on localhost, "
+        f"rate {args.rate} sim-s/wall-s",
+        file=out,
+        flush=True,
+    )
+    report = run_quickstart(
+        machines=args.processes,
+        seed=args.seed,
+        rate=args.rate,
+        timeout=timeout,
+        workload=workload,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
 
 
 def _kv(pair: str) -> tuple[str, int]:
@@ -1232,12 +1273,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard wall-clock runtime cap in seconds",
     )
     serve.add_argument(
-        "--backend", choices=["serial", "sharded"], default="serial",
-        help="simulation backend (default serial)",
+        "--backend", choices=["serial", "sharded", "network"], default="serial",
+        help="simulation backend; 'network' runs the real-process quickstart "
+             "(daemons as asyncio processes on localhost, docs/NETWORK.md)",
     )
     serve.add_argument(
         "--shards", type=int, default=4,
         help="shard count for --backend sharded (default 4)",
+    )
+    serve.add_argument(
+        "--processes", type=int, default=3,
+        help="daemon process count for --backend network (default 3)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=10.0,
+        help="simulated seconds per wall second for --backend network",
     )
     serve.set_defaults(fn=cmd_serve)
 

@@ -18,10 +18,15 @@ class VCEConfig:
     Attributes:
         seed: root seed for all randomness.
         backend: which simulation backend drives the run — ``"serial"``
-            (the single tombstone-heap kernel, the default) or
+            (the single tombstone-heap kernel, the default),
             ``"sharded"`` (hosts partitioned across per-shard event heaps
             with conservative lookahead synchronization; see
-            docs/PARALLELISM.md). Replay digests are backend-invariant.
+            docs/PARALLELISM.md), or ``"network"`` (daemons as real
+            asyncio processes over TCP, paced by the wall clock; driven
+            by :class:`repro.netexec.NetworkVCE`, not the in-process
+            environment — see docs/NETWORK.md). Replay digests are
+            invariant across the virtual-time backends; the network
+            backend guarantees outcome parity only.
         shards: worker-shard count for the ``sharded`` backend (ignored
             by ``serial``).
         latency: LAN latency/bandwidth model.

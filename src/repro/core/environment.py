@@ -63,6 +63,12 @@ class VirtualComputingEnvironment:
                 f"unknown simulation backend {self.config.backend!r} "
                 f"(expected one of {', '.join(BACKEND_NAMES)})"
             )
+        if self.config.backend == "network":
+            raise ConfigurationError(
+                "backend='network' runs daemons as real processes and is "
+                "driven by repro.netexec.NetworkVCE, not the in-process "
+                "VirtualComputingEnvironment (see docs/NETWORK.md)"
+            )
         if self.config.leader_fanout < 1:
             raise ConfigurationError(
                 f"leader_fanout must be >= 1, got {self.config.leader_fanout}"

@@ -1,0 +1,141 @@
+"""Wire format for the network execution backend.
+
+Every frame on a netexec socket is::
+
+    magic (4 bytes, b"VCE\\x01") | length (4 bytes, big-endian) |
+    crc32 (4 bytes, of the payload) | payload (length bytes)
+
+The payload is a pickle (protocol 5) restricted on the *read* side by an
+allowlisting unpickler: only the scheduler protocol messages, the netexec
+control frames, and the handful of value types they carry (``Address``,
+``MachineClass``, ``TraceContext``, builtins containers) may appear.  A
+frame naming any other global — ``os.system``, say — is rejected with
+:class:`CodecError` before instantiation, as is a frame with a bad magic,
+a bad CRC, or an oversized length field.
+
+:class:`FrameDecoder` is an incremental feed-style decoder so stream
+readers can hand it whatever chunk sizes TCP delivers.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import pickletools
+import struct
+import zlib
+from typing import Any, Iterable
+
+MAGIC = b"VCE\x01"
+HEADER = struct.Struct(">4sII")  # magic, payload length, payload crc32
+#: refuse frames larger than this (a corrupt length field must not make a
+#: reader buffer gigabytes before the CRC check can reject it)
+MAX_FRAME = 8 * 1024 * 1024
+
+
+class CodecError(Exception):
+    """A frame failed framing, integrity, or allowlist checks."""
+
+
+#: modules whose public classes may appear in a payload.  The scheduler
+#: message set, the netexec control frames, and the value types those
+#: carry — nothing that can execute code on construction.
+_ALLOWED_MODULES = frozenset(
+    {
+        "repro.scheduler.messages",
+        "repro.netexec.frames",
+        "repro.netsim.host",
+        "repro.machines.archclass",
+        "repro.trace.context",
+    }
+)
+
+_ALLOWED_BUILTINS = frozenset(
+    {"frozenset", "set", "list", "tuple", "dict", "bytearray", "complex"}
+)
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str) -> Any:
+        if module in _ALLOWED_MODULES and not name.startswith("_"):
+            return super().find_class(module, name)
+        if module == "builtins" and name in _ALLOWED_BUILTINS:
+            return super().find_class(module, name)
+        raise CodecError(f"disallowed global in frame: {module}.{name}")
+
+
+def encode(message: Any) -> bytes:
+    """Serialize *message* into one framed byte string."""
+    payload = pickle.dumps(message, protocol=5)
+    if len(payload) > MAX_FRAME:
+        raise CodecError(f"frame payload too large: {len(payload)} bytes")
+    return HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Unpickle a payload through the allowlist."""
+    try:
+        return _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except CodecError:
+        raise
+    except Exception as exc:  # truncated/corrupt pickle stream
+        raise CodecError(f"undecodable frame payload: {exc}") from exc
+
+
+def scan_globals(payload: bytes) -> set[str]:
+    """The ``module.name`` globals a payload references (diagnostics).
+
+    Handles both the legacy ``GLOBAL`` opcode (inline ``module name``
+    argument) and protocol-2+ ``STACK_GLOBAL``, whose module and name are
+    the two most recently pushed strings.
+    """
+    out: set[str] = set()
+    strings: list[str] = []
+    try:
+        for opcode, arg, _pos in pickletools.genops(payload):
+            if opcode.name == "GLOBAL" and arg:
+                out.add(str(arg).replace(" ", "."))
+            elif opcode.name == "STACK_GLOBAL" and len(strings) >= 2:
+                out.add(f"{strings[-2]}.{strings[-1]}")
+            elif "UNICODE" in opcode.name or opcode.name == "STRING":
+                strings.append(str(arg))
+    except Exception:
+        pass
+    return out
+
+
+class FrameDecoder:
+    """Incremental decoder: feed bytes in, iterate messages out.
+
+    >>> dec = FrameDecoder()
+    >>> list(dec.feed(encode({"x": 1})))
+    [{'x': 1}]
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes waiting for a complete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> Iterable[Any]:
+        """Consume *data*; yield every complete message it finishes."""
+        self._buf.extend(data)
+        out: list[Any] = []
+        while len(self._buf) >= HEADER.size:
+            magic, length, crc = HEADER.unpack_from(self._buf)
+            if magic != MAGIC:
+                raise CodecError(f"bad frame magic: {magic!r}")
+            if length > MAX_FRAME:
+                raise CodecError(f"frame length {length} exceeds {MAX_FRAME}")
+            end = HEADER.size + length
+            if len(self._buf) < end:
+                break
+            payload = bytes(self._buf[HEADER.size:end])
+            del self._buf[:end]
+            if zlib.crc32(payload) != crc:
+                raise CodecError("frame CRC mismatch")
+            out.append(decode_payload(payload))
+        return out

@@ -5,7 +5,7 @@ to the event loop through the interface defined here.  :class:`SimBackend`
 names the contract every backend must honour; which implementation a run gets
 is chosen by name (``VCEConfig.backend``) through :func:`create_simulator`.
 
-Two backends ship today:
+Three backends ship today:
 
 - ``serial`` — :class:`repro.netsim.kernel.Simulator`, the single tombstone
   heap.  The historical kernel, byte-identical replay digests, the default.
@@ -14,6 +14,13 @@ Two backends ship today:
   conservative synchronization with lookahead derived from link latencies
   (see docs/PARALLELISM.md).  Replay digests are shard-count-invariant and
   equal to the serial backend's.
+- ``network`` — :class:`repro.netexec.wallclock.WallClockSimulator`, the
+  wall-clock event loop under the real-process execution backend
+  (``repro.netexec``, docs/NETWORK.md).  It keeps the scheduling/cancel/
+  pending contract but paces by real time, so only task *outcomes* — not
+  event interleavings — are digest-stable; it is driven by
+  :class:`repro.netexec.supervisor.NetworkVCE`, not by the in-process
+  :class:`~repro.core.environment.VirtualComputingEnvironment`.
 
 The contract every backend must keep (the conformance suite in
 ``tests/test_backend_conformance.py`` enforces it against all backends):
@@ -57,7 +64,13 @@ from typing import Any, Callable
 from repro.util.errors import SimulationError
 
 #: backend names accepted by :func:`create_simulator` / ``VCEConfig.backend``
-BACKEND_NAMES = ("serial", "sharded")
+BACKEND_NAMES = ("serial", "sharded", "network")
+
+#: the virtual-time backends: exact (time, seq) total order, byte-identical
+#: replay digests.  The ``network`` backend (repro.netexec) honours the
+#: scheduling/cancel/pending contract but paces by the wall clock, so the
+#: (time, seq)-order sections of the conformance suite apply only to these.
+SIM_BACKEND_NAMES = ("serial", "sharded")
 
 
 class SimBackend(ABC):
@@ -175,6 +188,10 @@ def create_simulator(
         from repro.netsim.sharded import ShardedSimulator
 
         return ShardedSimulator(seed, shards=shards)
+    if backend == "network":
+        from repro.netexec.wallclock import WallClockSimulator
+
+        return WallClockSimulator(seed)
     raise SimulationError(
         f"unknown simulation backend {backend!r} "
         f"(expected one of {', '.join(BACKEND_NAMES)})"

@@ -1,11 +1,21 @@
 """Cross-backend conformance suite for the ``SimBackend`` contract.
 
-Every test here runs against every backend (``serial``, ``sharded``) via the
-``sim_factory`` fixture: the contract in :mod:`repro.netsim.backend` — exact
-``(time, seq)`` pop order, FIFO ``call_soon``, lazy/idempotent cancel,
-accurate ``pending``, the daemon-run rule — is what makes replay digests
-backend-invariant, so a backend that passes this suite is safe to put under
-the whole VCE.
+Two tiers, matching the two halves of the determinism contract
+(docs/NETWORK.md):
+
+- **Kernel-order tier** (``backend`` fixture, the virtual-time backends
+  only): exact ``(time, seq)`` pop order, FIFO ``call_soon``,
+  lazy/idempotent cancel, accurate ``pending``, the daemon-run rule —
+  what makes replay digests backend-invariant between ``serial`` and
+  ``sharded``.  The ``network`` backend paces by the wall clock and
+  deliberately does not promise this order, so these tests run over
+  :data:`~repro.netsim.backend.SIM_BACKEND_NAMES`.
+- **Behavior tier** (``behavior_backend`` fixture, *every* backend
+  including ``network``, marked ``network`` so CI can select it): the
+  same workload must produce the same task outcomes — DONE set, per-task
+  results digest — a protocol-FSM-clean event log, and exactly-once
+  completion under a daemon crash, whether the daemons are simulated
+  processes or real ``SIGKILL``-able OS processes.
 
 The pop-order / pending-count Hypothesis property is the backend-agnostic
 port of the serial-only white-box property in ``test_perf_contract.py``:
@@ -16,7 +26,7 @@ across shards rather than conformance-testing one trivial shard.
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.netsim.backend import BACKEND_NAMES, create_simulator
+from repro.netsim.backend import BACKEND_NAMES, SIM_BACKEND_NAMES, create_simulator
 from repro.util.errors import SimulationError
 
 #: host names the tests tag events with; under 3 shards the consistent
@@ -33,8 +43,11 @@ def make_sim(backend: str, seed: int = 0):
     return sim
 
 
-@pytest.fixture(params=BACKEND_NAMES)
+@pytest.fixture(params=SIM_BACKEND_NAMES)
 def backend(request):
+    """The virtual-time backends: exact (time, seq) order is their
+    contract.  The ``network`` backend is covered by the behavior tier
+    below instead."""
     return request.param
 
 
@@ -466,3 +479,178 @@ class TestHierarchyConformance:
         serial = _run_fan_apps(fanout=1)
         sharded = _run_fan_apps(fanout=1, backend="sharded", shards=3)
         assert event_log_digest(sharded.sim.log) == event_log_digest(serial.sim.log)
+
+
+# ------------------------------------------------ transport-parametric tier
+#
+# The behavior-level contract every backend must keep, including the
+# real-process ``network`` backend (repro.netexec): identical task outcomes
+# (DONE set + per-task results digest), a protocol-FSM-clean event log, and
+# exactly-once completion under a daemon crash.  (time, seq) order is
+# deliberately NOT asserted here — the network backend does not promise it.
+#
+# The network parameter is marked ``network`` (CI's netexec-smoke job runs
+# `-m network`); it spawns real subprocesses, so timeouts are generous.
+
+MACHINES = 3
+NET_RATE = 20.0       # sim seconds per wall second for the network runs
+NET_TIMEOUT = 90.0    # wall-seconds ceiling per network run
+
+BEHAVIOR_BACKENDS = [
+    "serial",
+    "sharded",
+    pytest.param("network", marks=pytest.mark.network),
+]
+
+
+@pytest.fixture(params=BEHAVIOR_BACKENDS)
+def behavior_backend(request):
+    return request.param
+
+
+def _chain_spec(seed=11, min_work=2.0, max_work=5.0):
+    """The shared workload: a 3-deep randomdag chain, one task per
+    machine (the allocation model places one instance per machine)."""
+    from repro.netexec.frames import WorkloadSpec
+
+    return WorkloadSpec(
+        "randomdag",
+        (("layers", MACHINES), ("width", 1), ("seed", seed),
+         ("min_work", min_work), ("max_work", max_work)),
+    )
+
+
+def _run_sim_behavior(backend, spec, seed, crash_first_host=False):
+    """Run *spec* on a virtual-time backend; optionally crash the host of
+    the first dispatched instance mid-task."""
+    from repro.core import VCEConfig, VirtualComputingEnvironment, workstation_cluster
+    from repro.faults.schedule import FaultSchedule
+    from repro.migration.failover import FailoverConfig
+    from repro.netexec.daemonhost import build_workload
+    from repro.netexec.supervisor import sim_done_set, sim_results_digest
+    from repro.scheduler.execution_program import RunState
+
+    vce = VirtualComputingEnvironment(
+        workstation_cluster(MACHINES),
+        VCEConfig(seed=seed, backend=backend, shards=SHARDS,
+                  reliable_transport=True, failover=FailoverConfig()),
+    ).boot()
+    run = vce.submit(build_workload(spec))
+    if crash_first_host:
+        # advance until the first instance is dispatched, then kill its
+        # host while the task is still running
+        for _ in range(100):
+            if vce.sim.log.records(category="runtime.dispatch"):
+                break
+            vce.sim.run(until=vce.sim.now + 1.0)
+        dispatches = vce.sim.log.records(category="runtime.dispatch")
+        assert dispatches, "workload never dispatched"
+        victim = dispatches[0].data["host"]
+        vce.chaos(FaultSchedule("kill-one").crash(1.0, victim))
+    vce.run_to_completion(run, timeout=2_000.0)
+    assert run.state is RunState.DONE, run.error
+    return {
+        "done": sim_done_set(run),
+        "digest": sim_results_digest(run),
+        "records": vce.sim.log.records(),
+        "redispatches": len(vce.sim.log.records(category="recovery.redispatch")),
+    }
+
+
+def _run_network_behavior(spec, seed, crash_first_host=False):
+    """Run *spec* across real daemon processes; optionally SIGKILL the
+    daemon hosting the first dispatched instance mid-task."""
+    import asyncio
+
+    from repro.core import VCEConfig, workstation_cluster
+    from repro.netexec.supervisor import NetworkVCE
+
+    vce = NetworkVCE(
+        workstation_cluster(MACHINES),
+        VCEConfig(seed=seed, backend="network"),
+        rate=NET_RATE,
+    )
+
+    async def _run():
+        await vce.aboot(spec)
+        try:
+            app = await vce.asubmit(spec)
+            drive = asyncio.get_running_loop().create_task(
+                vce.sim.drive(stop_when=app.finished.is_set)
+            )
+            if crash_first_host:
+                for _ in range(500):
+                    if vce.sim.log.records(category="runtime.dispatch"):
+                        break
+                    await asyncio.sleep(0.01)
+                dispatches = vce.sim.log.records(category="runtime.dispatch")
+                assert dispatches, "workload never dispatched"
+                await asyncio.sleep(0.05)  # let the task actually start
+                vce.kill_daemon(dispatches[0].data["host"])
+            await asyncio.wait_for(app.finished.wait(), NET_TIMEOUT)
+            drive.cancel()
+            return app
+        finally:
+            await vce.ashutdown()
+
+    app = asyncio.run(_run())
+    assert not app.failed
+    assert vce.orphan_pids() == []
+    return {
+        "done": app.done_set(),
+        "digest": app.results_digest(),
+        "records": vce.sim.log.records(),
+        "redispatches": len(vce.sim.log.records(category="recovery.redispatch")),
+    }
+
+
+def _run_behavior(backend, spec, seed, crash_first_host=False):
+    if backend == "network":
+        return _run_network_behavior(spec, seed, crash_first_host)
+    return _run_sim_behavior(backend, spec, seed, crash_first_host)
+
+
+def _protocol_errors(records):
+    from repro.analysis.protocol import check_records
+    from repro.analysis.report import Severity
+
+    return [
+        f for f in check_records(records) if f.severity is Severity.ERROR
+    ]
+
+
+class TestBehaviorConformance:
+    def test_network_backend_registered(self):
+        assert "network" in BACKEND_NAMES
+        assert "network" not in SIM_BACKEND_NAMES
+
+    def test_task_outcomes_match_serial_reference(self, behavior_backend):
+        """Same DONE set and per-task results digest as the serial kernel
+        — the testable half of the cross-backend determinism contract."""
+        spec = _chain_spec(seed=11)
+        reference = _run_sim_behavior("serial", spec, seed=11)
+        outcome = _run_behavior(behavior_backend, spec, seed=11)
+        assert outcome["done"] == reference["done"]
+        assert outcome["digest"] == reference["digest"]
+
+    def test_bidding_protocol_conformance(self, behavior_backend):
+        """analysis.protocol.check_records finds no FSM violation in the
+        run's event stream, simulated or real-socket."""
+        outcome = _run_behavior(behavior_backend, _chain_spec(seed=13), seed=13)
+        errors = _protocol_errors(outcome["records"])
+        assert errors == [], errors
+        # non-vacuity: the bidding round actually happened
+        assert any(r.category == "sched.alloc" for r in outcome["records"])
+
+    def test_failover_exactly_once(self, behavior_backend):
+        """Crashing the daemon hosting a running instance (simulated crash
+        or real SIGKILL) re-dispatches its tasks exactly once each: the
+        full DONE set is reached, the results digest is unchanged, and the
+        protocol checker sees a clean strand→redispatch handshake."""
+        spec = _chain_spec(seed=17, min_work=8.0, max_work=10.0)
+        reference = _run_sim_behavior("serial", spec, seed=17)
+        outcome = _run_behavior(behavior_backend, spec, seed=17, crash_first_host=True)
+        assert outcome["redispatches"] >= 1  # the crash actually bit
+        assert outcome["done"] == reference["done"]
+        assert outcome["digest"] == reference["digest"]
+        assert _protocol_errors(outcome["records"]) == []
